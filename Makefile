@@ -1,0 +1,31 @@
+# Convenience targets for the TBAA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench tables examples fuzz clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	$(PYTHON) -m repro tables
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+fuzz:
+	$(PYTHON) -m pytest tests/integration/test_fuzz_rle.py -q
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results \
+		src/repro.egg-info test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Ablation (beyond the paper) — PRE of loads.
+
+The paper: "Conditional: RLE did not eliminate a redundant expression
+because it was only partially redundant ... Partial redundancy
+elimination would catch these", and Section 3.7 plans PRE of memory
+expressions as future work.  `repro.opt.rle` implements a simplified
+downward-safe PRE (entry-anticipated paths, edge splitting, no back-edge
+insertion); this bench measures how much of the Conditional residue it
+actually recovers.
+"""
+
+from repro.bench.suite import RunConfig
+from repro.runtime.limit import Category
+from repro.util.tables import render_table
+
+NAMES = ["format", "dformat", "k-tree", "m2tom3", "m3cg"]
+
+PLAIN = RunConfig(analysis="SMFieldTypeRefs")
+WITH_PRE = RunConfig(analysis="SMFieldTypeRefs", pre=True)
+
+
+def test_pre_ablation(benchmark, suite, emit):
+    program = suite.program("format")
+
+    def build_with_pre():
+        return program.pipeline.build(analysis="SMFieldTypeRefs", pre=True)
+
+    result = benchmark.pedantic(build_with_pre, rounds=3, iterations=1)
+    assert result.rle is not None
+
+    rows = []
+    for name in NAMES:
+        plain = suite.limit_study(name, PLAIN)
+        pre = suite.limit_study(name, WITH_PRE)
+        base = suite.run(name)
+        assert suite.run(name, WITH_PRE).output_text() == base.output_text()
+        rows.append(
+            [
+                name,
+                plain.by_category[Category.CONDITIONAL],
+                pre.by_category[Category.CONDITIONAL],
+                plain.redundant_loads,
+                pre.redundant_loads,
+            ]
+        )
+    text = render_table(
+        ["Program", "Conditional (RLE)", "Conditional (RLE+PRE)",
+         "redundant (RLE)", "redundant (RLE+PRE)"],
+        rows,
+        title="Ablation: simplified PRE of loads vs the Conditional residue",
+    )
+    emit("ablation_pre", text)
+
+    # PRE must never increase the Conditional residue or total redundancy,
+    # and must recover some of it somewhere.
+    for row in rows:
+        assert row[2] <= row[1]
+        assert row[4] <= row[3]
+    assert any(row[2] < row[1] for row in rows)

@@ -1,0 +1,50 @@
+"""Analysis cost (Section 2.5) — TBAA is fast.
+
+The paper's complexity argument: SMTypeRefs makes a single linear pass
+over the program unioning type sets, so TBAA is O(n) bit-vector steps;
+computing all may-alias pairs is O(e²) but each query is cheap.  This
+bench measures construction time for all three analyses and the raw
+query throughput, over the largest benchmark.
+"""
+
+import time
+
+from repro.analysis import AliasPairCounter, collect_heap_references
+from repro.analysis.openworld import AnalysisContext
+from repro.bench.suite import BASE
+from repro.util.tables import render_table
+
+
+def test_analysis_construction(benchmark, suite, emit):
+    program = suite.program("m3cg")
+
+    def build_all_three():
+        ctx = AnalysisContext(program.checked)
+        return [ctx.build(n) for n in ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs")]
+
+    analyses = benchmark.pedantic(build_all_three, rounds=5, iterations=1)
+    assert len(analyses) == 3
+
+    # Query throughput table over real references.
+    base = suite.build("m3cg", BASE)
+    refs = [ap for aps in collect_heap_references(base.program).values() for ap in aps]
+    rows = []
+    ctx = AnalysisContext(program.checked)
+    for name in ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"):
+        analysis = ctx.build(name)
+        start = time.perf_counter()
+        queries = 0
+        for i in range(len(refs)):
+            for j in range(i + 1, len(refs)):
+                analysis.may_alias(refs[i], refs[j])
+                queries += 1
+        elapsed = time.perf_counter() - start
+        rows.append([name, queries, round(elapsed * 1000, 1),
+                     round(queries / max(elapsed, 1e-9) / 1000, 1)])
+    text = render_table(
+        ["Analysis", "Queries", "ms", "kq/s"],
+        rows,
+        title="May-alias query cost on m3cg (all reference pairs)",
+    )
+    emit("analysis_cost", text)
+    assert all(row[1] > 0 for row in rows)

@@ -1,0 +1,33 @@
+"""Figure 11 — Cumulative Impact of Optimizations.
+
+Regenerates the Base / RLE / Minv+Inlining / RLE+Minv+Inlining relative
+running times and benchmarks the full combined pipeline build.
+"""
+
+from repro.bench import tables
+from repro.bench.suite import RunConfig
+
+
+def test_figure11(benchmark, suite, emit):
+    program = suite.program("pp")
+
+    def full_pipeline():
+        return program.pipeline.build(
+            analysis="SMFieldTypeRefs", minv_inline=True
+        )
+
+    result = benchmark.pedantic(full_pipeline, rounds=3, iterations=1)
+    assert result.rle is not None and result.inline is not None
+
+    table = tables.figure11(suite)
+    emit("figure11", table.text)
+
+    # Paper shapes: Minv+Inlining gives larger wins than RLE alone on
+    # dispatch-heavy code; the combination is at least as good as either.
+    for row in table.rows:
+        base, rle, minv, both = row[1], row[2], row[3], row[4]
+        assert rle <= base
+        assert both <= rle + 0.01
+        assert both <= minv + 0.01
+    wins = sum(1 for row in table.rows if row[3] < row[2])
+    assert wins >= 2  # Minv+Inlining beats RLE somewhere (pp/dformat-like)

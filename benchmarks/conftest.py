@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper and
+times its dominant computation with pytest-benchmark.  The regenerated
+tables are printed straight to the terminal (bypassing capture, so they
+appear in ``pytest benchmarks/ --benchmark-only`` transcripts) and also
+written under ``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.suite import BenchmarkSuite
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return BenchmarkSuite()
+
+
+@pytest.fixture
+def emit(capfd):
+    """emit(name, text): print *text* uncaptured and save it to results/."""
+
+    def _emit(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as f:
+            f.write(text + "\n")
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _emit

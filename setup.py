@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``python setup.py develop`` in offline environments that lack the
+``wheel`` package (PEP 517 editable installs need it).  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

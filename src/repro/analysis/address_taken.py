@@ -1,0 +1,125 @@
+"""The ``AddressTaken`` predicate (Sections 2.3 and 4).
+
+Modula-3 programs can take the address of a memory location in exactly
+two ways — pass-by-reference (``VAR``) parameters and the ``WITH``
+statement — and FieldTypeDecl's cases 3 and 4 only let a dereference
+alias a qualified or subscripted expression when the program somewhere
+takes such an address:
+
+* ``AddressTaken(p.f)`` — "true if the program takes the address of field
+  f of an object in the set TypeDecl(p)";
+* ``AddressTaken(q[i])`` — "true if the program takes the address of some
+  element of an array of q's type".
+
+The **open-world** revision (Section 4) additionally declares
+``AddressTaken(p)`` true when a pass-by-reference formal of p's exact
+type exists anywhere, because unavailable code may pass addresses into
+available code (Modula-3 requires VAR formals and actuals to have
+*identical* types, so type equality — not compatibility — is checked).
+"""
+
+from typing import List, Set, Tuple
+
+from repro.analysis.typehierarchy import SubtypeOracle
+from repro.lang import ast_nodes as ast
+from repro.lang.astwalk import all_exprs, walk_stmts
+from repro.lang.symtab import Symbol
+from repro.lang.typecheck import CheckedModule
+from repro.lang.types import ArrayType, ProcType, Type
+
+
+class AddressTakenInfo:
+    """Queryable record of every address-taking construct in the program."""
+
+    def __init__(self, subtypes: SubtypeOracle, open_world: bool = False):
+        self._subtypes = subtypes
+        self.open_world = open_world
+        # (field name, static type of the qualified base)
+        self._fields: List[Tuple[str, Type]] = []
+        # static ArrayType whose element's address was taken
+        self._array_types: List[ArrayType] = []
+        # variables whose address was taken (for RLE's kill reasoning)
+        self.taken_vars: Set[Symbol] = set()
+        # types of all pass-by-reference formals (open-world clause 2)
+        self._var_formal_types: Set[int] = set()
+
+    # -- construction ----------------------------------------------------
+
+    def record_designator(self, expr: ast.Expr) -> None:
+        """Record that the program takes the address of *expr*."""
+        if isinstance(expr, ast.FieldRef):
+            base_type = expr.obj.type
+            assert base_type is not None
+            self._fields.append((expr.field_name, base_type))
+        elif isinstance(expr, ast.IndexExpr):
+            arr_type = expr.array.type
+            assert isinstance(arr_type, ArrayType)
+            self._array_types.append(arr_type)
+        elif isinstance(expr, ast.NameRef):
+            self.taken_vars.add(getattr(expr, "symbol"))
+        # &p^ introduces no new address: the address already existed as
+        # the reference p.
+
+    def record_var_formal(self, formal_type: Type) -> None:
+        self._var_formal_types.add(id(formal_type))
+
+    # -- queries -----------------------------------------------------------
+
+    def qualify_taken(self, field: str, base_type: Type, ap_type: Type) -> bool:
+        """AddressTaken(p.f) for a qualify with base type *base_type*."""
+        if self.open_world and id(ap_type) in self._var_formal_types:
+            return True
+        for taken_field, taken_base in self._fields:
+            if taken_field == field and self._subtypes.compatible(base_type, taken_base):
+                return True
+        return False
+
+    def subscript_taken(self, array_type: Type, ap_type: Type) -> bool:
+        """AddressTaken(q[i]) for a subscript of an array of *array_type*."""
+        if self.open_world and id(ap_type) in self._var_formal_types:
+            return True
+        return any(t is array_type for t in self._array_types)
+
+    def var_taken(self, symbol: Symbol) -> bool:
+        if self.open_world and symbol.type is not None and id(symbol.type) in self._var_formal_types:
+            return True
+        return symbol in self.taken_vars
+
+
+def collect_address_taken(
+    checked: CheckedModule,
+    subtypes: SubtypeOracle,
+    open_world: bool = False,
+) -> AddressTakenInfo:
+    """Scan the program for VAR arguments and location-binding WITHs."""
+    info = AddressTakenInfo(subtypes, open_world=open_world)
+
+    for proc in checked.user_procs():
+        # WITH bindings that alias a location.
+        for stmt in walk_stmts(proc.body):
+            if isinstance(stmt, ast.WithStmt):
+                for binding in stmt.bindings:
+                    if binding.binds_location:
+                        info.record_designator(binding.expr)
+        # VAR arguments at call sites.
+        for _, expr in all_exprs(proc.body):
+            if isinstance(expr, ast.CallExpr) and expr.call_kind in ("proc", "method"):
+                params = _call_params(expr)
+                for arg, param in zip(expr.args, params):
+                    if param.mode == "var":
+                        info.record_designator(arg)
+        # Formal VAR parameter types (open-world clause).
+        for param in proc.params:
+            if param.by_reference and param.type is not None:
+                info.record_var_formal(param.type)
+
+    return info
+
+
+def _call_params(call: ast.CallExpr):
+    if call.call_kind == "method":
+        return getattr(call, "method").params
+    proc_sym: Symbol = getattr(call.callee, "symbol")
+    proc_type = proc_sym.type
+    assert isinstance(proc_type, ProcType)
+    return proc_type.params

@@ -1,0 +1,62 @@
+"""Common interface of the three alias analyses.
+
+The paper's three analyses share one query shape: *may these two access
+paths refer to the same location?*  They differ in the **type oracle**
+used at the leaves:
+
+* TypeDecl uses declared-type compatibility (subtype-set intersection);
+* SMTypeRefs uses the pruned ``TypeRefsTable`` of selective merging;
+* FieldTypeDecl / SMFieldTypeRefs wrap either oracle in the structural
+  case analysis of Table 2.
+
+All analyses are *flow-insensitive* and query-cached (the static metric
+asks O(e²) pair queries; caching makes that tractable, as the paper notes
+in Section 2.5).
+"""
+
+from typing import Dict, Tuple
+
+from repro.ir.access_path import AccessPath, strip_index
+
+
+class TypeOracle:
+    """Decides type-level compatibility of two APs (the TypeDecl role)."""
+
+    name = "<oracle>"
+
+    def types_compatible(self, p: AccessPath, q: AccessPath) -> bool:
+        raise NotImplementedError
+
+
+class AliasAnalysis:
+    """May-alias over access paths, with memoisation.
+
+    Subclasses implement :meth:`_may_alias`; callers use
+    :meth:`may_alias`, which canonicalises subscript indices (alias
+    analyses ignore them — Table 2 case 6) and caches symmetric pairs.
+    """
+
+    name = "<analysis>"
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[AccessPath, AccessPath], bool] = {}
+
+    def may_alias(self, p: AccessPath, q: AccessPath) -> bool:
+        cp, cq = strip_index(p), strip_index(q)
+        key = (cp, cq)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._may_alias(cp, cq)
+        self._cache[key] = result
+        self._cache[(cq, cp)] = result
+        return result
+
+    def _may_alias(self, p: AccessPath, q: AccessPath) -> bool:
+        raise NotImplementedError
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return "<{}>".format(self.name)

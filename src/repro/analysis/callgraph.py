@@ -1,0 +1,66 @@
+"""Call graph over the lowered program.
+
+Direct calls have one target; method invocations may dispatch to any
+implementation reachable from the *static* receiver type's subtree
+(``Subtypes(static type)`` — the same type information TBAA uses).  The
+mod-ref analysis iterates summaries over this graph to a fixpoint.
+"""
+
+from typing import Dict, List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import ProgramIR
+from repro.lang.types import ObjectType, is_subtype
+
+
+class CallGraph:
+    """callers/callees maps plus method-dispatch target resolution."""
+
+    def __init__(self, program: ProgramIR):
+        self.program = program
+        self.callees: Dict[str, Set[str]] = {name: set() for name in program.proc_order}
+        self.callers: Dict[str, Set[str]] = {name: set() for name in program.proc_order}
+        self._method_targets_cache: Dict[tuple, List[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for proc in self.program.user_procs():
+            for instr in proc.all_instrs():
+                if isinstance(instr, ins.Call):
+                    self._add_edge(proc.name, instr.proc_name)
+                elif isinstance(instr, ins.CallMethod):
+                    for target in self.method_targets(
+                        instr.static_receiver_type, instr.method_name
+                    ):
+                        self._add_edge(proc.name, target)
+
+    def _add_edge(self, caller: str, callee: str) -> None:
+        if callee in self.callees:
+            self.callees[caller].add(callee)
+            self.callers[callee].add(caller)
+
+    def method_targets(self, static_type: ObjectType, method_name: str) -> List[str]:
+        """All implementations a ``static_type.method()`` call may reach."""
+        key = (id(static_type), method_name)
+        cached = self._method_targets_cache.get(key)
+        if cached is not None:
+            return cached
+        targets: List[str] = []
+        seen: Set[str] = set()
+        for obj in self.program.checked.object_types():
+            if not is_subtype(obj, static_type):
+                continue
+            impl = obj.method_impl(method_name)
+            if impl is not None and impl not in seen and impl in self.program.procs:
+                seen.add(impl)
+                targets.append(impl)
+        self._method_targets_cache[key] = targets
+        return targets
+
+    def call_targets(self, instr: ins.Instr) -> List[str]:
+        """Possible callees of one call instruction."""
+        if isinstance(instr, ins.Call):
+            return [instr.proc_name]
+        if isinstance(instr, ins.CallMethod):
+            return self.method_targets(instr.static_receiver_type, instr.method_name)
+        return []

@@ -1,0 +1,85 @@
+"""Analysis factory, incl. the open-world variants of Section 4.
+
+The paper's Section 4 adapts TBAA to incomplete programs (separate
+compilation, libraries): unavailable code is assumed type-safe but
+otherwise arbitrary, so
+
+* ``AddressTaken`` is additionally true for any AP whose type equals the
+  type of *some* pass-by-reference formal (unavailable callers may pass
+  addresses in);
+* SMTypeRefs conservatively merges every pair of subtype-related types
+  that unavailable code could reconstruct — every pair with no BRANDED
+  member (brands observe name equivalence and cannot be reconstructed).
+
+:func:`make_analysis` builds any of the three analyses in either world,
+sharing the subtype oracle and the collected program facts.
+"""
+
+from typing import Optional
+
+from repro.analysis.address_taken import AddressTakenInfo, collect_address_taken
+from repro.analysis.alias_base import AliasAnalysis
+from repro.analysis.fieldtypedecl import FieldTypeDeclAnalysis
+from repro.analysis.smtyperefs import SMFieldTypeRefsAnalysis, collect_pointer_assignments
+from repro.analysis.typedecl import TypeDeclAnalysis, TypeDeclOracle
+from repro.analysis.typehierarchy import SubtypeOracle
+from repro.lang.typecheck import CheckedModule
+
+#: The three analyses of the paper, weakest first.
+ANALYSIS_NAMES = ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs")
+
+#: Related-work baseline (footnote 4): Steensgaard merging over user
+#: types, without the TypeRefsTable's subtype pruning.
+EXTRA_ANALYSIS_NAMES = ("SteensgaardFieldTypeRefs",)
+
+
+class AnalysisContext:
+    """Shared per-program facts, reusable across the three analyses."""
+
+    def __init__(self, checked: CheckedModule, open_world: bool = False):
+        self.checked = checked
+        self.open_world = open_world
+        self.subtypes = SubtypeOracle(checked)
+        self.address_taken: AddressTakenInfo = collect_address_taken(
+            checked, self.subtypes, open_world=open_world
+        )
+        self.assignments = collect_pointer_assignments(checked)
+
+    def build(self, name: str) -> AliasAnalysis:
+        if name == "TypeDecl":
+            return TypeDeclAnalysis(self.subtypes)
+        if name == "FieldTypeDecl":
+            return FieldTypeDeclAnalysis(
+                TypeDeclOracle(self.subtypes), self.address_taken
+            )
+        if name == "SMFieldTypeRefs":
+            return SMFieldTypeRefsAnalysis(
+                self.checked,
+                self.subtypes,
+                self.address_taken,
+                self.assignments,
+                open_world=self.open_world,
+            )
+        if name == "SteensgaardFieldTypeRefs":
+            from repro.analysis.steensgaard import SteensgaardFieldTypeRefsAnalysis
+
+            return SteensgaardFieldTypeRefsAnalysis(
+                self.checked, self.subtypes, self.address_taken, self.assignments
+            )
+        raise ValueError(
+            "unknown analysis {!r}; expected one of {}".format(
+                name, ANALYSIS_NAMES + EXTRA_ANALYSIS_NAMES
+            )
+        )
+
+
+def make_analysis(
+    checked: CheckedModule,
+    name: str,
+    open_world: bool = False,
+    context: Optional[AnalysisContext] = None,
+) -> AliasAnalysis:
+    """Build the analysis *name* ('TypeDecl' | 'FieldTypeDecl' |
+    'SMFieldTypeRefs') for *checked*, closed or open world."""
+    context = context or AnalysisContext(checked, open_world=open_world)
+    return context.build(name)

@@ -1,0 +1,31 @@
+"""Trivial alias analyses: the two ends of the precision spectrum.
+
+* :class:`AlwaysAliasAnalysis` — every pair of distinct paths may alias.
+  This is the "no alias analysis" the paper's baseline GCC back end
+  effectively has: it only removes redundant loads "without any
+  assignments to memory between them".
+* :class:`NeverAliasAnalysis` — no pair aliases.  **Unsound**; it exists
+  for testing and for bounding experiments (what would RLE do with a
+  perfect oracle that never kills on stores?).
+"""
+
+from repro.analysis.alias_base import AliasAnalysis
+from repro.ir.access_path import AccessPath
+
+
+class AlwaysAliasAnalysis(AliasAnalysis):
+    """Maximally conservative: everything may alias everything."""
+
+    name = "AlwaysAlias"
+
+    def _may_alias(self, p: AccessPath, q: AccessPath) -> bool:
+        return True
+
+
+class NeverAliasAnalysis(AliasAnalysis):
+    """Maximally optimistic (unsound; test/limit use only)."""
+
+    name = "NeverAlias"
+
+    def _may_alias(self, p: AccessPath, q: AccessPath) -> bool:
+        return p == q

@@ -1,0 +1,53 @@
+"""``Subtypes(T)`` — the subtype sets all three analyses are built on.
+
+Section 2.1 of the paper:
+
+    ``Subtypes (T)``: the set of subtypes of type T, which includes T.
+
+For object types the set comes from the declared inheritance hierarchy;
+for every other type it is the singleton {T} (structural types have no
+proper subtypes in MiniM3; NIL is handled by the analyses directly since
+no access path is declared with type NULL).
+"""
+
+from typing import Dict, FrozenSet
+
+from repro.lang.typecheck import CheckedModule
+from repro.lang.types import ObjectType, Type, is_subtype
+
+
+class SubtypeOracle:
+    """Precomputed subtype sets and the type-compatibility test.
+
+    ``compatible(t1, t2)`` is the core of TypeDecl:
+    ``Subtypes(Type(p)) ∩ Subtypes(Type(q)) ≠ ∅``.
+    """
+
+    def __init__(self, checked: CheckedModule):
+        self.checked = checked
+        self._subtype_ids: Dict[int, FrozenSet[int]] = {}
+        objects = checked.object_types()
+        for obj in objects:
+            subs = frozenset(id(o) for o in objects if is_subtype(o, obj))
+            self._subtype_ids[id(obj)] = subs
+
+    def subtype_set(self, t: Type) -> FrozenSet[int]:
+        """``Subtypes(t)`` as a set of type identities."""
+        cached = self._subtype_ids.get(id(t))
+        if cached is not None:
+            return cached
+        singleton = frozenset((id(t),))
+        self._subtype_ids[id(t)] = singleton
+        return singleton
+
+    def subtypes(self, t: Type) -> list:
+        """``Subtypes(t)`` as type objects (for reports and tests)."""
+        if isinstance(t, ObjectType):
+            return [o for o in self.checked.object_types() if is_subtype(o, t)]
+        return [t]
+
+    def compatible(self, t1: Type, t2: Type) -> bool:
+        """True iff the subtype sets of *t1* and *t2* intersect."""
+        if t1 is t2:
+            return True
+        return not self.subtype_set(t1).isdisjoint(self.subtype_set(t2))

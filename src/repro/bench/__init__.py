@@ -1,0 +1,32 @@
+"""The benchmark suite and the paper's table/figure generators.
+
+* :mod:`repro.bench.registry` — the ten MiniM3 programs mirroring the
+  paper's Table 4 suite (format, dformat, write-pickle, k-tree, slisp,
+  pp, dom, postcard, m2tom3, m3cg) with their metadata;
+* :mod:`repro.bench.suite` — compilation/execution driver with caching;
+* :mod:`repro.bench.tables` — one function per table and figure of the
+  paper's evaluation (Tables 4–6, Figures 8–12), each returning rows and
+  a rendered text table.
+"""
+
+from repro.bench.registry import (
+    BenchmarkInfo,
+    BENCHMARKS,
+    DYNAMIC_BENCHMARKS,
+    benchmark_names,
+    dynamic_benchmark_names,
+    load_source,
+)
+from repro.bench.suite import BenchmarkSuite
+from repro.bench import tables
+
+__all__ = [
+    "BenchmarkInfo",
+    "BENCHMARKS",
+    "DYNAMIC_BENCHMARKS",
+    "benchmark_names",
+    "dynamic_benchmark_names",
+    "load_source",
+    "BenchmarkSuite",
+    "tables",
+]

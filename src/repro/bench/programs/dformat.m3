@@ -1,0 +1,236 @@
+(* dformat — a device-based text formatter, after the paper's second
+   Liskov & Guttag formatter.  Unlike `format`, output goes through a
+   polymorphic Device hierarchy (method dispatch on every character) and
+   the input carries simple markup (star = toggle emphasis, underscore =
+   forced break).
+
+   Heap behaviour exercised: deep method dispatch, subtype-polymorphic
+   device objects, dope vectors, conditional (partially redundant) field
+   loads in the markup scanner. *)
+
+MODULE DFormat;
+
+CONST
+  DocChars = 1400;
+  Width    = 52;
+
+TYPE
+  Chars = REF ARRAY OF CHAR;
+
+  (* Output devices: an abstract device, a buffering text device and a
+     counting device layered on top of another device. *)
+  Device = OBJECT
+    col: INTEGER;
+    lines: INTEGER;
+  METHODS
+    put (c: CHAR) := DevPut;
+    break () := DevBreak;
+  END;
+
+  TextDevice = Device OBJECT
+    buf: Chars;
+    len: INTEGER;
+  OVERRIDES
+    put := TextPut;
+    break := TextBreak;
+  END;
+
+  CountDevice = Device OBJECT
+    inner: Device;
+    puts: INTEGER;
+    breaks: INTEGER;
+  OVERRIDES
+    put := CountPut;
+    break := CountBreak;
+  END;
+
+  Span = OBJECT
+    start, limit: INTEGER;
+    emphatic: BOOLEAN;
+    next: Span;
+  END;
+
+VAR
+  seed: INTEGER;
+  source: Chars;
+  spans: Span;
+  device: Device;
+  sink: TextDevice;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+PROCEDURE DevPut (self: Device; c: CHAR) =
+BEGIN
+  self.col := self.col + 1;
+END DevPut;
+
+PROCEDURE DevBreak (self: Device) =
+BEGIN
+  self.col := 0;
+  self.lines := self.lines + 1;
+END DevBreak;
+
+PROCEDURE TextPut (self: TextDevice; c: CHAR) =
+BEGIN
+  IF self.len < NUMBER (self.buf^) THEN
+    self.buf^[self.len] := c;
+    self.len := self.len + 1;
+  END;
+  self.col := self.col + 1;
+END TextPut;
+
+PROCEDURE TextBreak (self: TextDevice) =
+BEGIN
+  IF self.len < NUMBER (self.buf^) THEN
+    self.buf^[self.len] := '\n';
+    self.len := self.len + 1;
+  END;
+  self.col := 0;
+  self.lines := self.lines + 1;
+END TextBreak;
+
+PROCEDURE CountPut (self: CountDevice; c: CHAR) =
+BEGIN
+  self.puts := self.puts + 1;
+  self.inner.put (c);
+  self.col := self.inner.col;
+END CountPut;
+
+PROCEDURE CountBreak (self: CountDevice) =
+BEGIN
+  self.breaks := self.breaks + 1;
+  self.inner.break ();
+  self.col := 0;
+  self.lines := self.lines + 1;
+END CountBreak;
+
+(* Synthesize marked-up text: words with occasional '*' and '_' marks. *)
+PROCEDURE Synthesize () =
+VAR i, wordLen, mark: INTEGER;
+BEGIN
+  source := NEW (Chars, DocChars);
+  i := 0;
+  WHILE i < NUMBER (source^) DO
+    mark := Rand (12);
+    IF mark = 0 AND i < NUMBER (source^) THEN
+      source^[i] := '*';
+      INC (i);
+    ELSIF mark = 1 AND i < NUMBER (source^) THEN
+      source^[i] := '_';
+      INC (i);
+    END;
+    wordLen := 1 + Rand (8);
+    WHILE wordLen > 0 AND i < NUMBER (source^) DO
+      source^[i] := VAL (ORD ('a') + Rand (26), CHAR);
+      INC (i);
+      DEC (wordLen);
+    END;
+    IF i < NUMBER (source^) THEN
+      source^[i] := ' ';
+      INC (i);
+    END;
+  END;
+END Synthesize;
+
+(* Scan the markup into a list of emphasised/plain spans. *)
+PROCEDURE ScanSpans () =
+VAR
+  i, start: INTEGER;
+  emphasis: BOOLEAN;
+  tail, s: Span;
+BEGIN
+  i := 0;
+  emphasis := FALSE;
+  tail := NIL;
+  WHILE i < NUMBER (source^) DO
+    start := i;
+    WHILE i < NUMBER (source^) AND source^[i] # '*' AND source^[i] # '_' DO
+      INC (i);
+    END;
+    IF i > start THEN
+      s := NEW (Span, start := start, limit := i,
+                emphatic := emphasis, next := NIL);
+      IF tail = NIL THEN
+        spans := s;
+      ELSE
+        tail.next := s;
+      END;
+      tail := s;
+    END;
+    IF i < NUMBER (source^) THEN
+      IF source^[i] = '*' THEN
+        emphasis := NOT emphasis;
+      ELSE
+        IF tail # NIL THEN
+          tail.emphatic := tail.emphatic OR emphasis;
+        END;
+      END;
+      INC (i);
+    END;
+  END;
+END ScanSpans;
+
+PROCEDURE UpCase (c: CHAR): CHAR =
+BEGIN
+  IF c >= 'a' AND c <= 'z' THEN
+    RETURN VAL (ORD (c) - ORD ('a') + ORD ('A'), CHAR);
+  END;
+  RETURN c;
+END UpCase;
+
+(* Emit a span through the device, filling to the width; emphasised
+   spans are upper-cased. *)
+PROCEDURE EmitSpan (d: Device; s: Span) =
+VAR i: INTEGER; c: CHAR;
+BEGIN
+  i := s.start;
+  WHILE i < s.limit DO
+    c := source^[i];
+    IF s.emphatic THEN
+      c := UpCase (c);
+    END;
+    IF c = ' ' AND d.col >= Width THEN
+      d.break ();
+    ELSE
+      d.put (c);
+    END;
+    INC (i);
+  END;
+END EmitSpan;
+
+PROCEDURE EmitAll (d: Device) =
+VAR s: Span;
+BEGIN
+  s := spans;
+  WHILE s # NIL DO
+    EmitSpan (d, s);
+    s := s.next;
+  END;
+  d.break ();
+END EmitAll;
+
+VAR counter: CountDevice;
+
+BEGIN
+  seed := 971123;
+  Synthesize ();
+  ScanSpans ();
+
+  sink := NEW (TextDevice, col := 0, lines := 0, len := 0);
+  sink.buf := NEW (Chars, DocChars + DocChars DIV 4);
+  counter := NEW (CountDevice, col := 0, lines := 0,
+                  inner := sink, puts := 0, breaks := 0);
+  device := counter;
+  EmitAll (device);
+
+  PutText ("puts=" & IntToText (counter.puts));
+  PutText (" breaks=" & IntToText (counter.breaks));
+  PutText (" chars=" & IntToText (sink.len));
+  PutText (" lines=" & IntToText (sink.lines));
+  ASSERT (counter.puts > 0);
+  ASSERT (sink.len <= NUMBER (sink.buf^));
+END DFormat.

@@ -1,0 +1,191 @@
+(* dom — a distributed-object system skeleton, after the paper's dom
+   ("system for building distributed applications", Nayeri et al.).
+   The paper evaluates dom statically only; so do we — the module body
+   merely builds one broker and routes a handful of invocations so the
+   program is still runnable.
+
+   Heap behaviour exercised (statically interesting): a deep object
+   hierarchy with brands (open-world experiments), dispatch tables built
+   from arrays of objects, proxies wrapping remote objects, and marshal
+   buffers behind REFs. *)
+
+MODULE DOM;
+
+CONST
+  TableSize = 16;
+
+TYPE
+  Bytes = REF ARRAY OF INTEGER;
+
+  (* Every distributed entity is an Obj with a numeric oid. *)
+  Obj = BRANDED "dom.obj" OBJECT
+    oid: INTEGER;
+  METHODS
+    invoke (selector: INTEGER; arg: INTEGER): INTEGER := ObjInvoke;
+  END;
+
+  (* A local servant: state plus behaviour. *)
+  Servant = Obj OBJECT
+    state: INTEGER;
+    hits: INTEGER;
+  OVERRIDES
+    invoke := ServantInvoke;
+  END;
+
+  CounterServant = Servant OBJECT
+    step: INTEGER;
+  OVERRIDES
+    invoke := CounterInvoke;
+  END;
+
+  (* A proxy forwards through a transport to another object. *)
+  Transport = BRANDED "dom.transport" OBJECT
+    sent, received: INTEGER;
+    buf: Bytes;
+  METHODS
+    send (oid, selector, arg: INTEGER): INTEGER := TransportSend;
+  END;
+
+  Proxy = Obj OBJECT
+    transport: Transport;
+    remote: INTEGER;       (* remote oid *)
+  OVERRIDES
+    invoke := ProxyInvoke;
+  END;
+
+  Entry = OBJECT
+    key: INTEGER;
+    target: Obj;
+    next: Entry;
+  END;
+
+  Table = REF ARRAY OF Entry;
+
+  Broker = OBJECT
+    table: Table;
+    registered: INTEGER;
+  END;
+
+VAR
+  broker: Broker;
+  wire: Transport;
+
+PROCEDURE ObjInvoke (self: Obj; selector: INTEGER; arg: INTEGER): INTEGER =
+BEGIN
+  RETURN 0 - 1;
+END ObjInvoke;
+
+PROCEDURE ServantInvoke (self: Servant; selector: INTEGER; arg: INTEGER): INTEGER =
+BEGIN
+  self.hits := self.hits + 1;
+  CASE selector OF
+  | 1 => RETURN self.state;
+  | 2 =>
+      self.state := arg;
+      RETURN arg;
+  ELSE
+    RETURN 0;
+  END;
+END ServantInvoke;
+
+PROCEDURE CounterInvoke (self: CounterServant; selector: INTEGER; arg: INTEGER): INTEGER =
+BEGIN
+  self.hits := self.hits + 1;
+  IF selector = 3 THEN
+    self.state := self.state + self.step;
+    RETURN self.state;
+  END;
+  RETURN ServantInvoke (self, selector, arg);
+END CounterInvoke;
+
+(* ---------- broker ---------- *)
+
+PROCEDURE NewBroker (): Broker =
+VAR b: Broker; i: INTEGER;
+BEGIN
+  b := NEW (Broker, registered := 0);
+  b.table := NEW (Table, TableSize);
+  FOR i := 0 TO TableSize - 1 DO
+    b.table^[i] := NIL;
+  END;
+  RETURN b;
+END NewBroker;
+
+PROCEDURE Register (b: Broker; o: Obj) =
+VAR h: INTEGER; e: Entry;
+BEGIN
+  h := o.oid MOD TableSize;
+  e := NEW (Entry, key := o.oid, target := o, next := b.table^[h]);
+  b.table^[h] := e;
+  b.registered := b.registered + 1;
+END Register;
+
+PROCEDURE Resolve (b: Broker; oid: INTEGER): Obj =
+VAR e: Entry;
+BEGIN
+  e := b.table^[oid MOD TableSize];
+  WHILE e # NIL DO
+    IF e.key = oid THEN
+      RETURN e.target;
+    END;
+    e := e.next;
+  END;
+  RETURN NIL;
+END Resolve;
+
+(* ---------- transport: marshal / unmarshal through a byte buffer ---------- *)
+
+PROCEDURE TransportSend (self: Transport; oid, selector, arg: INTEGER): INTEGER =
+VAR target: Obj; result: INTEGER;
+BEGIN
+  self.buf^[0] := oid;
+  self.buf^[1] := selector;
+  self.buf^[2] := arg;
+  self.sent := self.sent + 1;
+  (* "Deliver" locally: unmarshal and dispatch. *)
+  target := Resolve (broker, self.buf^[0]);
+  IF target = NIL THEN
+    RETURN 0 - 1;
+  END;
+  result := target.invoke (self.buf^[1], self.buf^[2]);
+  self.received := self.received + 1;
+  RETURN result;
+END TransportSend;
+
+PROCEDURE ProxyInvoke (self: Proxy; selector: INTEGER; arg: INTEGER): INTEGER =
+BEGIN
+  RETURN self.transport.send (self.remote, selector, arg);
+END ProxyInvoke;
+
+(* ---------- minimal runnable body ---------- *)
+
+VAR
+  servant: Servant;
+  counter: CounterServant;
+  proxy: Proxy;
+  i, total: INTEGER;
+
+BEGIN
+  broker := NewBroker ();
+  wire := NEW (Transport, sent := 0, received := 0);
+  wire.buf := NEW (Bytes, 8);
+
+  servant := NEW (Servant, oid := 5, state := 100, hits := 0);
+  counter := NEW (CounterServant, oid := 21, state := 0, hits := 0, step := 7);
+  Register (broker, servant);
+  Register (broker, counter);
+
+  proxy := NEW (Proxy, oid := 99, transport := wire, remote := 21);
+
+  total := 0;
+  FOR i := 1 TO 25 DO
+    total := total + proxy.invoke (3, 0);
+  END;
+  EVAL proxy.invoke (2, 55);
+  total := total + servant.invoke (1, 0);
+
+  PutText ("registered=" & IntToText (broker.registered));
+  PutText (" sent=" & IntToText (wire.sent));
+  PutText (" total=" & IntToText (total));
+  ASSERT (wire.sent = wire.received);
+END DOM.

@@ -1,0 +1,186 @@
+(* format — a text formatter, after Liskov & Guttag's `format`.
+   Mirrors the paper's smallest benchmark: it builds a document of words
+   and greedily fills fixed-width output lines.
+
+   Heap behaviour exercised: open CHAR arrays (dope vectors), a linked
+   list of word objects, loop-invariant field loads (the formatter state),
+   WITH bindings, and a VAR out-parameter. *)
+
+MODULE Format;
+
+CONST
+  DocChars  = 1600;   (* size of the synthetic input document *)
+  LineWidth = 60;
+
+TYPE
+  Chars = REF ARRAY OF CHAR;
+
+  Word = OBJECT
+    text: Chars;
+    len: INTEGER;
+    next: Word;
+  END;
+
+  Document = OBJECT
+    buf: Chars;
+    len: INTEGER;
+    words: Word;
+    wordCount: INTEGER;
+  END;
+
+  Formatter = OBJECT
+    width: INTEGER;
+    out: Chars;
+    outLen: INTEGER;
+    col: INTEGER;
+    lines: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  doc: Document;
+  fmt: Formatter;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+(* Fill the document buffer with pseudo-random words split by spaces. *)
+PROCEDURE Synthesize (d: Document) =
+VAR i, wordLen: INTEGER;
+BEGIN
+  d.buf := NEW (Chars, DocChars);
+  i := 0;
+  WHILE i < NUMBER (d.buf^) DO
+    wordLen := 1 + Rand (9);
+    WHILE wordLen > 0 AND i < NUMBER (d.buf^) DO
+      d.buf^[i] := VAL (ORD ('a') + Rand (26), CHAR);
+      INC (i);
+      DEC (wordLen);
+    END;
+    IF i < NUMBER (d.buf^) THEN
+      d.buf^[i] := ' ';
+      INC (i);
+    END;
+  END;
+  d.len := NUMBER (d.buf^);
+END Synthesize;
+
+(* Split the buffer into a linked list of Word objects. *)
+PROCEDURE SplitWords (d: Document) =
+VAR
+  i, start, n: INTEGER;
+  w, tail: Word;
+BEGIN
+  i := 0;
+  tail := NIL;
+  WHILE i < d.len DO
+    WHILE i < d.len AND d.buf^[i] = ' ' DO
+      INC (i);
+    END;
+    start := i;
+    WHILE i < d.len AND d.buf^[i] # ' ' DO
+      INC (i);
+    END;
+    IF i > start THEN
+      w := NEW (Word, len := i - start, next := NIL);
+      w.text := NEW (Chars, w.len);
+      n := 0;
+      WHILE n < w.len DO
+        w.text^[n] := d.buf^[start + n];
+        INC (n);
+      END;
+      IF tail = NIL THEN
+        d.words := w;
+      ELSE
+        tail.next := w;
+      END;
+      tail := w;
+      d.wordCount := d.wordCount + 1;
+    END;
+  END;
+END SplitWords;
+
+PROCEDURE EmitChar (f: Formatter; c: CHAR) =
+BEGIN
+  IF f.outLen < NUMBER (f.out^) THEN
+    f.out^[f.outLen] := c;
+    f.outLen := f.outLen + 1;
+  END;
+END EmitChar;
+
+PROCEDURE EmitWord (f: Formatter; w: Word) =
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  (* w.len and w.text are loop invariant: RLE food. *)
+  WHILE i < w.len DO
+    EmitChar (f, w.text^[i]);
+    INC (i);
+  END;
+END EmitWord;
+
+PROCEDURE NewLine (f: Formatter) =
+BEGIN
+  EmitChar (f, '\n');
+  f.col := 0;
+  f.lines := f.lines + 1;
+END NewLine;
+
+(* Greedy line filling. *)
+PROCEDURE Fill (f: Formatter; d: Document) =
+VAR w: Word;
+BEGIN
+  w := d.words;
+  WHILE w # NIL DO
+    IF f.col > 0 AND f.col + 1 + w.len > f.width THEN
+      NewLine (f);
+    END;
+    IF f.col > 0 THEN
+      EmitChar (f, ' ');
+      f.col := f.col + 1;
+    END;
+    EmitWord (f, w);
+    f.col := f.col + w.len;
+    w := w.next;
+  END;
+  IF f.col > 0 THEN
+    NewLine (f);
+  END;
+END Fill;
+
+PROCEDURE CountLetter (f: Formatter; c: CHAR; VAR count: INTEGER) =
+VAR i: INTEGER;
+BEGIN
+  count := 0;
+  FOR i := 0 TO f.outLen - 1 DO
+    IF f.out^[i] = c THEN
+      INC (count);
+    END;
+  END;
+END CountLetter;
+
+VAR aCount: INTEGER;
+
+BEGIN
+  seed := 20240601;
+  doc := NEW (Document, wordCount := 0);
+  Synthesize (doc);
+  SplitWords (doc);
+
+  fmt := NEW (Formatter, width := LineWidth, col := 0, lines := 0, outLen := 0);
+  fmt.out := NEW (Chars, DocChars + DocChars DIV 8);
+  Fill (fmt, doc);
+
+  WITH f = fmt DO
+    PutText ("words=" & IntToText (doc.wordCount));
+    PutText (" lines=" & IntToText (f.lines));
+    PutText (" chars=" & IntToText (f.outLen));
+  END;
+  CountLetter (fmt, 'a', aCount);
+  PutText (" a=" & IntToText (aCount));
+  ASSERT (fmt.lines > 0);
+  ASSERT (fmt.outLen <= NUMBER (fmt.out^));
+END Format.

@@ -1,0 +1,220 @@
+(* k_tree — manages a sequence with an order-k tree, after Rodney Bates'
+   k-trees (the paper's k-tree benchmark "manages sequences using trees").
+
+   Each interior node holds an open array of children; each leaf an open
+   array of elements.  Indexing repeatedly walks dope vectors, making this
+   the Encapsulation-heavy benchmark of Figure 10 (the paper found ktree
+   kept many redundant loads after RLE, mostly dope-vector accesses). *)
+
+MODULE KTree;
+
+CONST
+  K        = 4;     (* tree order: children / leaf slots per node *)
+  Inserts  = 700;
+  Lookups  = 900;
+
+TYPE
+  Ints = REF ARRAY OF INTEGER;
+
+  Node = OBJECT
+    count: INTEGER;       (* elements stored below this node *)
+    height: INTEGER;      (* 0 = leaf *)
+  END;
+
+  Leaf = Node OBJECT
+    items: Ints;
+    used: INTEGER;
+  END;
+
+  Kids = REF ARRAY OF Node;
+
+  Inner = Node OBJECT
+    kids: Kids;
+    nkids: INTEGER;
+  END;
+
+  Seq = OBJECT
+    root: Node;
+    length: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  seq: Seq;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+PROCEDURE NewLeaf (): Leaf =
+VAR l: Leaf;
+BEGIN
+  l := NEW (Leaf, count := 0, height := 0, used := 0);
+  l.items := NEW (Ints, K);
+  RETURN l;
+END NewLeaf;
+
+PROCEDURE NewInner (height: INTEGER): Inner =
+VAR n: Inner;
+BEGIN
+  n := NEW (Inner, count := 0, height := height, nkids := 0);
+  n.kids := NEW (Kids, K);
+  RETURN n;
+END NewInner;
+
+(* Append v at the right edge; returns a new sibling when `n` is full. *)
+PROCEDURE Append (n: Node; v: INTEGER): Node =
+VAR
+  leaf: Leaf;
+  inner: Inner;
+  last, sibling: Node;
+  fresh: Inner;
+BEGIN
+  IF n.height = 0 THEN
+    leaf := NARROW (n, Leaf);
+    IF leaf.used < NUMBER (leaf.items^) THEN
+      leaf.items^[leaf.used] := v;
+      leaf.used := leaf.used + 1;
+      leaf.count := leaf.count + 1;
+      RETURN NIL;
+    END;
+    leaf := NewLeaf ();
+    leaf.items^[0] := v;
+    leaf.used := 1;
+    leaf.count := 1;
+    RETURN leaf;
+  END;
+
+  inner := NARROW (n, Inner);
+  last := inner.kids^[inner.nkids - 1];
+  sibling := Append (last, v);
+  IF sibling = NIL THEN
+    inner.count := inner.count + 1;
+    RETURN NIL;
+  END;
+  IF inner.nkids < NUMBER (inner.kids^) THEN
+    inner.kids^[inner.nkids] := sibling;
+    inner.nkids := inner.nkids + 1;
+    inner.count := inner.count + 1;
+    RETURN NIL;
+  END;
+  fresh := NewInner (inner.height);
+  fresh.kids^[0] := sibling;
+  fresh.nkids := 1;
+  fresh.count := sibling.count;
+  RETURN fresh;
+END Append;
+
+PROCEDURE SeqAppend (s: Seq; v: INTEGER) =
+VAR sibling: Node; newRoot: Inner;
+BEGIN
+  IF s.root = NIL THEN
+    s.root := NewLeaf ();
+  END;
+  sibling := Append (s.root, v);
+  IF sibling # NIL THEN
+    newRoot := NewInner (s.root.height + 1);
+    newRoot.kids^[0] := s.root;
+    newRoot.kids^[1] := sibling;
+    newRoot.nkids := 2;
+    newRoot.count := s.root.count + sibling.count;
+    s.root := newRoot;
+  END;
+  s.length := s.length + 1;
+END SeqAppend;
+
+(* Index the sequence: walk counts down the tree. *)
+PROCEDURE Fetch (n: Node; index: INTEGER): INTEGER =
+VAR
+  inner: Inner;
+  i: INTEGER;
+  kid: Node;
+BEGIN
+  IF n.height = 0 THEN
+    RETURN NARROW (n, Leaf).items^[index];
+  END;
+  inner := NARROW (n, Inner);
+  i := 0;
+  LOOP
+    kid := inner.kids^[i];
+    IF index < kid.count THEN
+      RETURN Fetch (kid, index);
+    END;
+    index := index - kid.count;
+    INC (i);
+    IF i >= inner.nkids THEN
+      EXIT;
+    END;
+  END;
+  RETURN 0 - 1;
+END Fetch;
+
+PROCEDURE SeqFetch (s: Seq; index: INTEGER): INTEGER =
+BEGIN
+  IF index < 0 OR index >= s.length THEN
+    RETURN 0 - 1;
+  END;
+  RETURN Fetch (s.root, index);
+END SeqFetch;
+
+(* Iterate the whole sequence, summing. *)
+PROCEDURE SumAll (n: Node): INTEGER =
+VAR
+  total, i: INTEGER;
+  leaf: Leaf;
+  inner: Inner;
+BEGIN
+  total := 0;
+  IF n.height = 0 THEN
+    leaf := NARROW (n, Leaf);
+    FOR i := 0 TO leaf.used - 1 DO
+      total := total + leaf.items^[i];
+    END;
+    RETURN total;
+  END;
+  inner := NARROW (n, Inner);
+  FOR i := 0 TO inner.nkids - 1 DO
+    total := total + SumAll (inner.kids^[i]);
+  END;
+  RETURN total;
+END SumAll;
+
+PROCEDURE Depth (s: Seq): INTEGER =
+BEGIN
+  IF s.root = NIL THEN
+    RETURN 0;
+  END;
+  RETURN s.root.height + 1;
+END Depth;
+
+VAR
+  i, v, probes, hits, checksum: INTEGER;
+
+BEGIN
+  seed := 424243;
+  seq := NEW (Seq, root := NIL, length := 0);
+
+  FOR i := 1 TO Inserts DO
+    SeqAppend (seq, i MOD 97);
+  END;
+
+  probes := 0;
+  hits := 0;
+  FOR i := 1 TO Lookups DO
+    v := SeqFetch (seq, Rand (seq.length));
+    INC (probes);
+    IF v >= 48 THEN
+      INC (hits);
+    END;
+  END;
+
+  checksum := SumAll (seq.root);
+  PutText ("len=" & IntToText (seq.length));
+  PutText (" depth=" & IntToText (Depth (seq)));
+  PutText (" sum=" & IntToText (checksum));
+  PutText (" hits=" & IntToText (hits) & "/" & IntToText (probes));
+  ASSERT (seq.length = Inserts);
+  ASSERT (SumAll (seq.root) = checksum);
+END KTree.

@@ -1,0 +1,262 @@
+(* m2tom3 — a source-to-source converter, after the paper's m2tom3
+   ("converts Modula-2 code to Modula-3").  Tokenizes synthetic Modula-2
+   text from a character buffer and rewrites it: keywords are mapped
+   through a translation table, ``:=`` and comments pass through, and
+   identifiers are copied.
+
+   Heap behaviour exercised: two big char buffers, a keyword table of
+   objects scanned linearly (field loads in inner loops), token objects,
+   and VAR out-parameters in the scanner. *)
+
+MODULE M2toM3;
+
+CONST
+  SourceChars = 2000;
+
+  TokIdent = 1;
+  TokKeyword = 2;
+  TokPunct = 3;
+
+TYPE
+  Chars = REF ARRAY OF CHAR;
+
+  Keyword = OBJECT
+    m2: Chars;            (* Modula-2 spelling *)
+    m3: Chars;            (* Modula-3 replacement *)
+    m2len, m3len: INTEGER;
+    uses: INTEGER;
+    next: Keyword;
+  END;
+
+  Token = OBJECT
+    kind: INTEGER;
+    start, limit: INTEGER;
+    keyword: Keyword;
+  END;
+
+  Writer = OBJECT
+    buf: Chars;
+    len: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  source: Chars;
+  sourceLen: INTEGER;
+  keywords: Keyword;
+  out: Writer;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+PROCEDURE MkChars (t: TEXT): Chars =
+VAR c: Chars; i: INTEGER;
+BEGIN
+  c := NEW (Chars, TextLen (t));
+  FOR i := 0 TO TextLen (t) - 1 DO
+    c^[i] := TextChar (t, i);
+  END;
+  RETURN c;
+END MkChars;
+
+PROCEDURE AddKeyword (m2, m3: TEXT) =
+VAR k: Keyword;
+BEGIN
+  k := NEW (Keyword, uses := 0, next := keywords);
+  k.m2 := MkChars (m2);
+  k.m3 := MkChars (m3);
+  k.m2len := NUMBER (k.m2^);
+  k.m3len := NUMBER (k.m3^);
+  keywords := k;
+END AddKeyword;
+
+(* Synthesize Modula-2-ish source: keywords, identifiers, punctuation. *)
+PROCEDURE Synthesize () =
+VAR
+  i, pick, n: INTEGER;
+  k: Keyword;
+BEGIN
+  source := NEW (Chars, SourceChars);
+  i := 0;
+  WHILE i < NUMBER (source^) DO
+    pick := Rand (10);
+    IF pick < 4 THEN
+      (* one keyword, chosen by walking the list *)
+      k := keywords;
+      n := Rand (8);
+      WHILE n > 0 AND k.next # NIL DO
+        k := k.next;
+        DEC (n);
+      END;
+      n := 0;
+      WHILE n < k.m2len AND i < NUMBER (source^) DO
+        source^[i] := k.m2^[n];
+        INC (i);
+        INC (n);
+      END;
+    ELSIF pick < 8 THEN
+      n := 1 + Rand (6);
+      WHILE n > 0 AND i < NUMBER (source^) DO
+        source^[i] := VAL (ORD ('a') + Rand (26), CHAR);
+        INC (i);
+        DEC (n);
+      END;
+    ELSE
+      IF i < NUMBER (source^) THEN
+        source^[i] := ';';
+        INC (i);
+      END;
+    END;
+    IF i < NUMBER (source^) THEN
+      source^[i] := ' ';
+      INC (i);
+    END;
+  END;
+  sourceLen := NUMBER (source^);
+END Synthesize;
+
+PROCEDURE IsLetter (c: CHAR): BOOLEAN =
+BEGIN
+  RETURN (c >= 'a' AND c <= 'z') OR (c >= 'A' AND c <= 'Z');
+END IsLetter;
+
+(* Scan one token starting at pos; returns its limit via VAR. *)
+PROCEDURE Scan (pos: INTEGER; VAR limit: INTEGER): INTEGER =
+BEGIN
+  IF IsLetter (source^[pos]) THEN
+    limit := pos;
+    WHILE limit < sourceLen AND IsLetter (source^[limit]) DO
+      INC (limit);
+    END;
+    RETURN TokIdent;
+  END;
+  limit := pos + 1;
+  RETURN TokPunct;
+END Scan;
+
+(* Does source[start..limit) spell this keyword? *)
+PROCEDURE MatchKeyword (k: Keyword; start, limit: INTEGER): BOOLEAN =
+VAR i: INTEGER;
+BEGIN
+  IF limit - start # k.m2len THEN
+    RETURN FALSE;
+  END;
+  i := 0;
+  WHILE i < k.m2len DO
+    IF source^[start + i] # k.m2^[i] THEN
+      RETURN FALSE;
+    END;
+    INC (i);
+  END;
+  RETURN TRUE;
+END MatchKeyword;
+
+PROCEDURE Classify (t: Token) =
+VAR k: Keyword;
+BEGIN
+  t.keyword := NIL;
+  IF t.kind # TokIdent THEN
+    RETURN;
+  END;
+  k := keywords;
+  WHILE k # NIL DO
+    IF MatchKeyword (k, t.start, t.limit) THEN
+      t.kind := TokKeyword;
+      t.keyword := k;
+      k.uses := k.uses + 1;
+      RETURN;
+    END;
+    k := k.next;
+  END;
+END Classify;
+
+PROCEDURE Put (w: Writer; c: CHAR) =
+BEGIN
+  IF w.len < NUMBER (w.buf^) THEN
+    w.buf^[w.len] := c;
+    w.len := w.len + 1;
+  END;
+END Put;
+
+PROCEDURE WriteToken (w: Writer; t: Token) =
+VAR i: INTEGER; k: Keyword;
+BEGIN
+  IF t.kind = TokKeyword THEN
+    k := t.keyword;
+    FOR i := 0 TO k.m3len - 1 DO
+      Put (w, k.m3^[i]);
+    END;
+  ELSE
+    i := t.start;
+    WHILE i < t.limit DO
+      Put (w, source^[i]);
+      INC (i);
+    END;
+  END;
+END WriteToken;
+
+PROCEDURE Convert (): INTEGER =
+VAR
+  pos, limit, count: INTEGER;
+  t: Token;
+BEGIN
+  pos := 0;
+  count := 0;
+  t := NEW (Token);
+  WHILE pos < sourceLen DO
+    IF source^[pos] = ' ' THEN
+      Put (out, ' ');
+      INC (pos);
+    ELSE
+      t.kind := Scan (pos, limit);
+      t.start := pos;
+      t.limit := limit;
+      Classify (t);
+      WriteToken (out, t);
+      INC (count);
+      pos := limit;
+    END;
+  END;
+  RETURN count;
+END Convert;
+
+PROCEDURE KeywordHits (): INTEGER =
+VAR k: Keyword; total: INTEGER;
+BEGIN
+  total := 0;
+  k := keywords;
+  WHILE k # NIL DO
+    total := total + k.uses;
+    k := k.next;
+  END;
+  RETURN total;
+END KeywordHits;
+
+VAR tokens: INTEGER;
+
+BEGIN
+  seed := 777001;
+  keywords := NIL;
+  AddKeyword ("ELSIF", "ELSIF");
+  AddKeyword ("POINTER", "REF");
+  AddKeyword ("CARDINAL", "INTEGER");
+  AddKeyword ("DEFINITION", "INTERFACE");
+  AddKeyword ("IMPLEMENTATION", "MODULE");
+  AddKeyword ("QUALIFIED", "");
+  AddKeyword ("RETURN", "RETURN");
+  AddKeyword ("WHILE", "WHILE");
+
+  Synthesize ();
+  out := NEW (Writer, len := 0);
+  out.buf := NEW (Chars, SourceChars * 2);
+
+  tokens := Convert ();
+  PutText ("tokens=" & IntToText (tokens));
+  PutText (" keywords=" & IntToText (KeywordHits ()));
+  PutText (" out=" & IntToText (out.len));
+  ASSERT (tokens > 0);
+  ASSERT (out.len <= NUMBER (out.buf^));
+END M2toM3.

@@ -1,0 +1,320 @@
+(* m3cg — a small code generator, after the paper's m3cg ("M3 v3.5.1
+   code generator + extensions").  Builds expression trees, emits stack
+   machine code into an integer buffer with a virtual register pool,
+   peephole-optimizes the buffer, then executes it on a tiny VM and
+   checks the result against direct tree evaluation.
+
+   Heap behaviour exercised: a code buffer behind a REF (emit loop
+   invariants), register-pool bookkeeping via a REF RECORD, a VM whose
+   hot loop indexes two open arrays, and subtype dispatch in emission. *)
+
+MODULE M3CG;
+
+CONST
+  Exprs    = 40;
+  CodeMax  = 6000;
+
+  OpPush  = 1;   (* push immediate *)
+  OpLoad  = 2;   (* push variable slot *)
+  OpAdd   = 3;
+  OpSub   = 4;
+  OpMul   = 5;
+  OpNeg   = 6;
+  OpHalt  = 7;
+
+TYPE
+  Ints = REF ARRAY OF INTEGER;
+
+  Expr = OBJECT
+  METHODS
+    emit () := ExprEmit;
+    eval (): INTEGER := ExprEval;
+  END;
+
+  ConstExpr = Expr OBJECT
+    value: INTEGER;
+  OVERRIDES
+    emit := ConstEmit;
+    eval := ConstEval;
+  END;
+
+  SlotExpr = Expr OBJECT
+    slot: INTEGER;
+  OVERRIDES
+    emit := SlotEmit;
+    eval := SlotEval;
+  END;
+
+  BinExpr = Expr OBJECT
+    op: INTEGER;           (* OpAdd / OpSub / OpMul *)
+    left, right: Expr;
+  OVERRIDES
+    emit := BinEmit;
+    eval := BinEval;
+  END;
+
+  NegExpr = Expr OBJECT
+    operand: Expr;
+  OVERRIDES
+    emit := NegEmit;
+    eval := NegEval;
+  END;
+
+  (* The emitter state lives behind a REF RECORD. *)
+  Emitter = REF RECORD
+    code: Ints;
+    pc: INTEGER;
+    maxDepth: INTEGER;
+    depth: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  em: Emitter;
+  slots: Ints;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+(* ---------- emission ---------- *)
+
+PROCEDURE Emit1 (op: INTEGER) =
+BEGIN
+  ASSERT (em^.pc < NUMBER (em^.code^));
+  em^.code^[em^.pc] := op;
+  em^.pc := em^.pc + 1;
+END Emit1;
+
+PROCEDURE Emit2 (op, arg: INTEGER) =
+BEGIN
+  Emit1 (op);
+  Emit1 (arg);
+END Emit2;
+
+PROCEDURE PushDepth () =
+BEGIN
+  em^.depth := em^.depth + 1;
+  IF em^.depth > em^.maxDepth THEN
+    em^.maxDepth := em^.depth;
+  END;
+END PushDepth;
+
+PROCEDURE PopDepth () =
+BEGIN
+  em^.depth := em^.depth - 1;
+END PopDepth;
+
+PROCEDURE ExprEmit (self: Expr) =
+BEGIN
+  Emit2 (OpPush, 0);
+  PushDepth ();
+END ExprEmit;
+
+PROCEDURE ExprEval (self: Expr): INTEGER =
+BEGIN
+  RETURN 0;
+END ExprEval;
+
+PROCEDURE ConstEmit (self: ConstExpr) =
+BEGIN
+  Emit2 (OpPush, self.value);
+  PushDepth ();
+END ConstEmit;
+
+PROCEDURE ConstEval (self: ConstExpr): INTEGER =
+BEGIN
+  RETURN self.value;
+END ConstEval;
+
+PROCEDURE SlotEmit (self: SlotExpr) =
+BEGIN
+  Emit2 (OpLoad, self.slot);
+  PushDepth ();
+END SlotEmit;
+
+PROCEDURE SlotEval (self: SlotExpr): INTEGER =
+BEGIN
+  RETURN slots^[self.slot];
+END SlotEval;
+
+PROCEDURE BinEmit (self: BinExpr) =
+BEGIN
+  self.left.emit ();
+  self.right.emit ();
+  Emit1 (self.op);
+  PopDepth ();
+END BinEmit;
+
+PROCEDURE BinEval (self: BinExpr): INTEGER =
+VAR l, r: INTEGER;
+BEGIN
+  l := self.left.eval ();
+  r := self.right.eval ();
+  CASE self.op OF
+  | 3 => RETURN (l + r) MOD 1000003;
+  | 4 => RETURN (l - r) MOD 1000003;
+  ELSE
+    RETURN (l * r) MOD 1000003;
+  END;
+END BinEval;
+
+PROCEDURE NegEmit (self: NegExpr) =
+BEGIN
+  self.operand.emit ();
+  Emit1 (OpNeg);
+END NegEmit;
+
+PROCEDURE NegEval (self: NegExpr): INTEGER =
+BEGIN
+  RETURN (0 - self.operand.eval ()) MOD 1000003;
+END NegEval;
+
+(* ---------- peephole: PUSH 0 / ADD  and  NEG NEG  removal ---------- *)
+
+PROCEDURE Peephole (): INTEGER =
+VAR
+  read, write, removed: INTEGER;
+  op: INTEGER;
+BEGIN
+  read := 0;
+  write := 0;
+  removed := 0;
+  WHILE read < em^.pc DO
+    op := em^.code^[read];
+    IF op = OpNeg AND read + 1 < em^.pc AND em^.code^[read + 1] = OpNeg THEN
+      read := read + 2;
+      removed := removed + 2;
+    ELSIF op = OpPush AND read + 2 < em^.pc
+          AND em^.code^[read + 1] = 0
+          AND em^.code^[read + 2] = OpAdd THEN
+      read := read + 3;
+      removed := removed + 3;
+    ELSE
+      em^.code^[write] := op;
+      INC (write);
+      INC (read);
+      IF op = OpPush OR op = OpLoad THEN
+        em^.code^[write] := em^.code^[read - 1 + 1];
+        INC (write);
+        INC (read);
+      END;
+    END;
+  END;
+  em^.pc := write;
+  RETURN removed;
+END Peephole;
+
+(* ---------- the VM ---------- *)
+
+PROCEDURE Execute (): INTEGER =
+VAR
+  stack: Ints;
+  sp, ip, op, a, b: INTEGER;
+BEGIN
+  stack := NEW (Ints, em^.maxDepth + 4);
+  sp := 0;
+  ip := 0;
+  LOOP
+    op := em^.code^[ip];
+    INC (ip);
+    CASE op OF
+    | 1 =>
+        stack^[sp] := em^.code^[ip];
+        INC (ip);
+        INC (sp);
+    | 2 =>
+        stack^[sp] := slots^[em^.code^[ip]];
+        INC (ip);
+        INC (sp);
+    | 3 =>
+        b := stack^[sp - 1];
+        a := stack^[sp - 2];
+        DEC (sp);
+        stack^[sp - 1] := (a + b) MOD 1000003;
+    | 4 =>
+        b := stack^[sp - 1];
+        a := stack^[sp - 2];
+        DEC (sp);
+        stack^[sp - 1] := (a - b) MOD 1000003;
+    | 5 =>
+        b := stack^[sp - 1];
+        a := stack^[sp - 2];
+        DEC (sp);
+        stack^[sp - 1] := (a * b) MOD 1000003;
+    | 6 =>
+        stack^[sp - 1] := (0 - stack^[sp - 1]) MOD 1000003;
+    | 7 => EXIT;
+    ELSE
+      EXIT;
+    END;
+  END;
+  RETURN stack^[sp - 1];
+END Execute;
+
+(* ---------- workload ---------- *)
+
+PROCEDURE RandomExpr (depth: INTEGER): Expr =
+VAR pick: INTEGER;
+BEGIN
+  IF depth <= 0 OR Rand (4) = 0 THEN
+    IF Rand (2) = 0 THEN
+      RETURN NEW (ConstExpr, value := Rand (500));
+    END;
+    RETURN NEW (SlotExpr, slot := Rand (8));
+  END;
+  pick := Rand (7);
+  IF pick < 3 THEN
+    RETURN NEW (BinExpr, op := OpAdd,
+                left := RandomExpr (depth - 1), right := RandomExpr (depth - 1));
+  ELSIF pick < 5 THEN
+    RETURN NEW (BinExpr, op := OpMul,
+                left := RandomExpr (depth - 1), right := RandomExpr (depth - 2));
+  ELSIF pick = 5 THEN
+    RETURN NEW (BinExpr, op := OpSub,
+                left := RandomExpr (depth - 2), right := RandomExpr (depth - 1));
+  END;
+  RETURN NEW (NegExpr, operand := RandomExpr (depth - 1));
+END RandomExpr;
+
+VAR
+  i, want, got, matches, codeTotal, removedTotal: INTEGER;
+  e: Expr;
+
+BEGIN
+  seed := 35001;
+  slots := NEW (Ints, 8);
+  FOR i := 0 TO 7 DO
+    slots^[i] := 7 * i + 3;
+  END;
+
+  matches := 0;
+  codeTotal := 0;
+  removedTotal := 0;
+  FOR i := 1 TO Exprs DO
+    e := RandomExpr (6);
+    em := NEW (Emitter);
+    em^.code := NEW (Ints, CodeMax);
+    em^.pc := 0;
+    em^.depth := 0;
+    em^.maxDepth := 0;
+    e.emit ();
+    Emit1 (OpHalt);
+    removedTotal := removedTotal + Peephole ();
+    codeTotal := codeTotal + em^.pc;
+
+    want := e.eval ();
+    got := Execute ();
+    IF want = got THEN
+      INC (matches);
+    END;
+  END;
+
+  PutText ("exprs=" & IntToText (Exprs));
+  PutText (" code=" & IntToText (codeTotal));
+  PutText (" removed=" & IntToText (removedTotal));
+  PutText (" ok=" & IntToText (matches));
+  ASSERT (matches = Exprs);
+END M3CG.

@@ -1,0 +1,255 @@
+(* postcard — a mail-reader skeleton, after the paper's postcard
+   ("graphical mail reader").  Evaluated statically only in the paper;
+   the module body just builds a few folders and refreshes the view tree
+   once so the program remains runnable.
+
+   Heap behaviour exercised (statically interesting): a widget hierarchy
+   with many sibling subtypes (large Subtypes sets for TypeDecl, pruned
+   hard by SMFieldTypeRefs because several widgets are never stored
+   upcast), folders and messages as linked structures, and TEXT-heavy
+   records. *)
+
+MODULE Postcard;
+
+TYPE
+  Message = OBJECT
+    subject: TEXT;
+    sender: TEXT;
+    size: INTEGER;
+    unread: BOOLEAN;
+    next: Message;
+  END;
+
+  Folder = OBJECT
+    name: TEXT;
+    messages: Message;
+    count, unread: INTEGER;
+    next: Folder;
+  END;
+
+  Mailbox = OBJECT
+    folders: Folder;
+    folderCount: INTEGER;
+  END;
+
+  (* Widget hierarchy: a classic GUI tree. *)
+  Widget = OBJECT
+    x, y, w, h: INTEGER;
+    next: Widget;       (* sibling *)
+  METHODS
+    layout (x, y: INTEGER): INTEGER := WidgetLayout;
+  END;
+
+  Container = Widget OBJECT
+    children: Widget;
+  OVERRIDES
+    layout := ContainerLayout;
+  END;
+
+  Label = Widget OBJECT
+    caption: TEXT;
+  OVERRIDES
+    layout := LabelLayout;
+  END;
+
+  Button = Widget OBJECT
+    caption: TEXT;
+    pressed: INTEGER;
+  OVERRIDES
+    layout := LabelLayout0;
+  END;
+
+  ListView = Widget OBJECT
+    folder: Folder;
+    selected: INTEGER;
+  OVERRIDES
+    layout := ListLayout;
+  END;
+
+  (* Widgets that exist but are never stored into a Widget field:
+     SMFieldTypeRefs can prove they do not alias generic widget paths
+     unless the program actually inserts them. *)
+  Gauge = Widget OBJECT
+    fraction: INTEGER;
+  END;
+
+  IconBar = Container OBJECT
+    icons: INTEGER;
+  END;
+
+VAR
+  box: Mailbox;
+  root: Container;
+
+(* ---------- model ---------- *)
+
+PROCEDURE AddFolder (name: TEXT): Folder =
+VAR f: Folder;
+BEGIN
+  f := NEW (Folder, name := name, messages := NIL,
+            count := 0, unread := 0, next := box.folders);
+  box.folders := f;
+  box.folderCount := box.folderCount + 1;
+  RETURN f;
+END AddFolder;
+
+PROCEDURE Deliver (f: Folder; subject, sender: TEXT; size: INTEGER) =
+VAR m: Message;
+BEGIN
+  m := NEW (Message, subject := subject, sender := sender,
+            size := size, unread := TRUE, next := f.messages);
+  f.messages := m;
+  f.count := f.count + 1;
+  f.unread := f.unread + 1;
+END Deliver;
+
+PROCEDURE MarkAllRead (f: Folder) =
+VAR m: Message;
+BEGIN
+  m := f.messages;
+  WHILE m # NIL DO
+    IF m.unread THEN
+      m.unread := FALSE;
+      f.unread := f.unread - 1;
+    END;
+    m := m.next;
+  END;
+END MarkAllRead;
+
+PROCEDURE TotalBytes (f: Folder): INTEGER =
+VAR m: Message; total: INTEGER;
+BEGIN
+  total := 0;
+  m := f.messages;
+  WHILE m # NIL DO
+    total := total + m.size;
+    m := m.next;
+  END;
+  RETURN total;
+END TotalBytes;
+
+(* ---------- view ---------- *)
+
+PROCEDURE WidgetLayout (self: Widget; x, y: INTEGER): INTEGER =
+BEGIN
+  self.x := x;
+  self.y := y;
+  RETURN self.h;
+END WidgetLayout;
+
+PROCEDURE ContainerLayout (self: Container; x, y: INTEGER): INTEGER =
+VAR c: Widget; used: INTEGER;
+BEGIN
+  self.x := x;
+  self.y := y;
+  used := 0;
+  c := self.children;
+  WHILE c # NIL DO
+    used := used + c.layout (x + 2, y + used);
+    c := c.next;
+  END;
+  self.h := used + 2;
+  RETURN self.h;
+END ContainerLayout;
+
+PROCEDURE LabelLayout (self: Label; x, y: INTEGER): INTEGER =
+BEGIN
+  self.x := x;
+  self.y := y;
+  self.w := TextLen (self.caption);
+  self.h := 1;
+  RETURN 1;
+END LabelLayout;
+
+PROCEDURE LabelLayout0 (self: Button; x, y: INTEGER): INTEGER =
+BEGIN
+  self.x := x;
+  self.y := y;
+  self.w := TextLen (self.caption) + 4;
+  self.h := 1;
+  RETURN 1;
+END LabelLayout0;
+
+PROCEDURE ListLayout (self: ListView; x, y: INTEGER): INTEGER =
+BEGIN
+  self.x := x;
+  self.y := y;
+  self.h := self.folder.count + 1;
+  RETURN self.h;
+END ListLayout;
+
+(* The progress gauge is drawn standalone and never inserted into the
+   widget tree: no assignment ever makes a Widget path refer to a Gauge,
+   so SMFieldTypeRefs (unlike TypeDecl/FieldTypeDecl) can prove generic
+   widget accesses never alias gauge accesses. *)
+PROCEDURE UpdateGauge (g: Gauge; done, total: INTEGER) =
+BEGIN
+  g.x := 0;
+  g.y := 0;
+  g.w := 20;
+  g.h := 1;
+  IF total > 0 THEN
+    g.fraction := (100 * done) DIV total;
+  ELSE
+    g.fraction := 0;
+  END;
+END UpdateGauge;
+
+PROCEDURE BuildView (f: Folder): Container =
+VAR
+  c: Container;
+  title: Label;
+  list: ListView;
+  readAll: Button;
+BEGIN
+  c := NEW (Container, children := NIL, w := 80, h := 0);
+  title := NEW (Label, caption := "Folder: " & f.name);
+  list := NEW (ListView, folder := f, selected := 0);
+  readAll := NEW (Button, caption := "mark read", pressed := 0);
+  readAll.next := NIL;
+  list.next := readAll;
+  title.next := list;
+  c.children := title;
+  RETURN c;
+END BuildView;
+
+VAR
+  inbox, archive: Folder;
+  f: Folder;
+  height, i: INTEGER;
+  pane: Container;
+  gauge: Gauge;
+
+BEGIN
+  box := NEW (Mailbox, folders := NIL, folderCount := 0);
+  inbox := AddFolder ("inbox");
+  archive := AddFolder ("archive");
+
+  FOR i := 1 TO 12 DO
+    Deliver (inbox, "hello " & IntToText (i), "amer", 100 + 13 * i);
+  END;
+  FOR i := 1 TO 5 DO
+    Deliver (archive, "old " & IntToText (i), "kathryn", 900 + i);
+  END;
+
+  root := NEW (Container, children := NIL, w := 100, h := 0);
+  f := box.folders;
+  WHILE f # NIL DO
+    pane := BuildView (f);
+    pane.next := root.children;
+    root.children := pane;
+    f := f.next;
+  END;
+
+  height := root.layout (0, 0);
+  gauge := NEW (Gauge, fraction := 0);
+  UpdateGauge (gauge, inbox.count, inbox.count + archive.count);
+  MarkAllRead (inbox);
+
+  PutText ("folders=" & IntToText (box.folderCount));
+  PutText (" inbox=" & IntToText (inbox.count));
+  PutText (" unread=" & IntToText (inbox.unread));
+  PutText (" bytes=" & IntToText (TotalBytes (inbox)));
+  PutText (" height=" & IntToText (height));
+  ASSERT (inbox.unread = 0);
+END Postcard.

@@ -1,0 +1,338 @@
+(* pp — a pretty printer for a small structured language, after the
+   paper's pp ("pretty printer for Modula-3 programs").  Builds a program
+   tree of statements and expressions, then renders it with indentation
+   and line breaking through method dispatch.
+
+   Heap behaviour exercised: a wide object hierarchy rendered via
+   methods, an output buffer object whose fields are hot loop-invariant
+   loads, and WITH-bound printer state. *)
+
+MODULE PP;
+
+CONST
+  Procs    = 14;
+  StmtsPer = 8;
+  Indent   = 2;
+
+TYPE
+  Chars = REF ARRAY OF CHAR;
+
+  Printer = OBJECT
+    buf: Chars;
+    len: INTEGER;
+    col: INTEGER;
+    indent: INTEGER;
+    width: INTEGER;
+    lines: INTEGER;
+  END;
+
+  Expr = OBJECT
+  METHODS
+    pp (p: Printer) := ExprPP;
+    size (): INTEGER := ExprSize;
+  END;
+
+  NameExpr = Expr OBJECT
+    letter: CHAR;
+    ordinal: INTEGER;
+  OVERRIDES
+    pp := NamePP;
+    size := NameSize;
+  END;
+
+  NumExpr = Expr OBJECT
+    value: INTEGER;
+  OVERRIDES
+    pp := NumPP;
+    size := NumSize;
+  END;
+
+  BinExpr = Expr OBJECT
+    op: CHAR;
+    left, right: Expr;
+  OVERRIDES
+    pp := BinPP;
+    size := BinSize;
+  END;
+
+  Stmt = OBJECT
+    next: Stmt;
+  METHODS
+    pp (p: Printer) := StmtPP;
+  END;
+
+  AssignStmt = Stmt OBJECT
+    lhs: NameExpr;
+    rhs: Expr;
+  OVERRIDES
+    pp := AssignPP;
+  END;
+
+  IfStmt = Stmt OBJECT
+    cond: Expr;
+    thenBody: Stmt;
+    elseBody: Stmt;
+  OVERRIDES
+    pp := IfPP;
+  END;
+
+  WhileStmt = Stmt OBJECT
+    cond: Expr;
+    body: Stmt;
+  OVERRIDES
+    pp := WhilePP;
+  END;
+
+  ProcNode = OBJECT
+    ordinal: INTEGER;
+    body: Stmt;
+    next: ProcNode;
+  END;
+
+VAR
+  seed: INTEGER;
+  printer: Printer;
+  program: ProcNode;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+(* ---------- printer primitives ---------- *)
+
+PROCEDURE Emit (p: Printer; c: CHAR) =
+BEGIN
+  IF p.len < NUMBER (p.buf^) THEN
+    p.buf^[p.len] := c;
+    p.len := p.len + 1;
+  END;
+  p.col := p.col + 1;
+END Emit;
+
+PROCEDURE EmitText (p: Printer; t: TEXT) =
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO TextLen (t) - 1 DO
+    Emit (p, TextChar (t, i));
+  END;
+END EmitText;
+
+PROCEDURE EmitInt (p: Printer; v: INTEGER) =
+BEGIN
+  EmitText (p, IntToText (v));
+END EmitInt;
+
+PROCEDURE Newline (p: Printer) =
+VAR i: INTEGER;
+BEGIN
+  Emit (p, '\n');
+  p.col := 0;
+  p.lines := p.lines + 1;
+  FOR i := 1 TO p.indent DO
+    Emit (p, ' ');
+  END;
+  p.col := p.indent;
+END Newline;
+
+(* ---------- expression rendering ---------- *)
+
+PROCEDURE ExprPP (self: Expr; p: Printer) =
+BEGIN
+  Emit (p, '?');
+END ExprPP;
+
+PROCEDURE ExprSize (self: Expr): INTEGER =
+BEGIN
+  RETURN 1;
+END ExprSize;
+
+PROCEDURE NamePP (self: NameExpr; p: Printer) =
+BEGIN
+  Emit (p, self.letter);
+  EmitInt (p, self.ordinal);
+END NamePP;
+
+PROCEDURE NameSize (self: NameExpr): INTEGER =
+BEGIN
+  RETURN 2;
+END NameSize;
+
+PROCEDURE NumPP (self: NumExpr; p: Printer) =
+BEGIN
+  EmitInt (p, self.value);
+END NumPP;
+
+PROCEDURE NumSize (self: NumExpr): INTEGER =
+BEGIN
+  RETURN 1;
+END NumSize;
+
+PROCEDURE BinPP (self: BinExpr; p: Printer) =
+BEGIN
+  (* Break long expressions before the operator. *)
+  IF p.col + self.size () > p.width THEN
+    Newline (p);
+  END;
+  Emit (p, '(');
+  self.left.pp (p);
+  Emit (p, ' ');
+  Emit (p, self.op);
+  Emit (p, ' ');
+  self.right.pp (p);
+  Emit (p, ')');
+END BinPP;
+
+PROCEDURE BinSize (self: BinExpr): INTEGER =
+BEGIN
+  RETURN self.left.size () + self.right.size () + 4;
+END BinSize;
+
+(* ---------- statement rendering ---------- *)
+
+PROCEDURE StmtPP (self: Stmt; p: Printer) =
+BEGIN
+  EmitText (p, "SKIP;");
+  Newline (p);
+END StmtPP;
+
+PROCEDURE AssignPP (self: AssignStmt; p: Printer) =
+BEGIN
+  self.lhs.pp (p);
+  EmitText (p, " := ");
+  self.rhs.pp (p);
+  Emit (p, ';');
+  Newline (p);
+END AssignPP;
+
+PROCEDURE PPBody (p: Printer; body: Stmt) =
+VAR s: Stmt;
+BEGIN
+  p.indent := p.indent + Indent;
+  Newline (p);
+  s := body;
+  WHILE s # NIL DO
+    s.pp (p);
+    s := s.next;
+  END;
+  p.indent := p.indent - Indent;
+END PPBody;
+
+PROCEDURE IfPP (self: IfStmt; p: Printer) =
+BEGIN
+  EmitText (p, "IF ");
+  self.cond.pp (p);
+  EmitText (p, " THEN");
+  PPBody (p, self.thenBody);
+  IF self.elseBody # NIL THEN
+    EmitText (p, "ELSE");
+    PPBody (p, self.elseBody);
+  END;
+  EmitText (p, "END;");
+  Newline (p);
+END IfPP;
+
+PROCEDURE WhilePP (self: WhileStmt; p: Printer) =
+BEGIN
+  EmitText (p, "WHILE ");
+  self.cond.pp (p);
+  EmitText (p, " DO");
+  PPBody (p, self.body);
+  EmitText (p, "END;");
+  Newline (p);
+END WhilePP;
+
+(* ---------- tree construction ---------- *)
+
+PROCEDURE RandomExpr (depth: INTEGER): Expr =
+VAR ops: INTEGER;
+BEGIN
+  IF depth <= 0 OR Rand (3) = 0 THEN
+    IF Rand (2) = 0 THEN
+      RETURN NEW (NameExpr,
+                  letter := VAL (ORD ('a') + Rand (4), CHAR),
+                  ordinal := Rand (10));
+    END;
+    RETURN NEW (NumExpr, value := Rand (1000));
+  END;
+  ops := Rand (3);
+  IF ops = 0 THEN
+    RETURN NEW (BinExpr, op := '+',
+                left := RandomExpr (depth - 1), right := RandomExpr (depth - 1));
+  ELSIF ops = 1 THEN
+    RETURN NEW (BinExpr, op := '*',
+                left := RandomExpr (depth - 1), right := RandomExpr (depth - 2));
+  END;
+  RETURN NEW (BinExpr, op := '-',
+              left := RandomExpr (depth - 2), right := RandomExpr (depth - 1));
+END RandomExpr;
+
+PROCEDURE RandomBody (n: INTEGER; depth: INTEGER): Stmt =
+VAR first, s: Stmt; i, kind: INTEGER;
+BEGIN
+  first := NIL;
+  FOR i := 1 TO n DO
+    kind := Rand (4);
+    IF kind < 2 OR depth <= 0 THEN
+      s := NEW (AssignStmt,
+                lhs := NEW (NameExpr,
+                            letter := VAL (ORD ('a') + Rand (4), CHAR),
+                            ordinal := Rand (10)),
+                rhs := RandomExpr (3));
+    ELSIF kind = 2 THEN
+      s := NEW (IfStmt,
+                cond := RandomExpr (2),
+                thenBody := RandomBody (2, depth - 1),
+                elseBody := RandomBody (1, depth - 1));
+    ELSE
+      s := NEW (WhileStmt,
+                cond := RandomExpr (2),
+                body := RandomBody (2, depth - 1));
+    END;
+    s.next := first;
+    first := s;
+  END;
+  RETURN first;
+END RandomBody;
+
+PROCEDURE BuildProgram () =
+VAR i: INTEGER; pn: ProcNode;
+BEGIN
+  program := NIL;
+  FOR i := 1 TO Procs DO
+    pn := NEW (ProcNode, ordinal := i,
+               body := RandomBody (StmtsPer, 2), next := program);
+    program := pn;
+  END;
+END BuildProgram;
+
+PROCEDURE Render (p: Printer) =
+VAR pn: ProcNode;
+BEGIN
+  pn := program;
+  WHILE pn # NIL DO
+    EmitText (p, "PROCEDURE P");
+    EmitInt (p, pn.ordinal);
+    EmitText (p, " =");
+    PPBody (p, pn.body);
+    EmitText (p, "END;");
+    Newline (p);
+    pn := pn.next;
+  END;
+END Render;
+
+BEGIN
+  seed := 1998;
+  BuildProgram ();
+  printer := NEW (Printer, len := 0, col := 0, indent := 0,
+                  width := 64, lines := 0);
+  printer.buf := NEW (Chars, 40000);
+  WITH p = printer DO
+    Render (p);
+    PutText ("chars=" & IntToText (p.len));
+    PutText (" lines=" & IntToText (p.lines));
+  END;
+  ASSERT (printer.len > 0);
+  ASSERT (printer.len < NUMBER (printer.buf^));
+END PP.

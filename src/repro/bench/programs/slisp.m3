@@ -1,0 +1,326 @@
+(* slisp — a small lisp interpreter, after the paper's slisp.  The paper
+   notes slisp has the highest heap-load fraction (27%) and keeps the
+   most dynamically redundant loads after RLE: car/cdr chains reload the
+   same cells through different paths, which RLE's lexical APs miss.
+
+   The interpreter supports numbers, interned symbols, pairs, closures
+   and primitives, with QUOTE / IF / LAMBDA / DEFINE special forms.  The
+   workload defines fib and a list-summing loop and runs both. *)
+
+MODULE SLisp;
+
+CONST
+  (* interned symbol ids *)
+  SymQuote  = 1;
+  SymIf     = 2;
+  SymLambda = 3;
+  SymDefine = 4;
+  SymFib    = 10;
+  SymN      = 11;
+  SymIota   = 12;
+  SymSum    = 13;
+  SymLst    = 14;
+  SymK      = 15;
+
+  (* primitive codes *)
+  PrimAdd  = 1;
+  PrimSub  = 2;
+  PrimMul  = 3;
+  PrimLess = 4;
+  PrimCons = 5;
+  PrimCar  = 6;
+  PrimCdr  = 7;
+  PrimNullP = 8;
+
+TYPE
+  Val = OBJECT END;
+
+  Num = Val OBJECT
+    n: INTEGER;
+  END;
+
+  Sym = Val OBJECT
+    id: INTEGER;
+  END;
+
+  Pair = Val OBJECT
+    car, cdr: Val;
+  END;
+
+  Prim = Val OBJECT
+    code: INTEGER;
+  END;
+
+  Env = OBJECT
+    names: Val;    (* list of Sym *)
+    values: Val;   (* list of Val, parallel *)
+    parent: Env;
+  END;
+
+  Closure = Val OBJECT
+    params: Val;   (* list of Sym *)
+    body: Val;
+    env: Env;
+  END;
+
+VAR
+  global: Env;
+  trueVal: Val;
+  steps: INTEGER;
+
+(* ---------- constructors ---------- *)
+
+PROCEDURE MkNum (n: INTEGER): Val =
+BEGIN
+  RETURN NEW (Num, n := n);
+END MkNum;
+
+PROCEDURE MkSym (id: INTEGER): Val =
+BEGIN
+  RETURN NEW (Sym, id := id);
+END MkSym;
+
+PROCEDURE Cons (a, d: Val): Val =
+BEGIN
+  RETURN NEW (Pair, car := a, cdr := d);
+END Cons;
+
+PROCEDURE L1 (a: Val): Val =
+BEGIN
+  RETURN Cons (a, NIL);
+END L1;
+
+PROCEDURE L2 (a, b: Val): Val =
+BEGIN
+  RETURN Cons (a, Cons (b, NIL));
+END L2;
+
+PROCEDURE L3 (a, b, c: Val): Val =
+BEGIN
+  RETURN Cons (a, Cons (b, Cons (c, NIL)));
+END L3;
+
+PROCEDURE L4 (a, b, c, d: Val): Val =
+BEGIN
+  RETURN Cons (a, Cons (b, Cons (c, Cons (d, NIL))));
+END L4;
+
+(* ---------- environments ---------- *)
+
+PROCEDURE Define (e: Env; id: INTEGER; v: Val) =
+BEGIN
+  e.names := Cons (MkSym (id), e.names);
+  e.values := Cons (v, e.values);
+END Define;
+
+PROCEDURE Lookup (e: Env; id: INTEGER): Val =
+VAR names, values: Val;
+BEGIN
+  WHILE e # NIL DO
+    names := e.names;
+    values := e.values;
+    WHILE names # NIL DO
+      IF NARROW (NARROW (names, Pair).car, Sym).id = id THEN
+        RETURN NARROW (values, Pair).car;
+      END;
+      names := NARROW (names, Pair).cdr;
+      values := NARROW (values, Pair).cdr;
+    END;
+    e := e.parent;
+  END;
+  RETURN NIL;
+END Lookup;
+
+PROCEDURE Extend (parent: Env; params, args: Val): Env =
+VAR e: Env;
+BEGIN
+  e := NEW (Env, names := params, values := args, parent := parent);
+  RETURN e;
+END Extend;
+
+(* ---------- evaluator ---------- *)
+
+PROCEDURE EvalList (e: Val; env: Env): Val =
+VAR p: Pair;
+BEGIN
+  IF e = NIL THEN
+    RETURN NIL;
+  END;
+  p := NARROW (e, Pair);
+  RETURN Cons (Eval (p.car, env), EvalList (p.cdr, env));
+END EvalList;
+
+PROCEDURE Apply (f: Val; args: Val): Val =
+VAR
+  prim: Prim;
+  clo: Closure;
+  a, b: Val;
+BEGIN
+  IF ISTYPE (f, Prim) THEN
+    prim := NARROW (f, Prim);
+    a := NARROW (args, Pair).car;
+    IF prim.code = PrimCar THEN
+      RETURN NARROW (a, Pair).car;
+    ELSIF prim.code = PrimCdr THEN
+      RETURN NARROW (a, Pair).cdr;
+    ELSIF prim.code = PrimNullP THEN
+      IF a = NIL THEN
+        RETURN trueVal;
+      END;
+      RETURN NIL;
+    END;
+    b := NARROW (NARROW (args, Pair).cdr, Pair).car;
+    CASE prim.code OF
+    | 1 => RETURN MkNum (NARROW (a, Num).n + NARROW (b, Num).n);
+    | 2 => RETURN MkNum (NARROW (a, Num).n - NARROW (b, Num).n);
+    | 3 => RETURN MkNum (NARROW (a, Num).n * NARROW (b, Num).n);
+    | 4 =>
+        IF NARROW (a, Num).n < NARROW (b, Num).n THEN
+          RETURN trueVal;
+        END;
+        RETURN NIL;
+    | 5 => RETURN Cons (a, b);
+    ELSE
+      RETURN NIL;
+    END;
+  END;
+  clo := NARROW (f, Closure);
+  RETURN Eval (clo.body, Extend (clo.env, clo.params, args));
+END Apply;
+
+PROCEDURE Eval (e: Val; env: Env): Val =
+VAR
+  p: Pair;
+  head: Val;
+  id: INTEGER;
+  f: Val;
+BEGIN
+  steps := steps + 1;
+  IF e = NIL THEN
+    RETURN NIL;
+  END;
+  IF ISTYPE (e, Num) THEN
+    RETURN e;
+  END;
+  IF ISTYPE (e, Sym) THEN
+    RETURN Lookup (env, NARROW (e, Sym).id);
+  END;
+  p := NARROW (e, Pair);
+  head := p.car;
+  IF ISTYPE (head, Sym) THEN
+    id := NARROW (head, Sym).id;
+    IF id = SymQuote THEN
+      RETURN NARROW (p.cdr, Pair).car;
+    ELSIF id = SymIf THEN
+      IF Eval (NARROW (p.cdr, Pair).car, env) # NIL THEN
+        RETURN Eval (NARROW (NARROW (p.cdr, Pair).cdr, Pair).car, env);
+      END;
+      RETURN Eval (
+        NARROW (NARROW (NARROW (p.cdr, Pair).cdr, Pair).cdr, Pair).car, env);
+    ELSIF id = SymLambda THEN
+      RETURN NEW (Closure,
+                  params := NARROW (p.cdr, Pair).car,
+                  body := NARROW (NARROW (p.cdr, Pair).cdr, Pair).car,
+                  env := env);
+    ELSIF id = SymDefine THEN
+      Define (global,
+              NARROW (NARROW (p.cdr, Pair).car, Sym).id,
+              Eval (NARROW (NARROW (p.cdr, Pair).cdr, Pair).car, env));
+      RETURN NIL;
+    END;
+  END;
+  f := Eval (head, env);
+  RETURN Apply (f, EvalList (p.cdr, env));
+END Eval;
+
+(* ---------- workload ---------- *)
+
+PROCEDURE DefinePrim (id, code: INTEGER) =
+BEGIN
+  Define (global, id, NEW (Prim, code := code));
+END DefinePrim;
+
+CONST
+  SymPlus = 20;
+  SymMinus = 21;
+  SymStar = 22;
+  SymLt = 23;
+  SymConsS = 24;
+  SymCarS = 25;
+  SymCdrS = 26;
+  SymNullS = 27;
+
+PROCEDURE Num0 (v: Val): INTEGER =
+BEGIN
+  IF v = NIL THEN
+    RETURN 0 - 1;
+  END;
+  RETURN NARROW (v, Num).n;
+END Num0;
+
+VAR
+  fibDef, sumDef, iotaDef, expr: Val;
+  result: Val;
+
+BEGIN
+  steps := 0;
+  global := NEW (Env, names := NIL, values := NIL, parent := NIL);
+  trueVal := MkNum (1);
+  DefinePrim (SymPlus, PrimAdd);
+  DefinePrim (SymMinus, PrimSub);
+  DefinePrim (SymStar, PrimMul);
+  DefinePrim (SymLt, PrimLess);
+  DefinePrim (SymConsS, PrimCons);
+  DefinePrim (SymCarS, PrimCar);
+  DefinePrim (SymCdrS, PrimCdr);
+  DefinePrim (SymNullS, PrimNullP);
+
+  (* (define fib (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))) *)
+  fibDef :=
+    L3 (MkSym (SymDefine), MkSym (SymFib),
+        L3 (MkSym (SymLambda), L1 (MkSym (SymN)),
+            L4 (MkSym (SymIf),
+                L3 (MkSym (SymLt), MkSym (SymN), MkNum (2)),
+                MkSym (SymN),
+                L3 (MkSym (SymPlus),
+                    L2 (MkSym (SymFib),
+                        L3 (MkSym (SymMinus), MkSym (SymN), MkNum (1))),
+                    L2 (MkSym (SymFib),
+                        L3 (MkSym (SymMinus), MkSym (SymN), MkNum (2)))))));
+  EVAL Eval (fibDef, global);
+
+  (* (define iota (lambda (k) (if (< k 1) (quote ()) (cons k (iota (- k 1)))))) *)
+  iotaDef :=
+    L3 (MkSym (SymDefine), MkSym (SymIota),
+        L3 (MkSym (SymLambda), L1 (MkSym (SymK)),
+            L4 (MkSym (SymIf),
+                L3 (MkSym (SymLt), MkSym (SymK), MkNum (1)),
+                L2 (MkSym (SymQuote), NIL),
+                L3 (MkSym (SymConsS), MkSym (SymK),
+                    L2 (MkSym (SymIota),
+                        L3 (MkSym (SymMinus), MkSym (SymK), MkNum (1)))))));
+  EVAL Eval (iotaDef, global);
+
+  (* (define sum (lambda (lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))) *)
+  sumDef :=
+    L3 (MkSym (SymDefine), MkSym (SymSum),
+        L3 (MkSym (SymLambda), L1 (MkSym (SymLst)),
+            L4 (MkSym (SymIf),
+                L2 (MkSym (SymNullS), MkSym (SymLst)),
+                MkNum (0),
+                L3 (MkSym (SymPlus),
+                    L2 (MkSym (SymCarS), MkSym (SymLst)),
+                    L2 (MkSym (SymSum),
+                        L2 (MkSym (SymCdrS), MkSym (SymLst)))))));
+  EVAL Eval (sumDef, global);
+
+  expr := L2 (MkSym (SymFib), MkNum (11));
+  result := Eval (expr, global);
+  PutText ("fib11=" & IntToText (Num0 (result)));
+
+  expr := L2 (MkSym (SymSum), L2 (MkSym (SymIota), MkNum (40)));
+  result := Eval (expr, global);
+  PutText (" sum40=" & IntToText (Num0 (result)));
+  PutText (" steps=" & IntToText (steps));
+  ASSERT (Num0 (result) = 820);
+END SLisp.

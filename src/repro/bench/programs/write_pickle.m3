@@ -1,0 +1,196 @@
+(* write_pickle — builds a typed AST, writes it to a flat integer pickle,
+   reads it back, and checks the two trees evaluate identically.  Mirrors
+   the paper's write-pickle, which "reads and writes an AST".
+
+   Heap behaviour exercised: a subtype hierarchy traversed with ISTYPE /
+   NARROW, recursive structure walks, a cursor record behind a REF, and
+   an open INTEGER array as the pickle medium. *)
+
+MODULE WritePickle;
+
+CONST
+  TreeDepth = 9;
+  PickleMax = 4096;
+
+  TagNum = 1;
+  TagVar = 2;
+  TagAdd = 3;
+  TagMul = 4;
+  TagNeg = 5;
+
+TYPE
+  Ints = REF ARRAY OF INTEGER;
+
+  Expr = OBJECT END;
+
+  NumExpr = Expr OBJECT
+    value: INTEGER;
+  END;
+
+  VarExpr = Expr OBJECT
+    slot: INTEGER;
+  END;
+
+  BinExpr = Expr OBJECT
+    left, right: Expr;
+  END;
+
+  AddExpr = BinExpr OBJECT END;
+  MulExpr = BinExpr OBJECT END;
+
+  NegExpr = Expr OBJECT
+    operand: Expr;
+  END;
+
+  (* The pickle cursor lives behind a REF RECORD: deref-qualify paths. *)
+  Cursor = REF RECORD
+    data: Ints;
+    pos: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  env: Ints;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN (seed DIV 65536) MOD range;
+END Rand;
+
+(* Build a pseudo-random expression tree of the given depth. *)
+PROCEDURE Build (depth: INTEGER): Expr =
+VAR choice: INTEGER;
+BEGIN
+  IF depth <= 0 THEN
+    IF Rand (2) = 0 THEN
+      RETURN NEW (NumExpr, value := Rand (100));
+    END;
+    RETURN NEW (VarExpr, slot := Rand (8));
+  END;
+  choice := Rand (5);
+  IF choice < 2 THEN
+    RETURN NEW (AddExpr, left := Build (depth - 1), right := Build (depth - 2));
+  ELSIF choice < 4 THEN
+    RETURN NEW (MulExpr, left := Build (depth - 2), right := Build (depth - 1));
+  ELSE
+    RETURN NEW (NegExpr, operand := Build (depth - 1));
+  END;
+END Build;
+
+PROCEDURE PutWord (c: Cursor; w: INTEGER) =
+BEGIN
+  ASSERT (c^.pos < NUMBER (c^.data^));
+  c^.data^[c^.pos] := w;
+  c^.pos := c^.pos + 1;
+END PutWord;
+
+PROCEDURE GetWord (c: Cursor): INTEGER =
+VAR w: INTEGER;
+BEGIN
+  w := c^.data^[c^.pos];
+  c^.pos := c^.pos + 1;
+  RETURN w;
+END GetWord;
+
+(* Serialise pre-order with tags. *)
+PROCEDURE Write (c: Cursor; e: Expr) =
+BEGIN
+  IF ISTYPE (e, NumExpr) THEN
+    PutWord (c, TagNum);
+    PutWord (c, NARROW (e, NumExpr).value);
+  ELSIF ISTYPE (e, VarExpr) THEN
+    PutWord (c, TagVar);
+    PutWord (c, NARROW (e, VarExpr).slot);
+  ELSIF ISTYPE (e, AddExpr) THEN
+    PutWord (c, TagAdd);
+    Write (c, NARROW (e, AddExpr).left);
+    Write (c, NARROW (e, AddExpr).right);
+  ELSIF ISTYPE (e, MulExpr) THEN
+    PutWord (c, TagMul);
+    Write (c, NARROW (e, MulExpr).left);
+    Write (c, NARROW (e, MulExpr).right);
+  ELSE
+    PutWord (c, TagNeg);
+    Write (c, NARROW (e, NegExpr).operand);
+  END;
+END Write;
+
+PROCEDURE Read (c: Cursor): Expr =
+VAR tag: INTEGER; l, r: Expr;
+BEGIN
+  tag := GetWord (c);
+  CASE tag OF
+  | 1 => RETURN NEW (NumExpr, value := GetWord (c));
+  | 2 => RETURN NEW (VarExpr, slot := GetWord (c));
+  | 3 =>
+      l := Read (c);
+      r := Read (c);
+      RETURN NEW (AddExpr, left := l, right := r);
+  | 4 =>
+      l := Read (c);
+      r := Read (c);
+      RETURN NEW (MulExpr, left := l, right := r);
+  ELSE
+    RETURN NEW (NegExpr, operand := Read (c));
+  END;
+END Read;
+
+PROCEDURE Eval (e: Expr): INTEGER =
+BEGIN
+  IF ISTYPE (e, NumExpr) THEN
+    RETURN NARROW (e, NumExpr).value;
+  ELSIF ISTYPE (e, VarExpr) THEN
+    RETURN env^[NARROW (e, VarExpr).slot];
+  ELSIF ISTYPE (e, AddExpr) THEN
+    RETURN (Eval (NARROW (e, AddExpr).left)
+            + Eval (NARROW (e, AddExpr).right)) MOD 1000003;
+  ELSIF ISTYPE (e, MulExpr) THEN
+    RETURN (Eval (NARROW (e, MulExpr).left)
+            * Eval (NARROW (e, MulExpr).right)) MOD 1000003;
+  ELSE
+    RETURN (0 - Eval (NARROW (e, NegExpr).operand)) MOD 1000003;
+  END;
+END Eval;
+
+PROCEDURE CountNodes (e: Expr): INTEGER =
+BEGIN
+  IF ISTYPE (e, BinExpr) THEN
+    RETURN 1 + CountNodes (NARROW (e, BinExpr).left)
+             + CountNodes (NARROW (e, BinExpr).right);
+  ELSIF ISTYPE (e, NegExpr) THEN
+    RETURN 1 + CountNodes (NARROW (e, NegExpr).operand);
+  END;
+  RETURN 1;
+END CountNodes;
+
+VAR
+  tree, reread: Expr;
+  cursor: Cursor;
+  before, after, i: INTEGER;
+
+BEGIN
+  seed := 600673;
+  env := NEW (Ints, 8);
+  FOR i := 0 TO 7 DO
+    env^[i] := 3 * i + 1;
+  END;
+
+  tree := Build (TreeDepth);
+  before := Eval (tree);
+
+  cursor := NEW (Cursor);
+  cursor^.data := NEW (Ints, PickleMax);
+  cursor^.pos := 0;
+  Write (cursor, tree);
+  PutText ("pickled=" & IntToText (cursor^.pos));
+
+  cursor^.pos := 0;
+  reread := Read (cursor);
+  after := Eval (reread);
+
+  PutText (" nodes=" & IntToText (CountNodes (reread)));
+  PutText (" value=" & IntToText (after));
+  ASSERT (before = after);
+  ASSERT (CountNodes (tree) = CountNodes (reread));
+END WritePickle.

@@ -1,0 +1,68 @@
+"""Benchmark registry: the reproduction of the paper's Table 4 suite.
+
+Each paper benchmark has a MiniM3 re-implementation under ``programs/``.
+``dom`` and ``postcard`` are *static-only*, as in the paper (Table 4
+gives no dynamic numbers for them); they still run, but the dynamic
+figures skip them.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Metadata for one suite member."""
+
+    name: str            #: paper benchmark name (e.g. "write-pickle")
+    filename: str        #: source under programs/
+    description: str     #: the paper's one-line description
+    dynamic: bool        #: False for the paper's static-only programs
+
+
+BENCHMARKS: List[BenchmarkInfo] = [
+    BenchmarkInfo("format", "format.m3", "Text formatter", True),
+    BenchmarkInfo("dformat", "dformat.m3", "Text formatter", True),
+    BenchmarkInfo("write-pickle", "write_pickle.m3", "Reads and writes an AST", True),
+    BenchmarkInfo("k-tree", "k_tree.m3", "Manages sequences using trees", True),
+    BenchmarkInfo("slisp", "slisp.m3", "Small lisp interpreter", True),
+    BenchmarkInfo("pp", "pp.m3", "Pretty printer for Modula-3 programs", True),
+    BenchmarkInfo("dom", "dom.m3", "System for building distributed applications", False),
+    BenchmarkInfo("postcard", "postcard.m3", "Graphical mail reader", False),
+    BenchmarkInfo("m2tom3", "m2tom3.m3", "Converts Modula-2 code to Modula-3", True),
+    BenchmarkInfo("m3cg", "m3cg.m3", "M3 code generator + extensions", True),
+]
+
+_BY_NAME: Dict[str, BenchmarkInfo] = {b.name: b for b in BENCHMARKS}
+
+DYNAMIC_BENCHMARKS: List[BenchmarkInfo] = [b for b in BENCHMARKS if b.dynamic]
+
+_PROGRAM_DIR = os.path.join(os.path.dirname(__file__), "programs")
+
+
+def benchmark_names() -> List[str]:
+    return [b.name for b in BENCHMARKS]
+
+
+def dynamic_benchmark_names() -> List[str]:
+    return [b.name for b in DYNAMIC_BENCHMARKS]
+
+
+def info(name: str) -> BenchmarkInfo:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            "unknown benchmark {!r}; known: {}".format(name, benchmark_names())
+        )
+
+
+def source_path(name: str) -> str:
+    return os.path.join(_PROGRAM_DIR, info(name).filename)
+
+
+def load_source(name: str) -> str:
+    """Read the MiniM3 source of benchmark *name*."""
+    with open(source_path(name)) as f:
+        return f.read()

@@ -1,0 +1,131 @@
+"""Suite driver: compile once, optimize/run per configuration, cache.
+
+The figures re-run the same programs under several configurations (base,
+three TBAA levels, open world, Minv+Inlining combos); the suite memoises
+compiled programs and execution results so each (benchmark, config) pair
+is computed once per process.
+"""
+
+from typing import Dict, Optional, Tuple
+
+from repro import Program, compile_program
+from repro.bench import registry
+from repro.opt.pipeline import PipelineResult
+from repro.runtime import ExecutionStats, Interpreter, LimitStudy, MachineModel, RedundancyReport
+
+
+class RunConfig:
+    """One named optimization configuration."""
+
+    def __init__(
+        self,
+        analysis: Optional[str] = None,  # None = no RLE
+        minv_inline: bool = False,
+        open_world: bool = False,
+        hoist: bool = True,
+        see_dope_loads: bool = False,
+        copyprop: bool = False,
+        pre: bool = False,
+    ):
+        self.analysis = analysis
+        self.minv_inline = minv_inline
+        self.open_world = open_world
+        self.hoist = hoist
+        self.see_dope_loads = see_dope_loads
+        self.copyprop = copyprop
+        self.pre = pre
+
+    def key(self) -> Tuple:
+        return (
+            self.analysis,
+            self.minv_inline,
+            self.open_world,
+            self.hoist,
+            self.see_dope_loads,
+            self.copyprop,
+            self.pre,
+        )
+
+    @property
+    def is_base(self) -> bool:
+        return (
+            self.analysis is None
+            and not self.minv_inline
+            and not self.copyprop
+        )
+
+    def __repr__(self) -> str:
+        return "<RunConfig {}>".format(self.key())
+
+
+BASE = RunConfig()
+
+
+class BenchmarkSuite:
+    """Caching driver over the registered benchmarks."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[str, Program] = {}
+        self._pipelines: Dict[Tuple[str, Tuple], PipelineResult] = {}
+        self._runs: Dict[Tuple[str, Tuple], ExecutionStats] = {}
+        self._limits: Dict[Tuple[str, Tuple], RedundancyReport] = {}
+
+    # ------------------------------------------------------------------
+
+    def program(self, name: str) -> Program:
+        prog = self._programs.get(name)
+        if prog is None:
+            prog = compile_program(registry.load_source(name), name)
+            self._programs[name] = prog
+        return prog
+
+    def build(self, name: str, config: RunConfig = BASE) -> PipelineResult:
+        key = (name, config.key())
+        result = self._pipelines.get(key)
+        if result is None:
+            program = self.program(name)
+            if config.is_base:
+                result = program.base()
+            else:
+                result = program.pipeline.build(
+                    analysis=config.analysis,
+                    rle=config.analysis is not None,
+                    minv_inline=config.minv_inline,
+                    open_world=config.open_world,
+                    hoist=config.hoist,
+                    see_dope_loads=config.see_dope_loads,
+                    copyprop=config.copyprop,
+                    pre=config.pre,
+                )
+            self._pipelines[key] = result
+        return result
+
+    def run(self, name: str, config: RunConfig = BASE) -> ExecutionStats:
+        """Execute under the machine model; cached per configuration."""
+        key = (name, config.key())
+        stats = self._runs.get(key)
+        if stats is None:
+            result = self.build(name, config)
+            interp = Interpreter(result.program, machine=MachineModel())
+            stats = interp.run()
+            self._runs[key] = stats
+        return stats
+
+    def limit_study(self, name: str, config: RunConfig = BASE) -> RedundancyReport:
+        """Dynamic redundancy measurement (no machine model: traces only)."""
+        key = (name, config.key())
+        report = self._limits.get(key)
+        if report is None:
+            result = self.build(name, config)
+            study = LimitStudy(result.program, result.load_status)
+            report = study.run()
+            self._limits[key] = report
+        return report
+
+    # ------------------------------------------------------------------
+
+    def relative_time(self, name: str, config: RunConfig) -> float:
+        """Simulated time of *config* relative to base (1.0 = no change)."""
+        base_cycles = self.run(name, BASE).cycles
+        opt_cycles = self.run(name, config).cycles
+        return opt_cycles / base_cycles if base_cycles else 1.0

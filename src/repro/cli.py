@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``check FILE``   — parse and type-check a MiniM3 module;
+* ``ir FILE``      — dump the (optionally optimized) IR;
+* ``run FILE``     — execute on the simulated machine, print output/stats;
+* ``alias FILE``   — static alias-pair report under each analysis;
+* ``limit FILE``   — dynamic redundancy limit study (Figures 9/10 style);
+* ``bench NAME``   — run one registered paper benchmark;
+* ``tables``       — regenerate the paper's tables/figures (slow).
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import CompileError, compile_program
+from repro.analysis import ANALYSIS_NAMES, AliasPairCounter
+from repro.ir.printer import format_program
+from repro.runtime.limit import Category
+from repro.util.tables import render_table
+
+
+def _load(path: str):
+    with open(path) as f:
+        source = f.read()
+    return compile_program(source, path)
+
+
+def _optimize(program, args):
+    if args.analysis is None and not getattr(args, "minv_inline", False):
+        return program.base()
+    return program.pipeline.build(
+        analysis=args.analysis or "SMFieldTypeRefs",
+        rle=args.analysis is not None,
+        minv_inline=getattr(args, "minv_inline", False),
+        open_world=getattr(args, "open_world", False),
+        copyprop=getattr(args, "copyprop", False),
+        pre=getattr(args, "pre", False),
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+
+
+def cmd_check(args) -> int:
+    program = _load(args.file)
+    checked = program.checked
+    print("module {}: OK".format(checked.name))
+    print("  types     : {}".format(len(checked.named_types)))
+    print("  objects   : {}".format(len(checked.object_types()) - 1))  # minus ROOT
+    print("  globals   : {}".format(len(checked.globals)))
+    print("  procedures: {}".format(len(checked.proc_order) - 1))  # minus main
+    return 0
+
+
+def cmd_ir(args) -> int:
+    program = _load(args.file)
+    result = _optimize(program, args)
+    print(format_program(result.program))
+    if result.rle is not None:
+        print(
+            "\n; RLE: {} loads eliminated, {} paths hoisted".format(
+                result.rle.eliminated_loads, result.rle.hoisted_paths
+            )
+        )
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load(args.file)
+    result = _optimize(program, args)
+    stats = program.run(result)
+    sys.stdout.write(stats.output_text())
+    if not stats.output_text().endswith("\n"):
+        print()
+    if args.stats:
+        print("--- execution statistics ---", file=sys.stderr)
+        print("instructions : {}".format(stats.instructions), file=sys.stderr)
+        print("heap loads   : {}".format(stats.heap_loads), file=sys.stderr)
+        print("other loads  : {}".format(stats.other_loads), file=sys.stderr)
+        print("heap stores  : {}".format(stats.heap_stores), file=sys.stderr)
+        print("calls        : {}".format(stats.calls), file=sys.stderr)
+        print("cycles       : {}".format(stats.cycles), file=sys.stderr)
+    return 0
+
+
+def cmd_alias(args) -> int:
+    program = _load(args.file)
+    base = program.base()
+    rows = []
+    for name in ANALYSIS_NAMES:
+        analysis = program.analysis(name, open_world=args.open_world)
+        report = AliasPairCounter(base.program, analysis).count()
+        rows.append(
+            [name, report.references, report.local_pairs, report.global_pairs]
+        )
+    print(
+        render_table(
+            ["Analysis", "References", "Local pairs", "Global pairs"],
+            rows,
+            title="Alias pairs for {}".format(program.name),
+        )
+    )
+    return 0
+
+
+def cmd_limit(args) -> int:
+    program = _load(args.file)
+    before = program.limit_study(program.base())
+    optimized = program.pipeline.build(analysis=args.analysis or "SMFieldTypeRefs")
+    after = program.limit_study(optimized)
+    print("heap loads            : {}".format(before.total_heap_loads))
+    print("redundant (original)  : {} ({:.1%})".format(
+        before.redundant_loads, before.redundant_fraction))
+    print("redundant (after RLE) : {} ({:.1%})".format(
+        after.redundant_loads, after.redundant_fraction))
+    print("residue classification:")
+    for category in Category:
+        print("  {:14} {}".format(category.value, after.by_category[category]))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import registry
+    from repro.bench.suite import BenchmarkSuite, RunConfig
+
+    suite = BenchmarkSuite()
+    names = [args.name] if args.name else registry.benchmark_names()
+    rows = []
+    for name in names:
+        base = suite.run(name)
+        config = RunConfig(analysis=args.analysis or "SMFieldTypeRefs")
+        opt = suite.run(name, config)
+        rows.append(
+            [
+                name,
+                base.instructions,
+                base.heap_loads,
+                opt.heap_loads,
+                round(100.0 * opt.cycles / base.cycles, 1),
+            ]
+        )
+    print(
+        render_table(
+            ["Benchmark", "Instructions", "Heap loads", "After RLE", "% time"],
+            rows,
+            title="Benchmark summary (RLE[{}])".format(args.analysis or "SMFieldTypeRefs"),
+        )
+    )
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.bench import tables
+    from repro.bench.suite import BenchmarkSuite
+
+    suite = BenchmarkSuite()
+    generators = {
+        "table4": tables.table4,
+        "table5": tables.table5,
+        "table6": tables.table6,
+        "figure8": tables.figure8,
+        "figure9": tables.figure9,
+        "figure10": tables.figure10,
+        "figure11": tables.figure11,
+        "figure12": tables.figure12,
+    }
+    wanted = args.which or list(generators)
+    for key in wanted:
+        if key not in generators:
+            print("unknown table {!r}; known: {}".format(key, sorted(generators)))
+            return 2
+        print(generators[key](suite).text)
+        print()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+
+
+def _add_opt_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--analysis",
+        choices=ANALYSIS_NAMES,
+        default=None,
+        help="run RLE under this TBAA level",
+    )
+    parser.add_argument("--minv-inline", action="store_true",
+                        help="devirtualize and inline before RLE")
+    parser.add_argument("--open-world", action="store_true",
+                        help="assume unavailable code exists (Section 4)")
+    parser.add_argument("--copyprop", action="store_true",
+                        help="enable the copy-propagation extension")
+    parser.add_argument("--pre", action="store_true",
+                        help="enable the PRE-of-loads extension")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Type-Based Alias Analysis (PLDI 1998) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse and type-check a MiniM3 file")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("ir", help="dump (optionally optimized) IR")
+    p.add_argument("file")
+    _add_opt_flags(p)
+    p.set_defaults(func=cmd_ir)
+
+    p = sub.add_parser("run", help="execute on the simulated machine")
+    p.add_argument("file")
+    p.add_argument("--stats", action="store_true", help="print counters to stderr")
+    _add_opt_flags(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("alias", help="static alias-pair report")
+    p.add_argument("file")
+    p.add_argument("--open-world", action="store_true")
+    p.set_defaults(func=cmd_alias)
+
+    p = sub.add_parser("limit", help="dynamic redundancy limit study")
+    p.add_argument("file")
+    p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None)
+    p.set_defaults(func=cmd_limit)
+
+    p = sub.add_parser("bench", help="run registered paper benchmarks")
+    p.add_argument("name", nargs="?", default=None)
+    p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
+    p.add_argument("which", nargs="*", default=None,
+                   help="e.g. table5 figure8 (default: all)")
+    p.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CompileError as err:
+        print("error: {}".format(err), file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print("error: {}".format(err), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,334 @@
+"""Access paths (APs) — the unit TBAA and RLE reason about.
+
+Table 1 of the paper defines three memory-reference constructors:
+
+=========  ===========  =======================================
+Notation   Name         Meaning
+=========  ===========  =======================================
+``p.f``    Qualify      access field ``f`` of object/record ``p``
+``p^``     Dereference  dereference pointer ``p``
+``p[i]``   Subscript    array ``p`` with subscript ``i``
+=========  ===========  =======================================
+
+An AP is a non-empty string of these over a variable root, e.g.
+``a.b^[i].c``.  This module represents APs as immutable trees:
+
+* :class:`VarRoot` — a program variable (not itself a memory reference);
+* :class:`Qualify` / :class:`Deref` / :class:`Subscript` — the three
+  reference constructors.
+
+Two distinct equality notions coexist:
+
+* **structural identity** (``==``) — same constructors over the same root
+  symbols and, for subscripts, the same lexical index term.  RLE uses this
+  to recognise "the same load again" (case 1 of Table 2 is ``p ≡ p``).
+* **may-alias** — decided by the analyses in :mod:`repro.analysis`, which
+  pattern-match on the constructor pairs exactly as Table 2 prescribes.
+
+Subscript indices carry a lexical term (:class:`ConstIndex`,
+:class:`VarIndex`, or :class:`UnknownIndex` for anything more complex)
+because RLE must distinguish ``t[i]`` from ``t[j]`` (Figure 7 of the
+paper), while the alias analyses deliberately ignore the subscript
+(Table 2, case 6).
+"""
+
+import itertools
+from typing import FrozenSet, List, Optional, Union
+
+from repro.lang.symtab import Symbol
+from repro.lang.types import ObjectType, Type
+
+# ----------------------------------------------------------------------
+# Index terms for Subscript
+
+
+class IndexTerm:
+    """Lexical description of a subscript expression."""
+
+    def root_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+
+class ConstIndex(IndexTerm):
+    """A compile-time constant subscript, e.g. ``a[0]``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstIndex) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const-index", self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class VarIndex(IndexTerm):
+    """A plain-variable subscript, e.g. ``a[i]``."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: Symbol):
+        self.symbol = symbol
+
+    def root_symbols(self) -> FrozenSet[Symbol]:
+        return frozenset((self.symbol,))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VarIndex) and other.symbol is self.symbol
+
+    def __hash__(self) -> int:
+        return hash(("var-index", self.symbol.uid))
+
+    def __str__(self) -> str:
+        return self.symbol.name
+
+
+_unknown_counter = itertools.count()
+
+
+class UnknownIndex(IndexTerm):
+    """A subscript too complex to name lexically; never equal to another.
+
+    Each occurrence gets a unique serial so ``a[f(x)]`` is not considered
+    the same location as the next ``a[f(x)]`` — conservative for RLE,
+    irrelevant for aliasing (which ignores indices anyway).
+    """
+
+    __slots__ = ("serial",)
+
+    def __init__(self) -> None:
+        self.serial = next(_unknown_counter)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnknownIndex) and other.serial == self.serial
+
+    def __hash__(self) -> int:
+        return hash(("unknown-index", self.serial))
+
+    def __str__(self) -> str:
+        return "?"
+
+
+# ----------------------------------------------------------------------
+# Access paths
+
+
+class AccessPath:
+    """Base class: an AP node with a static type (``Type(p)``)."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type: Type):
+        self.type = type
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def base(self) -> Optional["AccessPath"]:
+        """The AP this one is built on (None for roots)."""
+        return None
+
+    def root(self) -> "AccessPath":
+        """The root at the bottom of the path (VarRoot or FreshRoot)."""
+        node: AccessPath = self
+        while node.base is not None:
+            node = node.base
+        return node
+
+    def root_symbols(self) -> FrozenSet[Symbol]:
+        """All symbols this path lexically depends on (root + indices).
+
+        An assignment to any of these changes what the path denotes, so
+        RLE kills availability of the AP when one is redefined.
+        """
+        symbols: List[Symbol] = []
+        node: Optional[AccessPath] = self
+        while node is not None:
+            if isinstance(node, VarRoot):
+                symbols.append(node.symbol)
+            elif isinstance(node, Subscript):
+                symbols.extend(node.index.root_symbols())
+            node = node.base
+        return frozenset(symbols)
+
+    def depth(self) -> int:
+        """Number of reference constructors in the path."""
+        count, node = 0, self
+        while node.base is not None:
+            count += 1
+            node = node.base
+        return count
+
+    def is_memory_reference(self) -> bool:
+        """True for Qualify/Deref/Subscript; False for a bare variable."""
+        return not isinstance(self, VarRoot)
+
+
+class VarRoot(AccessPath):
+    """The variable at the root of a path.
+
+    ``is_handle`` marks roots that denote a *location handle* — a VAR
+    parameter or a WITH binding to a designator.  Reads through a handle
+    are represented as ``Deref(VarRoot(handle))``, exactly how the paper
+    treats pass-by-reference formals (its revised AddressTaken in
+    Section 4 talks about "pass-by-reference formals" aliasing qualified
+    and subscripted expressions through dereferences).
+    """
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: Symbol):
+        assert symbol.type is not None
+        super().__init__(symbol.type)
+        self.symbol = symbol
+
+    @property
+    def is_handle(self) -> bool:
+        return self.symbol.by_reference or (
+            self.symbol.kind == "with" and self.symbol.binds_location
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VarRoot) and other.symbol is self.symbol
+
+    def __hash__(self) -> int:
+        return hash(("var", self.symbol.uid))
+
+    def __str__(self) -> str:
+        return self.symbol.name
+
+
+class FreshRoot(AccessPath):
+    """An anonymous root for paths based on non-designator expressions.
+
+    ``NEW(T).f`` or ``Make().f`` root their paths in the value of a
+    compiler temporary; the paper's compiler would bind it to a fresh
+    variable.  Fresh roots are never lexically equal to anything else,
+    and alias queries treat them like variables of their static type
+    (Table 2 falls through to case 7, TypeDecl).
+    """
+
+    __slots__ = ("serial",)
+
+    def __init__(self, type: Type):
+        super().__init__(type)
+        self.serial = next(_unknown_counter)
+
+    @property
+    def is_handle(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FreshRoot) and other.serial == self.serial
+
+    def __hash__(self) -> int:
+        return hash(("fresh", self.serial))
+
+    def __str__(self) -> str:
+        return "<tmp{}:{}>".format(self.serial, self.type.name)
+
+
+class Qualify(AccessPath):
+    """``p.f`` — field access.  ``owner`` is the type declaring ``f``."""
+
+    __slots__ = ("_base", "field", "owner")
+
+    def __init__(self, base: AccessPath, field: str, field_type: Type,
+                 owner: Optional[ObjectType] = None):
+        super().__init__(field_type)
+        self._base = base
+        self.field = field
+        self.owner = owner
+
+    @property
+    def base(self) -> AccessPath:
+        return self._base
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Qualify)
+            and other.field == self.field
+            and other._base == self._base
+        )
+
+    def __hash__(self) -> int:
+        return hash(("qualify", self.field, self._base))
+
+    def __str__(self) -> str:
+        return "{}.{}".format(self._base, self.field)
+
+
+class Deref(AccessPath):
+    """``p^`` — pointer dereference."""
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: AccessPath, target_type: Type):
+        super().__init__(target_type)
+        self._base = base
+
+    @property
+    def base(self) -> AccessPath:
+        return self._base
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Deref) and other._base == self._base
+
+    def __hash__(self) -> int:
+        return hash(("deref", self._base))
+
+    def __str__(self) -> str:
+        return "{}^".format(self._base)
+
+
+class Subscript(AccessPath):
+    """``p[i]`` — array subscript with a lexical index term."""
+
+    __slots__ = ("_base", "index")
+
+    def __init__(self, base: AccessPath, index: IndexTerm, element_type: Type):
+        super().__init__(element_type)
+        self._base = base
+        self.index = index
+
+    @property
+    def base(self) -> AccessPath:
+        return self._base
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Subscript)
+            and other.index == self.index
+            and other._base == self._base
+        )
+
+    def __hash__(self) -> int:
+        return hash(("subscript", self.index, self._base))
+
+    def __str__(self) -> str:
+        return "{}[{}]".format(self._base, self.index)
+
+
+APIndex = Union[ConstIndex, VarIndex, UnknownIndex]
+
+
+def strip_index(ap: AccessPath) -> AccessPath:
+    """Return *ap* with every subscript index replaced by a fixed marker.
+
+    The alias analyses ignore subscripts (Table 2, case 6); canonicalising
+    indices lets them use hash-based pair caching.
+    """
+    if isinstance(ap, (VarRoot, FreshRoot)):
+        return ap
+    if isinstance(ap, Qualify):
+        return Qualify(strip_index(ap.base), ap.field, ap.type, ap.owner)
+    if isinstance(ap, Deref):
+        return Deref(strip_index(ap.base), ap.type)
+    if isinstance(ap, Subscript):
+        return Subscript(strip_index(ap.base), ConstIndex(0), ap.type)
+    raise TypeError("not an access path: {!r}".format(ap))

@@ -1,0 +1,83 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+The load hoister needs dominance twice: a hoist candidate must be
+"executed on every iteration of the loop" (the paper's wording), which we
+check as *the load's block dominates every back-edge source of the loop*,
+and preheader insertion must know the loop header's dominator structure.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import BasicBlock, ProcIR
+
+
+class DominatorTree:
+    """Immediate-dominator tree for one procedure's CFG."""
+
+    def __init__(self, proc: ProcIR):
+        self.proc = proc
+        self.blocks = proc.blocks()  # reverse postorder
+        self._rpo_index: Dict[BasicBlock, int] = {
+            block: i for i, block in enumerate(self.blocks)
+        }
+        self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        entry = self.proc.entry
+        preds = self.proc.predecessors()
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in self.blocks}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block is entry:
+                    continue
+                processed = [p for p in preds[block] if idom.get(p) is not None]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for other in processed[1:]:
+                    new_idom = self._intersect(new_idom, other, idom)
+                if idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        idom[entry] = None  # the entry has no immediate dominator
+        self.idom = idom
+
+    def _intersect(
+        self,
+        a: BasicBlock,
+        b: BasicBlock,
+        idom: Dict[BasicBlock, Optional[BasicBlock]],
+    ) -> BasicBlock:
+        index = self._rpo_index
+        while a is not b:
+            while index[a] > index[b]:
+                parent = idom[a]
+                assert parent is not None
+                a = parent
+            while index[b] > index[a]:
+                parent = idom[b]
+                assert parent is not None
+                b = parent
+        return a
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True iff *a* dominates *b* (reflexively)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def dominators_of(self, block: BasicBlock) -> List[BasicBlock]:
+        """All dominators of *block*, from itself up to the entry."""
+        chain: List[BasicBlock] = []
+        node: Optional[BasicBlock] = block
+        while node is not None:
+            chain.append(node)
+            node = self.idom.get(node)
+        return chain

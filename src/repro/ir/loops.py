@@ -1,0 +1,74 @@
+"""Natural-loop detection.
+
+RLE's loop-invariant load motion (the paper's Figure 6) works on natural
+loops: a back edge ``latch -> header`` where ``header`` dominates
+``latch``, plus every block that can reach the latch without passing
+through the header.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.cfg import BasicBlock, ProcIR
+from repro.ir.dominators import DominatorTree
+
+
+class NaturalLoop:
+    """One natural loop: header, latches (back-edge sources), body set."""
+
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.latches: List[BasicBlock] = []
+        self.body: Set[BasicBlock] = {header}
+
+    @property
+    def blocks(self) -> Set[BasicBlock]:
+        return self.body
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.body
+
+    def exit_edges(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """(from_block, to_block) edges leaving the loop."""
+        edges = []
+        for block in self.body:
+            for succ in block.successors():
+                if succ not in self.body:
+                    edges.append((block, succ))
+        return edges
+
+    def __repr__(self) -> str:
+        return "<NaturalLoop header={} blocks={}>".format(
+            self.header.name, len(self.body)
+        )
+
+
+def find_natural_loops(proc: ProcIR, domtree: DominatorTree) -> List[NaturalLoop]:
+    """All natural loops of *proc*; loops sharing a header are merged.
+
+    Returned innermost-first (by body size ascending), the order the
+    hoister processes them so inner-loop hoists happen before outer ones.
+    """
+    preds = proc.predecessors()
+    loops: Dict[BasicBlock, NaturalLoop] = {}
+    for block in proc.blocks():
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                loop = loops.setdefault(succ, NaturalLoop(succ))
+                loop.latches.append(block)
+                _grow(loop, block, preds)
+    return sorted(loops.values(), key=lambda l: len(l.body))
+
+
+def _grow(
+    loop: NaturalLoop,
+    latch: BasicBlock,
+    preds: Dict[BasicBlock, List[BasicBlock]],
+) -> None:
+    """Add to *loop* every block reaching *latch* without the header."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if block in loop.body:
+            continue
+        loop.body.add(block)
+        stack.extend(preds.get(block, []))

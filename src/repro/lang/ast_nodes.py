@@ -1,0 +1,350 @@
+"""Abstract syntax tree for MiniM3.
+
+The parser builds these nodes; the type checker annotates expressions with
+``.type`` (a :class:`repro.lang.types.Type`) and resolves names.  Nodes are
+plain dataclasses — the compiler passes are written as external visitors,
+keeping the tree itself free of behaviour.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang.errors import SourceLocation
+from repro.lang.types import Type
+
+
+# ----------------------------------------------------------------------
+# Base classes
+
+
+@dataclass
+class Node:
+    loc: SourceLocation
+
+
+@dataclass
+class Expr(Node):
+    """Base of all expressions.  ``type`` is filled in by the checker."""
+
+    type: Optional[Type] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Type expressions (syntactic; resolved to repro.lang.types by the checker)
+
+
+@dataclass
+class TypeExpr(Node):
+    pass
+
+
+@dataclass
+class NamedTypeExpr(TypeExpr):
+    name: str
+
+
+@dataclass
+class RefTypeExpr(TypeExpr):
+    target: TypeExpr
+    brand: Optional[str] = None
+
+
+@dataclass
+class ArrayTypeExpr(TypeExpr):
+    element: TypeExpr
+    length: Optional[int] = None  # None = open array
+
+
+@dataclass
+class RecordTypeExpr(TypeExpr):
+    fields: List[Tuple[str, TypeExpr]] = field(default_factory=list)
+
+
+@dataclass
+class MethodDeclExpr(Node):
+    name: str
+    params: List["ParamDecl"]
+    result: Optional[TypeExpr]
+    default_impl: Optional[str]
+
+
+@dataclass
+class ObjectTypeExpr(TypeExpr):
+    supertype: Optional[TypeExpr]  # None means ROOT
+    fields: List[Tuple[str, TypeExpr]] = field(default_factory=list)
+    methods: List[MethodDeclExpr] = field(default_factory=list)
+    overrides: List[Tuple[str, str]] = field(default_factory=list)
+    brand: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class CharLit(Expr):
+    value: str
+
+
+@dataclass
+class TextLit(Expr):
+    value: str
+
+
+@dataclass
+class NilLit(Expr):
+    pass
+
+
+@dataclass
+class NameRef(Expr):
+    """A reference to a variable, constant, parameter or procedure name."""
+
+    name: str
+    # Filled by the checker: 'var', 'const', 'proc', 'with'
+    symbol_kind: Optional[str] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class FieldRef(Expr):
+    """Qualification ``p.f`` (Table 1 of the paper: Qualify)."""
+
+    obj: Expr
+    field_name: str
+
+
+@dataclass
+class DerefExpr(Expr):
+    """Dereference ``p^`` (Table 1: Dereference)."""
+
+    pointer: Expr
+
+
+@dataclass
+class IndexExpr(Expr):
+    """Subscript ``p[i]`` (Table 1: Subscript)."""
+
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    """``f(args)`` — procedure call, method call (``p.m(args)``) or a
+    builtin; the checker sets ``call_kind`` to one of 'proc', 'method',
+    'builtin'."""
+
+    callee: Expr
+    args: List[Expr]
+    call_kind: Optional[str] = field(default=None, init=False, repr=False)
+    builtin_name: Optional[str] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class NewExpr(Expr):
+    """``NEW(T)``, ``NEW(T, n)`` for open arrays, or ``NEW(T, f := e, ...)``
+    with object field initialisers."""
+
+    type_expr: TypeExpr
+    size: Optional[Expr] = None
+    field_inits: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # one of + - * DIV MOD & = # < <= > >= AND OR
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # one of - NOT
+    operand: Expr
+
+
+@dataclass
+class IsTypeExpr(Expr):
+    """``ISTYPE(e, T)`` — runtime type test."""
+
+    operand: Expr
+    type_expr: TypeExpr
+    target_type: Optional[Type] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class NarrowExpr(Expr):
+    """``NARROW(e, T)`` — checked downcast."""
+
+    operand: Expr
+    type_expr: TypeExpr
+    target_type: Optional[Type] = field(default=None, init=False, repr=False)
+
+
+# ----------------------------------------------------------------------
+# Statements
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr  # a designator: NameRef / FieldRef / DerefExpr / IndexExpr
+    value: Expr
+
+
+@dataclass
+class CallStmt(Stmt):
+    call: CallExpr
+
+
+@dataclass
+class EvalStmt(Stmt):
+    """``EVAL e`` — evaluate for effect, discard the value."""
+
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    # arms: list of (condition, body); final else body may be empty
+    arms: List[Tuple[Expr, List[Stmt]]]
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class RepeatStmt(Stmt):
+    body: List[Stmt]
+    until: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class LoopStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExitStmt(Stmt):
+    pass
+
+
+@dataclass
+class ForStmt(Stmt):
+    var: str
+    lo: Expr
+    hi: Expr
+    by: Optional[Expr]
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class WithBinding(Node):
+    """One ``name = expr`` binding of a WITH statement.
+
+    When the bound expression is a designator, the binding aliases the
+    *location* (Modula-3 semantics) — this is the second address-taking
+    construct tracked by AddressTaken.  ``binds_location`` is set by the
+    checker.
+    """
+
+    name: str
+    expr: Expr
+    binds_location: bool = field(default=False, init=False)
+
+
+@dataclass
+class WithStmt(Stmt):
+    bindings: List[WithBinding]
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CaseArm(Node):
+    labels: List[Expr]  # integer/char constant expressions
+    body: List[Stmt]
+
+
+@dataclass
+class CaseStmt(Stmt):
+    selector: Expr
+    arms: List[CaseArm]
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str
+    mode: str  # 'value' | 'var' | 'readonly'
+    type_expr: TypeExpr
+
+
+@dataclass
+class VarDecl(Node):
+    names: List[str]
+    type_expr: TypeExpr
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ConstDecl(Node):
+    name: str
+    value: Expr
+
+
+@dataclass
+class TypeDecl(Node):
+    name: str
+    type_expr: TypeExpr
+
+
+@dataclass
+class ProcDecl(Node):
+    name: str
+    params: List[ParamDecl]
+    result: Optional[TypeExpr]
+    local_vars: List[VarDecl] = field(default_factory=list)
+    local_consts: List[ConstDecl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Module(Node):
+    name: str
+    type_decls: List[TypeDecl] = field(default_factory=list)
+    const_decls: List[ConstDecl] = field(default_factory=list)
+    var_decls: List[VarDecl] = field(default_factory=list)
+    proc_decls: List[ProcDecl] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+def is_designator(expr: Expr) -> bool:
+    """True if *expr* denotes a location (can be assigned / passed VAR)."""
+    return isinstance(expr, (NameRef, FieldRef, DerefExpr, IndexExpr))

@@ -1,0 +1,102 @@
+"""Generic traversal helpers over the checked AST.
+
+The alias analyses are *source-level* (they consume declared types,
+assignments and address-taking constructs), so they walk the typed AST
+rather than the IR.  This module centralises the traversal so each
+analysis only writes its pattern match.
+"""
+
+from typing import Iterator, List, Tuple
+
+from repro.lang import ast_nodes as ast
+
+
+def walk_stmts(stmts: List[ast.Stmt]) -> Iterator[ast.Stmt]:
+    """Yield every statement in *stmts*, recursively, pre-order."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, ast.IfStmt):
+            for _, body in stmt.arms:
+                yield from walk_stmts(body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, (ast.RepeatStmt, ast.LoopStmt, ast.ForStmt, ast.WithStmt)):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, ast.CaseStmt):
+            for arm in stmt.arms:
+                yield from walk_stmts(arm.body)
+            yield from walk_stmts(stmt.else_body)
+
+
+def stmt_exprs(stmt: ast.Stmt) -> Iterator[ast.Expr]:
+    """Yield the expressions *directly* contained in one statement."""
+    if isinstance(stmt, ast.AssignStmt):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, ast.CallStmt):
+        yield stmt.call
+    elif isinstance(stmt, ast.EvalStmt):
+        yield stmt.expr
+    elif isinstance(stmt, ast.IfStmt):
+        for cond, _ in stmt.arms:
+            yield cond
+    elif isinstance(stmt, ast.WhileStmt):
+        yield stmt.cond
+    elif isinstance(stmt, ast.RepeatStmt):
+        yield stmt.until
+    elif isinstance(stmt, ast.ForStmt):
+        yield stmt.lo
+        yield stmt.hi
+        if stmt.by is not None:
+            yield stmt.by
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, ast.WithStmt):
+        for binding in stmt.bindings:
+            yield binding.expr
+    elif isinstance(stmt, ast.CaseStmt):
+        yield stmt.selector
+        for arm in stmt.arms:
+            for label in arm.labels:
+                yield label
+
+
+def walk_exprs(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield *expr* and every sub-expression, pre-order."""
+    yield expr
+    if isinstance(expr, ast.FieldRef):
+        yield from walk_exprs(expr.obj)
+    elif isinstance(expr, ast.DerefExpr):
+        yield from walk_exprs(expr.pointer)
+    elif isinstance(expr, ast.IndexExpr):
+        yield from walk_exprs(expr.array)
+        yield from walk_exprs(expr.index)
+    elif isinstance(expr, ast.CallExpr):
+        # Method callees contribute their receiver; plain NameRef callees
+        # are not value expressions.
+        if isinstance(expr.callee, ast.FieldRef):
+            yield from walk_exprs(expr.callee.obj)
+        for arg in expr.args:
+            yield from walk_exprs(arg)
+    elif isinstance(expr, ast.NewExpr):
+        if expr.size is not None:
+            yield from walk_exprs(expr.size)
+        for _, init in expr.field_inits:
+            yield from walk_exprs(init)
+    elif isinstance(expr, ast.BinaryExpr):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, ast.UnaryExpr):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, (ast.IsTypeExpr, ast.NarrowExpr)):
+        yield from walk_exprs(expr.operand)
+
+
+def all_exprs(stmts: List[ast.Stmt]) -> Iterator[Tuple[ast.Stmt, ast.Expr]]:
+    """Yield (enclosing statement, expression) for every expression."""
+    for stmt in walk_stmts(stmts):
+        for top in stmt_exprs(stmt):
+            for expr in walk_exprs(top):
+                yield stmt, expr

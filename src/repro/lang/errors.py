@@ -1,0 +1,49 @@
+"""Source locations and compile-time error types for MiniM3."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (line, column) position in a named source unit.
+
+    Lines and columns are 1-based; ``column`` points at the first character
+    of the offending token.
+    """
+
+    unit: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return "{}:{}:{}".format(self.unit, self.line, self.column)
+
+
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, 0)
+
+
+class CompileError(Exception):
+    """Base class for all MiniM3 front-end errors."""
+
+    def __init__(self, message: str, loc: Optional[SourceLocation] = None):
+        self.loc = loc or UNKNOWN_LOCATION
+        self.message = message
+        super().__init__("{}: {}".format(self.loc, message))
+
+
+class LexError(CompileError):
+    """Raised by the lexer on malformed input (bad char, unterminated text)."""
+
+
+class ParseError(CompileError):
+    """Raised by the parser on a syntax error."""
+
+
+class TypeCheckError(CompileError):
+    """Raised by the type checker on a semantic error.
+
+    MiniM3 is a *type-safe* language: the soundness of TBAA (Section 2 of
+    the paper) rests on the checker rejecting any program that could make a
+    reference hold a value outside ``Subtypes`` of its declared type.
+    """

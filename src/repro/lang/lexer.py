@@ -1,0 +1,223 @@
+"""Hand-written lexer for MiniM3.
+
+Follows Modula-3 lexical conventions for the subset we support:
+
+* identifiers are case-sensitive; keywords are upper-case;
+* ``(* ... *)`` comments nest (as in Modula-3);
+* text literals use double quotes with ``\\n``, ``\\t``, ``\\\\``, ``\\"``
+  escapes; char literals use single quotes;
+* integers are decimal (hex/based literals are not needed by the suite).
+"""
+
+from typing import Iterator, List
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_SIMPLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "^": TokenKind.CARET,
+    "#": TokenKind.NE,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "&": TokenKind.AMP,
+    "|": TokenKind.BAR,
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+
+
+class Lexer:
+    """Converts MiniM3 source text into a token stream."""
+
+    def __init__(self, source: str, unit: str = "<input>"):
+        self._src = source
+        self._unit = unit
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens, ending with a single EOF token."""
+        while True:
+            self._skip_trivia()
+            loc = self._here()
+            ch = self._peek()
+            if ch == "":
+                yield Token(TokenKind.EOF, "", loc)
+                return
+            if ch.isalpha() or ch == "_":
+                yield self._ident(loc)
+            elif ch.isdigit():
+                yield self._number(loc)
+            elif ch == '"':
+                yield self._text(loc)
+            elif ch == "'":
+                yield self._char(loc)
+            else:
+                yield self._operator(loc)
+
+    # ------------------------------------------------------------------
+    # Character-level helpers
+
+    def _here(self) -> SourceLocation:
+        return SourceLocation(self._unit, self._line, self._col)
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self._pos + ahead
+        return self._src[i] if i < len(self._src) else ""
+
+    def _advance(self) -> str:
+        ch = self._src[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch != "" and ch in " \t\r\n":
+                self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._skip_comment()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        loc = self._here()
+        self._advance()
+        self._advance()
+        depth = 1
+        while depth > 0:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated comment", loc)
+            if ch == "(" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                depth += 1
+            elif ch == "*" and self._peek(1) == ")":
+                self._advance()
+                self._advance()
+                depth -= 1
+            else:
+                self._advance()
+
+    # ------------------------------------------------------------------
+    # Token scanners
+
+    def _ident(self, loc: SourceLocation) -> Token:
+        chars: List[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        name = "".join(chars)
+        kind = KEYWORDS.get(name)
+        if kind is not None:
+            return Token(kind, name, loc)
+        return Token(TokenKind.IDENT, name, loc)
+
+    def _number(self, loc: SourceLocation) -> Token:
+        chars: List[str] = []
+        while self._peek().isdigit():
+            chars.append(self._advance())
+        if self._peek().isalpha():
+            raise LexError("malformed number", self._here())
+        return Token(TokenKind.INT, int("".join(chars)), loc)
+
+    def _escape(self, loc: SourceLocation) -> str:
+        self._advance()  # backslash
+        key = self._peek()
+        if key not in _ESCAPES:
+            raise LexError("bad escape '\\{}'".format(key), loc)
+        self._advance()
+        return _ESCAPES[key]
+
+    def _text(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "" or ch == "\n":
+                raise LexError("unterminated text literal", loc)
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.TEXT, "".join(chars), loc)
+            if ch == "\\":
+                chars.append(self._escape(loc))
+            else:
+                chars.append(self._advance())
+
+    def _char(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "" or ch == "\n":
+            raise LexError("unterminated char literal", loc)
+        if ch == "\\":
+            value = self._escape(loc)
+        else:
+            value = self._advance()
+        if self._peek() != "'":
+            raise LexError("char literal must contain one character", loc)
+        self._advance()
+        return Token(TokenKind.CHAR, value, loc)
+
+    def _operator(self, loc: SourceLocation) -> Token:
+        ch = self._peek()
+        two = ch + self._peek(1)
+        if two == ":=":
+            self._advance()
+            self._advance()
+            return Token(TokenKind.ASSIGN, two, loc)
+        if two == "..":
+            self._advance()
+            self._advance()
+            return Token(TokenKind.DOTDOT, two, loc)
+        if two == "<=":
+            self._advance()
+            self._advance()
+            return Token(TokenKind.LE, two, loc)
+        if two == ">=":
+            self._advance()
+            self._advance()
+            return Token(TokenKind.GE, two, loc)
+        if two == "=>":
+            self._advance()
+            self._advance()
+            return Token(TokenKind.ARROW, two, loc)
+        if ch == ".":
+            self._advance()
+            return Token(TokenKind.DOT, ch, loc)
+        if ch == ":":
+            self._advance()
+            return Token(TokenKind.COLON, ch, loc)
+        if ch == "=":
+            self._advance()
+            return Token(TokenKind.EQ, ch, loc)
+        if ch == "<":
+            self._advance()
+            return Token(TokenKind.LT, ch, loc)
+        if ch == ">":
+            self._advance()
+            return Token(TokenKind.GT, ch, loc)
+        if ch in _SIMPLE:
+            self._advance()
+            return Token(_SIMPLE[ch], ch, loc)
+        raise LexError("unexpected character {!r}".format(ch), loc)
+
+
+def tokenize(source: str, unit: str = "<input>") -> List[Token]:
+    """Lex *source* completely and return the token list (incl. EOF)."""
+    return list(Lexer(source, unit).tokens())

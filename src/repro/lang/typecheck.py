@@ -1,0 +1,1043 @@
+"""Type checker / semantic analyser for MiniM3.
+
+Responsibilities:
+
+* resolve all named types (supporting recursion through REF and OBJECT);
+* build symbol tables and annotate every ``NameRef`` with its symbol;
+* annotate every expression with its static type — the ``Type(p)`` that
+  all three TBAA algorithms consume (Section 2.1 of the paper);
+* classify calls (procedure / method / builtin) and validate signatures;
+* enforce Modula-3-style type safety: reference assignments only between
+  subtype-related types, VAR parameters require identical types, downcasts
+  are explicit (``NARROW``) or implicitly runtime-checked on object
+  assignment.
+
+The result is a :class:`CheckedModule`, the input to IR lowering and to
+the alias analyses.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast_nodes as ast
+from repro.lang import types as ty
+from repro.lang.errors import SourceLocation, TypeCheckError
+from repro.lang.symtab import Scope, Symbol
+
+# ----------------------------------------------------------------------
+# Builtin procedures.  Each entry: (param types or checker tag, result).
+# 'stmt' builtins may only appear as statements; expression builtins may
+# appear anywhere.  Polymorphic builtins are special-cased in _check_call.
+
+_BUILTIN_RESULTS = {
+    "NUMBER": ty.INTEGER,
+    "ORD": ty.INTEGER,
+    "VAL": ty.CHAR,
+    "ABS": ty.INTEGER,
+    "MIN": ty.INTEGER,
+    "MAX": ty.INTEGER,
+    "TextLen": ty.INTEGER,
+    "TextChar": ty.CHAR,
+    "IntToText": ty.TEXT,
+    "CharToText": ty.TEXT,
+    "PutText": None,
+    "PutInt": None,
+    "PutChar": None,
+    "INC": None,
+    "DEC": None,
+    "ASSERT": None,
+}
+
+BUILTIN_NAMES = frozenset(_BUILTIN_RESULTS)
+
+
+class CheckedProc:
+    """A type-checked procedure: symbols plus the annotated body."""
+
+    def __init__(
+        self,
+        name: str,
+        decl: Optional[ast.ProcDecl],
+        params: List[Symbol],
+        result: Optional[ty.Type],
+        body: List[ast.Stmt],
+        loc: SourceLocation,
+    ):
+        self.name = name
+        self.decl = decl
+        self.params = params
+        self.result = result
+        self.body = body
+        self.loc = loc
+        self.locals: List[Symbol] = []  # declared locals (not WITH/FOR)
+        self.all_symbols: List[Symbol] = list(params)  # params+locals+with+for
+
+    def __repr__(self) -> str:
+        return "<CheckedProc {}>".format(self.name)
+
+
+MAIN_PROC = "<main>"
+
+
+class CheckedModule:
+    """The fully-checked program: types, symbols, annotated ASTs."""
+
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.name = module.name
+        self.types = ty.TypeTable()
+        self.named_types: Dict[str, ty.Type] = {}
+        self.globals: List[Symbol] = []
+        self.procs: Dict[str, CheckedProc] = {}
+        self.proc_order: List[str] = []
+        # Method-implementation procedures (devirtualisation targets):
+        # proc name -> list of (ObjectType, method name) slots it implements.
+        self.method_impls: Dict[str, List[Tuple[ty.ObjectType, str]]] = {}
+
+    @property
+    def main(self) -> CheckedProc:
+        return self.procs[MAIN_PROC]
+
+    def user_procs(self) -> List[CheckedProc]:
+        """All procedures incl. the module body, in declaration order."""
+        return [self.procs[n] for n in self.proc_order]
+
+    def object_types(self) -> List[ty.ObjectType]:
+        return self.types.object_types()
+
+
+class _Recursion(Exception):
+    """Internal: raised when named-type resolution hits a cycle."""
+
+
+class TypeChecker:
+    """Checks one module.  Use :func:`check_module` for the simple path."""
+
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.checked = CheckedModule(module)
+        self.global_scope = Scope()
+        self._loop_depth = 0
+        self._current_proc: Optional[CheckedProc] = None
+        self._current_scope: Scope = self.global_scope
+        self._type_decls: Dict[str, ast.TypeExpr] = {}
+        self._resolving: List[str] = []
+
+    # ==================================================================
+    # Entry point
+
+    def run(self) -> CheckedModule:
+        self._resolve_named_types()
+        self._declare_consts()
+        self._declare_globals()
+        self._declare_procs()
+        self._check_method_bindings()
+        for decl in self.module.proc_decls:
+            self._check_proc(decl)
+        self._check_main()
+        return self.checked
+
+    # ==================================================================
+    # Phase 1: named types
+
+    def _resolve_named_types(self) -> None:
+        for decl in self.module.type_decls:
+            if decl.name in self._type_decls or decl.name in _PRIMITIVES:
+                raise TypeCheckError(
+                    "duplicate type name '{}'".format(decl.name), decl.loc
+                )
+            self._type_decls[decl.name] = decl.type_expr
+        for name in self._type_decls:
+            self._named(name, SourceLocation("<type>", 0, 0))
+
+    def _named(self, name: str, loc: SourceLocation) -> ty.Type:
+        """Resolve the named type *name*, handling recursion via shells."""
+        prim = _PRIMITIVES.get(name)
+        if prim is not None:
+            return prim
+        resolved = self.checked.named_types.get(name)
+        if resolved is not None:
+            return resolved
+        expr = self._type_decls.get(name)
+        if expr is None:
+            raise TypeCheckError("unknown type '{}'".format(name), loc)
+        if name in self._resolving:
+            raise _Recursion()
+        self._resolving.append(name)
+        try:
+            if isinstance(expr, ast.ObjectTypeExpr):
+                # Object declarations may be self-referential (fields of
+                # the type being declared), so always register the shell
+                # under its name before resolving the fields.
+                result = self._resolve_recursive(name, expr)
+            else:
+                try:
+                    result = self._resolve_expr(expr, type_name=name)
+                except _Recursion:
+                    result = self._resolve_recursive(name, expr)
+        finally:
+            self._resolving.pop()
+        self.checked.named_types[name] = result
+        return result
+
+    def _resolve_expr(
+        self, expr: ast.TypeExpr, type_name: Optional[str] = None
+    ) -> ty.Type:
+        """Resolve a (non-recursive) type expression.
+
+        Anonymous REF/ARRAY/RECORD types are interned structurally;
+        OBJECT types are generative.  ``type_name`` names the declaration
+        being resolved, used only to name fresh object types.
+        """
+        if isinstance(expr, ast.NamedTypeExpr):
+            return self._named(expr.name, expr.loc)
+        if isinstance(expr, ast.RefTypeExpr):
+            return self.checked.types.ref(self._resolve_expr(expr.target), expr.brand)
+        if isinstance(expr, ast.ArrayTypeExpr):
+            element = self._resolve_expr(expr.element)
+            self._require_storable(element, expr.loc, "array element")
+            return self.checked.types.array(element, expr.length)
+        if isinstance(expr, ast.RecordTypeExpr):
+            fields = [(f, self._resolve_expr(t)) for f, t in expr.fields]
+            for fname, ftype in fields:
+                self._require_storable(ftype, expr.loc, "record field '{}'".format(fname))
+            return self.checked.types.record(fields)
+        if isinstance(expr, ast.ObjectTypeExpr):
+            return self._build_object(expr, type_name or "<anon object>")
+        raise TypeCheckError("unsupported type expression", expr.loc)
+
+    def _build_object(self, expr: ast.ObjectTypeExpr, name: str) -> ty.ObjectType:
+        supertype = ty.ROOT
+        if expr.supertype is not None:
+            resolved = self._resolve_expr(expr.supertype)
+            if not isinstance(resolved, ty.ObjectType):
+                raise TypeCheckError(
+                    "object supertype must be an object type", expr.loc
+                )
+            supertype = resolved
+        obj = ty.ObjectType(name, supertype, [], brand=expr.brand)
+        self.checked.types.register_object(obj)
+        self._fill_object(obj, expr)
+        return obj
+
+    def _fill_object(self, obj: ty.ObjectType, expr: ast.ObjectTypeExpr) -> None:
+        obj.own_fields = [(f, self._resolve_expr(t)) for f, t in expr.fields]
+        for fname, ftype in obj.own_fields:
+            self._require_storable(ftype, expr.loc, "object field '{}'".format(fname))
+        obj.own_methods = [
+            ty.Method(
+                m.name,
+                [ty.Param(p.name, p.mode, self._resolve_expr(p.type_expr)) for p in m.params],
+                self._resolve_expr(m.result) if m.result else None,
+                m.default_impl,
+            )
+            for m in expr.methods
+        ]
+        obj.overrides = list(expr.overrides)
+        inherited = {fname for fname, _ in (obj.supertype.all_fields() if obj.supertype else [])}
+        for fname, _ in obj.own_fields:
+            if fname in inherited:
+                raise TypeCheckError(
+                    "field '{}' shadows an inherited field".format(fname), expr.loc
+                )
+
+    def _resolve_recursive(self, name: str, expr: ast.TypeExpr) -> ty.Type:
+        """Shell-and-patch resolution for recursive named types.
+
+        The shell is registered under *name* first so inner references to
+        *name* resolve to it, then its contents are patched in place.
+        Recursive named types are generative (never interned) — a benign
+        deviation from Modula-3's structural equivalence, documented in
+        DESIGN.md.
+        """
+        if isinstance(expr, ast.RefTypeExpr):
+            shell = ty.RefType(ty.INTEGER, expr.brand)  # dummy target
+            self.checked.types.all_types.append(shell)
+            self.checked.named_types[name] = shell
+            shell.target = self._resolve_expr(expr.target)
+            prefix = 'BRANDED "{}" '.format(shell.brand) if shell.brand else ""
+            shell.name = "{}REF {}".format(prefix, shell.target.name)
+            return shell
+        if isinstance(expr, ast.ArrayTypeExpr):
+            shell_arr = ty.ArrayType(ty.INTEGER, expr.length)
+            self.checked.types.all_types.append(shell_arr)
+            self.checked.named_types[name] = shell_arr
+            shell_arr.element = self._resolve_expr(expr.element)
+            return shell_arr
+        if isinstance(expr, ast.RecordTypeExpr):
+            shell_rec = ty.RecordType([])
+            self.checked.types.all_types.append(shell_rec)
+            self.checked.named_types[name] = shell_rec
+            fields = [(f, self._resolve_expr(t)) for f, t in expr.fields]
+            for fname, ftype in fields:
+                self._require_storable(ftype, expr.loc, "record field '{}'".format(fname))
+            shell_rec.fields = fields
+            shell_rec._index = {f: (i, t) for i, (f, t) in enumerate(fields)}
+            return shell_rec
+        if isinstance(expr, ast.ObjectTypeExpr):
+            supertype = ty.ROOT
+            if expr.supertype is not None:
+                resolved = self._resolve_expr(expr.supertype)
+                if not isinstance(resolved, ty.ObjectType):
+                    raise TypeCheckError(
+                        "object supertype must be an object type", expr.loc
+                    )
+                supertype = resolved
+            shell_obj = ty.ObjectType(name, supertype, [], brand=expr.brand)
+            self.checked.types.register_object(shell_obj)
+            self.checked.named_types[name] = shell_obj
+            self._fill_object(shell_obj, expr)
+            return shell_obj
+        raise TypeCheckError(
+            "illegal recursive type '{}' (recursion must go through REF or OBJECT)".format(name),
+            expr.loc,
+        )
+
+    # ==================================================================
+    # Phase 2/3: global declarations
+
+    def _declare_consts(self) -> None:
+        for decl in self.module.const_decls:
+            value, ctype = self._const_eval(decl.value)
+            symbol = Symbol(decl.name, "const", ctype, decl.loc, is_global=True)
+            symbol.const_value = value
+            self.global_scope.define(symbol)
+
+    def _declare_globals(self) -> None:
+        for decl in self.module.var_decls:
+            var_type = self._resolve_expr(decl.type_expr)
+            self._require_storable(var_type, decl.loc, "variable")
+            for name in decl.names:
+                symbol = Symbol(name, "var", var_type, decl.loc, is_global=True)
+                self.global_scope.define(symbol)
+                self.checked.globals.append(symbol)
+
+    def _declare_procs(self) -> None:
+        for decl in self.module.proc_decls:
+            params = [
+                ty.Param(p.name, p.mode, self._resolve_expr(p.type_expr))
+                for p in decl.params
+            ]
+            for param in params:
+                self._require_storable(param.type, decl.loc, "parameter '{}'".format(param.name))
+            result = self._resolve_expr(decl.result) if decl.result else None
+            if result is not None:
+                self._require_storable(result, decl.loc, "result")
+            symbol = Symbol(decl.name, "proc", ty.ProcType(params, result), decl.loc, is_global=True)
+            self.global_scope.define(symbol)
+
+    def _check_method_bindings(self) -> None:
+        """Validate METHODS defaults and OVERRIDES; index impls."""
+        for obj in self.checked.object_types():
+            bindings = [
+                (m.name, m.default_impl) for m in obj.own_methods if m.default_impl
+            ] + list(obj.overrides)
+            for mname, pname in bindings:
+                method = obj.find_method(mname)
+                if method is None:
+                    raise TypeCheckError(
+                        "type {} overrides unknown method '{}'".format(obj.name, mname),
+                        self.module.loc,
+                    )
+                proc_sym = self.global_scope.lookup(pname)
+                if proc_sym is None or proc_sym.kind != "proc":
+                    raise TypeCheckError(
+                        "method {}.{} bound to unknown procedure '{}'".format(
+                            obj.name, mname, pname
+                        ),
+                        self.module.loc,
+                    )
+                proc_type = proc_sym.type
+                assert isinstance(proc_type, ty.ProcType)
+                if len(proc_type.params) != len(method.params) + 1:
+                    raise TypeCheckError(
+                        "procedure {} has {} params but method {}.{} needs {} (+receiver)".format(
+                            pname, len(proc_type.params), obj.name, mname, len(method.params)
+                        ),
+                        self.module.loc,
+                    )
+                receiver = proc_type.params[0]
+                if not isinstance(receiver.type, ty.ObjectType):
+                    raise TypeCheckError(
+                        "receiver of {} must be an object type".format(pname),
+                        self.module.loc,
+                    )
+                self.checked.method_impls.setdefault(pname, []).append((obj, mname))
+
+    # ==================================================================
+    # Phase 4: procedure bodies
+
+    def _check_proc(self, decl: ast.ProcDecl) -> None:
+        proc_sym = self.global_scope.lookup(decl.name)
+        assert proc_sym is not None and isinstance(proc_sym.type, ty.ProcType)
+        proc_type = proc_sym.type
+        scope = Scope(self.global_scope)
+        param_syms: List[Symbol] = []
+        for param in proc_type.params:
+            symbol = Symbol(
+                param.name, "param", param.type, decl.loc,
+                mode=param.mode, proc_name=decl.name,
+            )
+            scope.define(symbol)
+            param_syms.append(symbol)
+        checked = CheckedProc(
+            decl.name, decl, param_syms, proc_type.result, decl.body, decl.loc
+        )
+        self._check_proc_body(checked, decl.local_vars, decl.local_consts, scope)
+
+    def _check_main(self) -> None:
+        checked = CheckedProc(
+            MAIN_PROC, None, [], None, self.module.body, self.module.loc
+        )
+        # Global initialisers run in the module body's context; check them
+        # here so lowering can emit them as the main preamble.
+        self._current_proc = checked
+        self._current_scope = self.global_scope
+        for decl in self.module.var_decls:
+            if decl.init is not None:
+                init_type = self._check_expr(decl.init)
+                var_type = self._resolve_expr(decl.type_expr)
+                self._require_assignable(init_type, var_type, decl.loc)
+        self._check_proc_body(checked, [], [], Scope(self.global_scope))
+
+    def _check_proc_body(
+        self,
+        checked: CheckedProc,
+        local_vars: List[ast.VarDecl],
+        local_consts: List[ast.ConstDecl],
+        scope: Scope,
+    ) -> None:
+        self.checked.procs[checked.name] = checked
+        self.checked.proc_order.append(checked.name)
+        self._current_proc = checked
+        self._current_scope = scope
+        for cdecl in local_consts:
+            value, ctype = self._const_eval(cdecl.value)
+            symbol = Symbol(cdecl.name, "const", ctype, cdecl.loc, proc_name=checked.name)
+            symbol.const_value = value
+            scope.define(symbol)
+        for vdecl in local_vars:
+            var_type = self._resolve_expr(vdecl.type_expr)
+            self._require_storable(var_type, vdecl.loc, "variable")
+            init_type = self._check_expr(vdecl.init) if vdecl.init else None
+            for name in vdecl.names:
+                symbol = Symbol(name, "var", var_type, vdecl.loc, proc_name=checked.name)
+                scope.define(symbol)
+                checked.locals.append(symbol)
+                checked.all_symbols.append(symbol)
+            if init_type is not None:
+                self._require_assignable(init_type, var_type, vdecl.loc)
+        self._check_stmts(checked.body)
+        self._current_proc = None
+        self._current_scope = self.global_scope
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _check_stmts(self, stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._check_stmt(stmt)
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.AssignStmt):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.CallStmt):
+            result = self._check_call(stmt.call, as_statement=True)
+            if result is not None:
+                raise TypeCheckError(
+                    "call result must be used or EVALed", stmt.loc
+                )
+        elif isinstance(stmt, ast.EvalStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            for cond, body in stmt.arms:
+                self._require_type(self._check_expr(cond), ty.BOOLEAN, cond.loc)
+                self._check_stmts(body)
+            self._check_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._require_type(self._check_expr(stmt.cond), ty.BOOLEAN, stmt.cond.loc)
+            self._in_loop(stmt.body)
+        elif isinstance(stmt, ast.RepeatStmt):
+            self._in_loop(stmt.body)
+            self._require_type(self._check_expr(stmt.until), ty.BOOLEAN, stmt.until.loc)
+        elif isinstance(stmt, ast.LoopStmt):
+            self._in_loop(stmt.body)
+        elif isinstance(stmt, ast.ExitStmt):
+            if self._loop_depth == 0:
+                raise TypeCheckError("EXIT outside of a loop", stmt.loc)
+        elif isinstance(stmt, ast.ForStmt):
+            self._check_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._check_return(stmt)
+        elif isinstance(stmt, ast.WithStmt):
+            self._check_with(stmt)
+        elif isinstance(stmt, ast.CaseStmt):
+            self._check_case(stmt)
+        else:
+            raise TypeCheckError("unsupported statement", stmt.loc)
+
+    def _in_loop(self, body: List[ast.Stmt]) -> None:
+        self._loop_depth += 1
+        try:
+            self._check_stmts(body)
+        finally:
+            self._loop_depth -= 1
+
+    def _check_assign(self, stmt: ast.AssignStmt) -> None:
+        target_type = self._check_designator(stmt.target, for_write=True)
+        value_type = self._check_expr(stmt.value)
+        self._require_assignable(value_type, target_type, stmt.loc)
+
+    def _check_for(self, stmt: ast.ForStmt) -> None:
+        self._require_type(self._check_expr(stmt.lo), ty.INTEGER, stmt.lo.loc)
+        self._require_type(self._check_expr(stmt.hi), ty.INTEGER, stmt.hi.loc)
+        if stmt.by is not None:
+            # BY must be a non-zero constant so the loop direction is
+            # statically known (FOR lowers to a WHILE with a fixed test).
+            value, by_type = self._const_eval(stmt.by)
+            self._require_type(by_type, ty.INTEGER, stmt.by.loc)
+            if value == 0:
+                raise TypeCheckError("FOR step must be non-zero", stmt.by.loc)
+            setattr(stmt, "by_value", value)
+        assert self._current_proc is not None
+        symbol = Symbol(
+            stmt.var, "for", ty.INTEGER, stmt.loc, proc_name=self._current_proc.name
+        )
+        self._current_proc.all_symbols.append(symbol)
+        outer = self._current_scope
+        self._current_scope = Scope(outer)
+        self._current_scope.define(symbol)
+        setattr(stmt, "symbol", symbol)
+        try:
+            self._in_loop(stmt.body)
+        finally:
+            self._current_scope = outer
+
+    def _check_return(self, stmt: ast.ReturnStmt) -> None:
+        assert self._current_proc is not None
+        expected = self._current_proc.result
+        if stmt.value is None:
+            if expected is not None:
+                raise TypeCheckError("RETURN must carry a value here", stmt.loc)
+            return
+        if expected is None:
+            raise TypeCheckError("RETURN with a value in a proper procedure", stmt.loc)
+        self._require_assignable(self._check_expr(stmt.value), expected, stmt.loc)
+
+    def _check_with(self, stmt: ast.WithStmt) -> None:
+        assert self._current_proc is not None
+        outer = self._current_scope
+        self._current_scope = Scope(outer)
+        try:
+            for binding in stmt.bindings:
+                bound_type = self._check_expr(binding.expr)
+                symbol = Symbol(
+                    binding.name, "with", bound_type, binding.loc,
+                    proc_name=self._current_proc.name,
+                )
+                binding.binds_location = ast.is_designator(binding.expr)
+                symbol.binds_location = binding.binds_location
+                self._current_scope.define(symbol)
+                self._current_proc.all_symbols.append(symbol)
+                setattr(binding, "symbol", symbol)
+            self._check_stmts(stmt.body)
+        finally:
+            self._current_scope = outer
+
+    def _check_case(self, stmt: ast.CaseStmt) -> None:
+        sel_type = self._check_expr(stmt.selector)
+        if sel_type not in (ty.INTEGER, ty.CHAR):
+            raise TypeCheckError("CASE selector must be INTEGER or CHAR", stmt.loc)
+        for arm in stmt.arms:
+            for label in arm.labels:
+                value, ltype = self._const_eval(label)
+                if ltype is not sel_type:
+                    raise TypeCheckError("case label type mismatch", label.loc)
+                label.type = ltype
+                setattr(label, "const_value", value)
+            self._check_stmts(arm.body)
+        self._check_stmts(stmt.else_body)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def _check_expr(self, expr: ast.Expr) -> ty.Type:
+        result = self._check_expr_inner(expr)
+        expr.type = result
+        return result
+
+    def _check_expr_inner(self, expr: ast.Expr) -> ty.Type:
+        if isinstance(expr, ast.IntLit):
+            return ty.INTEGER
+        if isinstance(expr, ast.BoolLit):
+            return ty.BOOLEAN
+        if isinstance(expr, ast.CharLit):
+            return ty.CHAR
+        if isinstance(expr, ast.TextLit):
+            return ty.TEXT
+        if isinstance(expr, ast.NilLit):
+            return ty.NIL
+        if isinstance(expr, ast.NameRef):
+            return self._check_name(expr)
+        if isinstance(expr, (ast.FieldRef, ast.DerefExpr, ast.IndexExpr)):
+            return self._check_designator(expr, for_write=False)
+        if isinstance(expr, ast.CallExpr):
+            result = self._check_call(expr, as_statement=False)
+            if result is None:
+                raise TypeCheckError("procedure has no result", expr.loc)
+            return result
+        if isinstance(expr, ast.NewExpr):
+            return self._check_new(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._check_binary(expr)
+        if isinstance(expr, ast.UnaryExpr):
+            return self._check_unary(expr)
+        if isinstance(expr, ast.IsTypeExpr):
+            self._check_type_test(expr)
+            return ty.BOOLEAN
+        if isinstance(expr, ast.NarrowExpr):
+            return self._check_type_test(expr)
+        raise TypeCheckError("unsupported expression", expr.loc)
+
+    def _check_name(self, expr: ast.NameRef) -> ty.Type:
+        symbol = self._current_scope.lookup(expr.name)
+        if symbol is None:
+            raise TypeCheckError("undeclared name '{}'".format(expr.name), expr.loc)
+        if symbol.kind == "proc":
+            raise TypeCheckError(
+                "procedure '{}' used as a value".format(expr.name), expr.loc
+            )
+        expr.symbol_kind = symbol.kind
+        setattr(expr, "symbol", symbol)
+        assert symbol.type is not None
+        return symbol.type
+
+    def _check_designator(self, expr: ast.Expr, for_write: bool) -> ty.Type:
+        """Check a designator; enforces writability when *for_write*."""
+        if isinstance(expr, ast.NameRef):
+            result = self._check_name(expr)
+            expr.type = result
+            symbol = getattr(expr, "symbol")
+            if for_write:
+                if symbol.kind == "const":
+                    raise TypeCheckError("cannot assign to a constant", expr.loc)
+                if symbol.kind == "for":
+                    raise TypeCheckError("cannot assign to a FOR index", expr.loc)
+                if symbol.kind == "param" and symbol.mode == "readonly":
+                    raise TypeCheckError("cannot assign to a READONLY parameter", expr.loc)
+                if symbol.kind == "with" and not symbol.binds_location:
+                    raise TypeCheckError(
+                        "WITH binding '{}' is not a location".format(symbol.name),
+                        expr.loc,
+                    )
+            return result
+        if isinstance(expr, ast.FieldRef):
+            obj_type = self._check_expr(expr.obj)
+            field_type = self._field_type(obj_type, expr.field_name, expr.loc)
+            expr.type = field_type
+            return field_type
+        if isinstance(expr, ast.DerefExpr):
+            ptr_type = self._check_expr(expr.pointer)
+            if not isinstance(ptr_type, ty.RefType):
+                raise TypeCheckError("^ applies only to REF values", expr.loc)
+            expr.type = ptr_type.target
+            return ptr_type.target
+        if isinstance(expr, ast.IndexExpr):
+            arr_type = self._check_expr(expr.array)
+            if not isinstance(arr_type, ty.ArrayType):
+                raise TypeCheckError("subscript applies only to arrays", expr.loc)
+            self._require_type(self._check_expr(expr.index), ty.INTEGER, expr.index.loc)
+            expr.type = arr_type.element
+            return arr_type.element
+        raise TypeCheckError("expression is not a designator", expr.loc)
+
+    def _field_type(self, obj_type: ty.Type, fname: str, loc: SourceLocation) -> ty.Type:
+        if isinstance(obj_type, ty.ObjectType):
+            field_type = obj_type.field_type(fname)
+            if field_type is None:
+                if obj_type.find_method(fname) is not None:
+                    raise TypeCheckError(
+                        "method '{}' used without a call".format(fname), loc
+                    )
+                raise TypeCheckError(
+                    "type {} has no field '{}'".format(obj_type.name, fname), loc
+                )
+            return field_type
+        if isinstance(obj_type, ty.RecordType):
+            field_type = obj_type.field_type(fname)
+            if field_type is None:
+                raise TypeCheckError("record has no field '{}'".format(fname), loc)
+            return field_type
+        raise TypeCheckError(
+            "'.{}' applies only to objects and records (got {})".format(
+                fname, obj_type.name
+            ),
+            loc,
+        )
+
+    # ------------------------------------------------------------------
+    # Calls
+
+    def _check_call(self, call: ast.CallExpr, as_statement: bool) -> Optional[ty.Type]:
+        callee = call.callee
+        # Method call: designator `.m(...)` where m names a method.
+        if isinstance(callee, ast.FieldRef):
+            obj_type = self._check_expr(callee.obj)
+            if isinstance(obj_type, ty.ObjectType):
+                method = obj_type.find_method(callee.field_name)
+                if method is not None:
+                    return self._check_method_call(call, callee, obj_type, method)
+            field_type = self._field_type(obj_type, callee.field_name, callee.loc)
+            raise TypeCheckError(
+                "field '{}' of type {} is not callable".format(
+                    callee.field_name, field_type.name
+                ),
+                call.loc,
+            )
+        if not isinstance(callee, ast.NameRef):
+            raise TypeCheckError("callee is not callable", call.loc)
+        symbol = self._current_scope.lookup(callee.name)
+        if symbol is None:
+            if callee.name in BUILTIN_NAMES:
+                return self._check_builtin(call, callee.name, as_statement)
+            raise TypeCheckError("undeclared procedure '{}'".format(callee.name), call.loc)
+        if symbol.kind != "proc":
+            raise TypeCheckError("'{}' is not a procedure".format(callee.name), call.loc)
+        setattr(callee, "symbol", symbol)
+        proc_type = symbol.type
+        assert isinstance(proc_type, ty.ProcType)
+        self._check_args(call, proc_type.params)
+        call.call_kind = "proc"
+        setattr(call, "proc_name", callee.name)
+        return proc_type.result
+
+    def _check_method_call(
+        self,
+        call: ast.CallExpr,
+        callee: ast.FieldRef,
+        receiver_type: ty.ObjectType,
+        method: ty.Method,
+    ) -> Optional[ty.Type]:
+        self._check_args(call, method.params)
+        call.call_kind = "method"
+        setattr(call, "method", method)
+        setattr(call, "receiver_type", receiver_type)
+        declaring = receiver_type
+        while declaring.supertype is not None and declaring.supertype.find_method(method.name):
+            declaring = declaring.supertype
+        setattr(call, "declaring_type", declaring)
+        return method.result
+
+    def _check_args(self, call: ast.CallExpr, params: List[ty.Param]) -> None:
+        if len(call.args) != len(params):
+            raise TypeCheckError(
+                "call passes {} arguments but {} are required".format(
+                    len(call.args), len(params)
+                ),
+                call.loc,
+            )
+        for arg, param in zip(call.args, params):
+            arg_type = self._check_expr(arg)
+            if param.mode == "var":
+                if not ast.is_designator(arg):
+                    raise TypeCheckError(
+                        "argument for VAR parameter '{}' must be a designator".format(
+                            param.name
+                        ),
+                        arg.loc,
+                    )
+                if arg_type is not param.type:
+                    raise TypeCheckError(
+                        "VAR parameter '{}' requires exactly {} (got {})".format(
+                            param.name, param.type.name, arg_type.name
+                        ),
+                        arg.loc,
+                    )
+            else:
+                self._require_assignable(arg_type, param.type, arg.loc)
+
+    def _check_builtin(
+        self, call: ast.CallExpr, name: str, as_statement: bool
+    ) -> Optional[ty.Type]:
+        call.call_kind = "builtin"
+        call.builtin_name = name
+        args = call.args
+        result = _BUILTIN_RESULTS[name]
+        if result is None and not as_statement:
+            raise TypeCheckError("{} may only be used as a statement".format(name), call.loc)
+
+        def need(n: int) -> None:
+            if len(args) != n:
+                raise TypeCheckError(
+                    "{} takes {} argument(s)".format(name, n), call.loc
+                )
+
+        if name == "NUMBER":
+            need(1)
+            arr_type = self._check_expr(args[0])
+            if not isinstance(arr_type, ty.ArrayType):
+                raise TypeCheckError("NUMBER requires an array", call.loc)
+        elif name == "ORD":
+            need(1)
+            operand = self._check_expr(args[0])
+            if operand not in (ty.CHAR, ty.BOOLEAN, ty.INTEGER):
+                raise TypeCheckError("ORD requires CHAR/BOOLEAN/INTEGER", call.loc)
+        elif name == "VAL":
+            need(2)
+            self._require_type(self._check_expr(args[0]), ty.INTEGER, args[0].loc)
+            target = args[1]
+            if not (isinstance(target, ast.NameRef) and target.name == "CHAR"):
+                raise TypeCheckError("VAL supports only VAL(i, CHAR)", call.loc)
+            target.type = ty.CHAR
+            target.symbol_kind = "const"
+        elif name == "ABS":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.INTEGER, args[0].loc)
+        elif name in ("MIN", "MAX"):
+            need(2)
+            self._require_type(self._check_expr(args[0]), ty.INTEGER, args[0].loc)
+            self._require_type(self._check_expr(args[1]), ty.INTEGER, args[1].loc)
+        elif name == "TextLen":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.TEXT, args[0].loc)
+        elif name == "TextChar":
+            need(2)
+            self._require_type(self._check_expr(args[0]), ty.TEXT, args[0].loc)
+            self._require_type(self._check_expr(args[1]), ty.INTEGER, args[1].loc)
+        elif name == "IntToText":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.INTEGER, args[0].loc)
+        elif name == "CharToText":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.CHAR, args[0].loc)
+        elif name == "PutText":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.TEXT, args[0].loc)
+        elif name == "PutInt":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.INTEGER, args[0].loc)
+        elif name == "PutChar":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.CHAR, args[0].loc)
+        elif name in ("INC", "DEC"):
+            if len(args) not in (1, 2):
+                raise TypeCheckError("{} takes 1 or 2 arguments".format(name), call.loc)
+            target_type = self._check_designator(args[0], for_write=True)
+            self._require_type(target_type, ty.INTEGER, args[0].loc)
+            if len(args) == 2:
+                self._require_type(self._check_expr(args[1]), ty.INTEGER, args[1].loc)
+        elif name == "ASSERT":
+            need(1)
+            self._require_type(self._check_expr(args[0]), ty.BOOLEAN, args[0].loc)
+        else:  # pragma: no cover - table and dispatch kept in sync
+            raise TypeCheckError("unknown builtin {}".format(name), call.loc)
+        return result
+
+    # ------------------------------------------------------------------
+    # NEW, type tests, operators
+
+    def _check_new(self, expr: ast.NewExpr) -> ty.Type:
+        new_type = self._resolve_expr(expr.type_expr)
+        setattr(expr, "allocated_type", new_type)
+        if isinstance(new_type, ty.ObjectType):
+            if expr.size is not None:
+                raise TypeCheckError("object NEW takes no size", expr.loc)
+            for fname, init in expr.field_inits:
+                field_type = new_type.field_type(fname)
+                if field_type is None:
+                    raise TypeCheckError(
+                        "type {} has no field '{}'".format(new_type.name, fname),
+                        expr.loc,
+                    )
+                self._require_assignable(self._check_expr(init), field_type, init.loc)
+            return new_type
+        if isinstance(new_type, ty.RefType):
+            referent = new_type.target
+            if isinstance(referent, ty.ArrayType) and referent.is_open:
+                if expr.size is None:
+                    raise TypeCheckError("open array NEW requires a size", expr.loc)
+                self._require_type(self._check_expr(expr.size), ty.INTEGER, expr.size.loc)
+                if expr.field_inits:
+                    raise TypeCheckError("array NEW takes no field initialisers", expr.loc)
+                return new_type
+            if expr.size is not None:
+                raise TypeCheckError("only open-array NEW takes a size", expr.loc)
+            if isinstance(referent, ty.RecordType):
+                for fname, init in expr.field_inits:
+                    field_type = referent.field_type(fname)
+                    if field_type is None:
+                        raise TypeCheckError(
+                            "record has no field '{}'".format(fname), expr.loc
+                        )
+                    self._require_assignable(self._check_expr(init), field_type, init.loc)
+            elif expr.field_inits:
+                raise TypeCheckError("field initialisers need a record referent", expr.loc)
+            return new_type
+        raise TypeCheckError("NEW requires a reference or object type", expr.loc)
+
+    def _check_type_test(self, expr) -> ty.Type:
+        operand_type = self._check_expr(expr.operand)
+        target = self._resolve_expr(expr.type_expr)
+        expr.target_type = target
+        if not isinstance(target, ty.ObjectType):
+            raise TypeCheckError("type tests apply only to object types", expr.loc)
+        if not isinstance(operand_type, (ty.ObjectType, ty.NilType)):
+            raise TypeCheckError("type tests apply only to object values", expr.loc)
+        if isinstance(operand_type, ty.ObjectType):
+            if not (ty.is_subtype(target, operand_type) or ty.is_subtype(operand_type, target)):
+                raise TypeCheckError(
+                    "types {} and {} are unrelated".format(operand_type.name, target.name),
+                    expr.loc,
+                )
+        return target
+
+    def _check_binary(self, expr: ast.BinaryExpr) -> ty.Type:
+        op = expr.op
+        left = self._check_expr(expr.left)
+        right = self._check_expr(expr.right)
+        if op in ("+", "-", "*", "DIV", "MOD"):
+            self._require_type(left, ty.INTEGER, expr.left.loc)
+            self._require_type(right, ty.INTEGER, expr.right.loc)
+            return ty.INTEGER
+        if op == "/":
+            raise TypeCheckError("use DIV for integer division", expr.loc)
+        if op == "&":
+            self._require_type(left, ty.TEXT, expr.left.loc)
+            self._require_type(right, ty.TEXT, expr.right.loc)
+            return ty.TEXT
+        if op in ("AND", "OR"):
+            self._require_type(left, ty.BOOLEAN, expr.left.loc)
+            self._require_type(right, ty.BOOLEAN, expr.right.loc)
+            return ty.BOOLEAN
+        if op in ("=", "#"):
+            if not (
+                left is right
+                or ty.is_reference_compatible(left, right)
+                or ty.is_reference_compatible(right, left)
+            ):
+                raise TypeCheckError(
+                    "cannot compare {} with {}".format(left.name, right.name), expr.loc
+                )
+            return ty.BOOLEAN
+        if op in ("<", "<=", ">", ">="):
+            if left is not right or left not in (ty.INTEGER, ty.CHAR, ty.TEXT):
+                raise TypeCheckError(
+                    "ordering compares INTEGERs, CHARs or TEXTs of equal type",
+                    expr.loc,
+                )
+            return ty.BOOLEAN
+        raise TypeCheckError("unknown operator {}".format(op), expr.loc)
+
+    def _check_unary(self, expr: ast.UnaryExpr) -> ty.Type:
+        operand = self._check_expr(expr.operand)
+        if expr.op == "-":
+            self._require_type(operand, ty.INTEGER, expr.loc)
+            return ty.INTEGER
+        if expr.op == "NOT":
+            self._require_type(operand, ty.BOOLEAN, expr.loc)
+            return ty.BOOLEAN
+        raise TypeCheckError("unknown unary operator {}".format(expr.op), expr.loc)
+
+    # ------------------------------------------------------------------
+    # Constants
+
+    def _const_eval(self, expr: ast.Expr) -> Tuple[object, ty.Type]:
+        if isinstance(expr, ast.IntLit):
+            expr.type = ty.INTEGER
+            return expr.value, ty.INTEGER
+        if isinstance(expr, ast.BoolLit):
+            expr.type = ty.BOOLEAN
+            return expr.value, ty.BOOLEAN
+        if isinstance(expr, ast.CharLit):
+            expr.type = ty.CHAR
+            return expr.value, ty.CHAR
+        if isinstance(expr, ast.TextLit):
+            expr.type = ty.TEXT
+            return expr.value, ty.TEXT
+        if isinstance(expr, ast.NameRef):
+            symbol = self._current_scope.lookup(expr.name)
+            if symbol is None or symbol.kind != "const":
+                raise TypeCheckError(
+                    "'{}' is not a constant".format(expr.name), expr.loc
+                )
+            setattr(expr, "symbol", symbol)
+            expr.symbol_kind = "const"
+            assert symbol.type is not None
+            expr.type = symbol.type
+            return symbol.const_value, symbol.type
+        if isinstance(expr, ast.UnaryExpr) and expr.op == "-":
+            value, vtype = self._const_eval(expr.operand)
+            if vtype is not ty.INTEGER:
+                raise TypeCheckError("constant negation needs an INTEGER", expr.loc)
+            expr.type = ty.INTEGER
+            return -value, ty.INTEGER  # type: ignore[operator]
+        if isinstance(expr, ast.BinaryExpr) and expr.op in ("+", "-", "*", "DIV", "MOD"):
+            lv, lt = self._const_eval(expr.left)
+            rv, rt = self._const_eval(expr.right)
+            if lt is not ty.INTEGER or rt is not ty.INTEGER:
+                raise TypeCheckError("constant arithmetic needs INTEGERs", expr.loc)
+            expr.type = ty.INTEGER
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "DIV": lambda a, b: a // b,
+                "MOD": lambda a, b: a % b,
+            }
+            return ops[expr.op](lv, rv), ty.INTEGER  # type: ignore[arg-type]
+        if isinstance(expr, ast.CallExpr) and isinstance(expr.callee, ast.NameRef) \
+                and expr.callee.name == "ORD" and len(expr.args) == 1:
+            value, vtype = self._const_eval(expr.args[0])
+            if vtype is not ty.CHAR:
+                raise TypeCheckError("constant ORD needs a CHAR", expr.loc)
+            expr.type = ty.INTEGER
+            expr.call_kind = "builtin"
+            expr.builtin_name = "ORD"
+            return ord(value), ty.INTEGER  # type: ignore[arg-type]
+        raise TypeCheckError("expression is not constant", expr.loc)
+
+    # ------------------------------------------------------------------
+    # Shared checks
+
+    def _require_type(self, actual: ty.Type, expected: ty.Type, loc: SourceLocation) -> None:
+        if actual is not expected:
+            raise TypeCheckError(
+                "expected {} but found {}".format(expected.name, actual.name), loc
+            )
+
+    def _require_storable(self, t: ty.Type, loc: SourceLocation, what: str) -> None:
+        """Aggregates (RECORD/ARRAY) live only behind REF in MiniM3.
+
+        This realises the paper's simplifying assumption that "aggregate
+        accesses ... have been broken down into accesses of each
+        component": there are no aggregate copies to break down.
+        """
+        if isinstance(t, (ty.RecordType, ty.ArrayType, ty.ProcType)):
+            raise TypeCheckError(
+                "{} may not have aggregate type {} (wrap it in REF)".format(
+                    what, t.name
+                ),
+                loc,
+            )
+
+    def _require_assignable(self, src: ty.Type, dst: ty.Type, loc: SourceLocation) -> None:
+        if src is dst:
+            return
+        if ty.is_reference_compatible(src, dst):
+            return
+        raise TypeCheckError(
+            "{} is not assignable to {}".format(src.name, dst.name), loc
+        )
+
+
+_PRIMITIVES: Dict[str, ty.Type] = {
+    "INTEGER": ty.INTEGER,
+    "BOOLEAN": ty.BOOLEAN,
+    "CHAR": ty.CHAR,
+    "TEXT": ty.TEXT,
+    "ROOT": ty.ROOT,
+}
+
+
+def check_module(module: ast.Module) -> CheckedModule:
+    """Type-check *module* and return the annotated result."""
+    return TypeChecker(module).run()

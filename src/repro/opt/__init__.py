@@ -1,0 +1,33 @@
+"""Optimizations that consume TBAA.
+
+* :mod:`repro.opt.rle` — **redundant load elimination** (Section 3.4.1):
+  available-load CSE plus loop-invariant load motion, with alias-based
+  and mod-ref-based kills.  The optimization the paper evaluates TBAA
+  through.
+* :mod:`repro.opt.methodres` — method invocation resolution
+  (devirtualization of method calls whose receiver's subtype tree has a
+  single implementation), the "Minv" of Figure 11;
+* :mod:`repro.opt.inline` — procedure inlining of small/direct calls,
+  the "+Inlining" of Figure 11;
+* :mod:`repro.opt.pipeline` — composition driver used by the benchmark
+  harness (base / RLE / Minv+Inline / all, per alias analysis level).
+"""
+
+from repro.opt.rle import RedundantLoadElimination, RLEStatistics
+from repro.opt.copyprop import CopyPropagation, CopyPropagationStats
+from repro.opt.methodres import MethodResolution, MethodResolutionStats
+from repro.opt.inline import Inliner, InlineStats
+from repro.opt.pipeline import OptimizationPipeline, PipelineResult
+
+__all__ = [
+    "RedundantLoadElimination",
+    "RLEStatistics",
+    "CopyPropagation",
+    "CopyPropagationStats",
+    "MethodResolution",
+    "MethodResolutionStats",
+    "Inliner",
+    "InlineStats",
+    "OptimizationPipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,592 @@
+"""IR interpreter with instruction/load accounting.
+
+Replaces the paper's Alpha simulator + ATOM instrumentation.  Counting
+conventions (Table 4 of the paper):
+
+* **instructions** — every executed IR instruction, terminators included;
+* **heap loads** — LoadField / LoadElem / LoadDopeData / LoadDopeCount,
+  and LoadInd when the handle resolves into the heap;
+* **other loads** — LoadVar of globals, and LoadInd hitting a variable
+  slot.  Reads of locals, parameters and temps are register traffic (the
+  paper's baseline ran GCC's register allocator).
+
+``tracer`` (when given) observes every *heap* load and store with its
+simulated address, loaded/stored value, instruction and activation id —
+the information ATOM recorded for the limit study.
+"""
+
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import ProgramIR, ProcIR
+from repro.lang import types as ty
+from repro.lang.symtab import Symbol
+from repro.lang.typecheck import MAIN_PROC
+from repro.runtime.machine import MachineModel
+from repro.runtime.values import (
+    ArrayRef,
+    DopeRef,
+    ElemLoc,
+    FieldLoc,
+    HeapAllocator,
+    M3RuntimeError,
+    ObjectRef,
+    RecordRef,
+    VarLoc,
+    default_value,
+)
+
+_GLOBAL_BASE = 0x1000
+_STACK_BASE = 0x8000_0000
+
+
+class ExecutionStats:
+    """Counters produced by one program run."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.heap_loads = 0
+        self.other_loads = 0
+        self.heap_stores = 0
+        self.other_stores = 0
+        self.calls = 0
+        self.allocations = 0
+        self.cycles = 0
+        self.output: List[str] = []
+
+    @property
+    def loads(self) -> int:
+        return self.heap_loads + self.other_loads
+
+    @property
+    def heap_load_fraction(self) -> float:
+        return self.heap_loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def other_load_fraction(self) -> float:
+        return self.other_loads / self.instructions if self.instructions else 0.0
+
+    def output_text(self) -> str:
+        return "".join(self.output)
+
+    def __repr__(self) -> str:
+        return (
+            "<ExecutionStats instrs={} heap_loads={} other_loads={} cycles={}>"
+            .format(self.instructions, self.heap_loads, self.other_loads, self.cycles)
+        )
+
+
+class _Store:
+    """Anything with a ``vars`` mapping — frames and the global area."""
+
+    __slots__ = ("vars",)
+
+    def __init__(self) -> None:
+        self.vars: Dict[Symbol, object] = {}
+
+
+class Frame(_Store):
+    """One procedure activation."""
+
+    __slots__ = ("temps", "activation_id", "base_addr", "_addrs")
+
+    def __init__(self, n_temps: int, activation_id: int, base_addr: int):
+        super().__init__()
+        self.temps: List[object] = [None] * n_temps
+        self.activation_id = activation_id
+        self.base_addr = base_addr
+        self._addrs: Dict[Symbol, int] = {}
+
+    def var_addr(self, symbol: Symbol) -> int:
+        addr = self._addrs.get(symbol)
+        if addr is None:
+            addr = self.base_addr + len(self._addrs) * 8
+            self._addrs[symbol] = addr
+        return addr
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.cfg.ProgramIR`."""
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        machine: Optional[MachineModel] = None,
+        tracer: Optional[object] = None,
+        max_steps: Optional[int] = None,
+    ):
+        self.program = program
+        self.machine = machine
+        self.tracer = tracer
+        self.max_steps = max_steps
+        self.stats = ExecutionStats()
+        self.heap = HeapAllocator()
+        self.globals = _Store()
+        self._global_addrs: Dict[Symbol, int] = {}
+        self._activations = 0
+        self._init_globals()
+
+    # ------------------------------------------------------------------
+
+    def _init_globals(self) -> None:
+        for i, symbol in enumerate(self.program.checked.globals):
+            assert symbol.type is not None
+            self.globals.vars[symbol] = default_value(symbol.type)
+            self._global_addrs[symbol] = _GLOBAL_BASE + i * 8
+
+    def run(self) -> ExecutionStats:
+        """Execute the module body and return the statistics."""
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 100_000))
+        try:
+            self.call_proc(MAIN_PROC, [])
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self.stats.allocations = self.heap.allocations
+        self.stats.cycles = self.stats.instructions + (
+            self.machine.cycles if self.machine else 0
+        )
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Procedure execution
+
+    def call_proc(self, name: str, args: List[object]) -> object:
+        proc = self.program.procs[name]
+        self._activations += 1
+        self.stats.calls += 1
+        frame = Frame(
+            proc.n_temps,
+            self._activations,
+            _STACK_BASE + (self._activations % 4096) * 512,
+        )
+        checked = proc.checked
+        for symbol, value in zip(checked.params, args):
+            frame.vars[symbol] = value
+        for symbol in checked.all_symbols:
+            if symbol not in frame.vars and symbol.type is not None:
+                frame.vars[symbol] = default_value(symbol.type)
+        return self._run_frame(proc, frame)
+
+    def _run_frame(self, proc: ProcIR, frame: Frame) -> object:
+        stats = self.stats
+        block = proc.entry
+        max_steps = self.max_steps
+        while True:
+            for instr in block.instrs:
+                if instr.counted:
+                    stats.instructions += 1
+                self._execute(instr, frame)
+            terminator = block.terminator
+            if terminator is None:
+                raise M3RuntimeError(
+                    "procedure {} fell off the end of block {}".format(
+                        proc.name, block.name
+                    )
+                )
+            stats.instructions += 1
+            if max_steps is not None and stats.instructions > max_steps:
+                raise M3RuntimeError("execution step limit exceeded")
+            if isinstance(terminator, ins.Jump):
+                block = terminator.target
+            elif isinstance(terminator, ins.Branch):
+                cond = frame.temps[terminator.cond.index]
+                block = terminator.if_true if cond else terminator.if_false
+            elif isinstance(terminator, ins.Return):
+                if terminator.value is None:
+                    return None
+                return frame.temps[terminator.value.index]
+            else:  # pragma: no cover
+                raise M3RuntimeError("unknown terminator {!r}".format(terminator))
+
+    # ------------------------------------------------------------------
+    # Instruction dispatch
+
+    def _execute(self, instr: ins.Instr, frame: Frame) -> None:
+        handler = _HANDLERS.get(type(instr))
+        if handler is None:  # pragma: no cover
+            raise M3RuntimeError("unknown instruction {!r}".format(instr))
+        handler(self, instr, frame)
+
+    # -- scalar plumbing -------------------------------------------------
+
+    def _ex_const(self, instr: ins.ConstInstr, frame: Frame) -> None:
+        frame.temps[instr.dest.index] = instr.value
+
+    def _ex_move(self, instr: ins.Move, frame: Frame) -> None:
+        frame.temps[instr.dest.index] = frame.temps[instr.src.index]
+
+    def _ex_loadvar(self, instr: ins.LoadVar, frame: Frame) -> None:
+        symbol = instr.symbol
+        if symbol.is_global:
+            value = self.globals.vars[symbol]
+            self.stats.other_loads += 1
+            if self.machine:
+                self.machine.load(self._global_addrs[symbol])
+        else:
+            value = frame.vars[symbol]
+        frame.temps[instr.dest.index] = value
+
+    def _ex_storevar(self, instr: ins.StoreVar, frame: Frame) -> None:
+        symbol = instr.symbol
+        value = frame.temps[instr.src.index]
+        if symbol.is_global:
+            self.globals.vars[symbol] = value
+            self.stats.other_stores += 1
+            if self.machine:
+                self.machine.store(self._global_addrs[symbol])
+        else:
+            frame.vars[symbol] = value
+
+    def _ex_binop(self, instr: ins.BinOp, frame: Frame) -> None:
+        a = frame.temps[instr.left.index]
+        b = frame.temps[instr.right.index]
+        frame.temps[instr.dest.index] = _BINOPS[instr.op](a, b)
+
+    def _ex_unop(self, instr: ins.UnOp, frame: Frame) -> None:
+        a = frame.temps[instr.operand.index]
+        frame.temps[instr.dest.index] = (-a) if instr.op == "neg" else (not a)
+
+    # -- heap loads/stores -----------------------------------------------
+
+    def _heap_load(self, instr: ins.Instr, addr: int, value: object, frame: Frame) -> None:
+        self.stats.heap_loads += 1
+        if self.machine:
+            self.machine.load(addr)
+        if self.tracer:
+            self.tracer.on_load(instr, addr, value, frame.activation_id)
+
+    def _heap_store(self, instr: ins.Instr, addr: int, value: object, frame: Frame) -> None:
+        self.stats.heap_stores += 1
+        if self.machine:
+            self.machine.store(addr)
+        if self.tracer:
+            self.tracer.on_store(instr, addr, value, frame.activation_id)
+
+    def _ex_loadfield(self, instr: ins.LoadField, frame: Frame) -> None:
+        base = frame.temps[instr.base.index]
+        if base is None:
+            if instr.speculative:
+                frame.temps[instr.dest.index] = None
+                return
+            raise M3RuntimeError("NIL dereference at {}".format(instr.loc))
+        value = base.slots[instr.field]
+        self._heap_load(instr, base.field_addr(instr.field), value, frame)
+        frame.temps[instr.dest.index] = value
+
+    def _ex_storefield(self, instr: ins.StoreField, frame: Frame) -> None:
+        base = frame.temps[instr.base.index]
+        if base is None:
+            raise M3RuntimeError("NIL dereference at {}".format(instr.loc))
+        value = frame.temps[instr.src.index]
+        base.slots[instr.field] = value
+        self._heap_store(instr, base.field_addr(instr.field), value, frame)
+
+    def _ex_loadelem(self, instr: ins.LoadElem, frame: Frame) -> None:
+        array = frame.temps[instr.base.index]
+        index = frame.temps[instr.index.index]
+        if instr.speculative:
+            if (
+                array is None
+                or not isinstance(index, int)
+                or index < 0
+                or index >= len(array.data)
+            ):
+                frame.temps[instr.dest.index] = None
+                return
+        if array is None:
+            raise M3RuntimeError("NIL array at {}".format(instr.loc))
+        array.check_index(index)
+        value = array.data[index]
+        self._heap_load(instr, array.elem_addr(index), value, frame)
+        frame.temps[instr.dest.index] = value
+
+    def _ex_storeelem(self, instr: ins.StoreElem, frame: Frame) -> None:
+        array = frame.temps[instr.base.index]
+        if array is None:
+            raise M3RuntimeError("NIL array at {}".format(instr.loc))
+        index = frame.temps[instr.index.index]
+        array.check_index(index)
+        value = frame.temps[instr.src.index]
+        array.data[index] = value
+        self._heap_store(instr, array.elem_addr(index), value, frame)
+
+    def _ex_loadrope_data(self, instr: ins.LoadDopeData, frame: Frame) -> None:
+        dope = frame.temps[instr.base.index]
+        if dope is None:
+            if instr.speculative:
+                frame.temps[instr.dest.index] = None
+                return
+            raise M3RuntimeError("NIL open array at {}".format(instr.loc))
+        value = dope.data
+        self._heap_load(instr, dope.data_addr, value, frame)
+        frame.temps[instr.dest.index] = value
+
+    def _ex_loadrope_count(self, instr: ins.LoadDopeCount, frame: Frame) -> None:
+        dope = frame.temps[instr.base.index]
+        if dope is None:
+            if instr.speculative:
+                frame.temps[instr.dest.index] = 0
+                return
+            raise M3RuntimeError("NIL open array at {}".format(instr.loc))
+        value = dope.count
+        self._heap_load(instr, dope.count_addr, value, frame)
+        frame.temps[instr.dest.index] = value
+
+    # -- indirect (handles and scalar REF cells) ---------------------------
+
+    def _ex_loadind(self, instr: ins.LoadInd, frame: Frame) -> None:
+        handle = frame.temps[instr.handle.index]
+        if handle is None:
+            if instr.speculative:
+                frame.temps[instr.dest.index] = None
+                return
+            raise M3RuntimeError("NIL dereference at {}".format(instr.loc))
+        if isinstance(handle, VarLoc):
+            value = handle.store.vars[handle.symbol]
+            self.stats.other_loads += 1
+            if self.machine:
+                self.machine.load(handle.addr)
+        elif isinstance(handle, FieldLoc):
+            value = handle.ref.slots[handle.field]
+            self._heap_load(instr, handle.ref.field_addr(handle.field), value, frame)
+        elif isinstance(handle, ElemLoc):
+            handle.array.check_index(handle.index)
+            value = handle.array.data[handle.index]
+            self._heap_load(instr, handle.array.elem_addr(handle.index), value, frame)
+        elif isinstance(handle, RecordRef):
+            value = handle.slots[RecordRef.SCALAR_SLOT]
+            self._heap_load(
+                instr, handle.field_addr(RecordRef.SCALAR_SLOT), value, frame
+            )
+        else:
+            raise M3RuntimeError("bad indirect load target {!r}".format(handle))
+        frame.temps[instr.dest.index] = value
+
+    def _ex_storeind(self, instr: ins.StoreInd, frame: Frame) -> None:
+        handle = frame.temps[instr.handle.index]
+        value = frame.temps[instr.src.index]
+        if handle is None:
+            raise M3RuntimeError("NIL dereference at {}".format(instr.loc))
+        if isinstance(handle, VarLoc):
+            handle.store.vars[handle.symbol] = value
+            self.stats.other_stores += 1
+            if self.machine:
+                self.machine.store(handle.addr)
+        elif isinstance(handle, FieldLoc):
+            handle.ref.slots[handle.field] = value
+            self._heap_store(instr, handle.ref.field_addr(handle.field), value, frame)
+        elif isinstance(handle, ElemLoc):
+            handle.array.check_index(handle.index)
+            handle.array.data[handle.index] = value
+            self._heap_store(instr, handle.array.elem_addr(handle.index), value, frame)
+        elif isinstance(handle, RecordRef):
+            handle.slots[RecordRef.SCALAR_SLOT] = value
+            self._heap_store(
+                instr, handle.field_addr(RecordRef.SCALAR_SLOT), value, frame
+            )
+        else:
+            raise M3RuntimeError("bad indirect store target {!r}".format(handle))
+
+    # -- address-of --------------------------------------------------------
+
+    def _ex_addrvar(self, instr: ins.AddrVar, frame: Frame) -> None:
+        symbol = instr.symbol
+        if symbol.is_global:
+            loc = VarLoc(self.globals, symbol, self._global_addrs[symbol])
+        else:
+            loc = VarLoc(frame, symbol, frame.var_addr(symbol))
+        frame.temps[instr.dest.index] = loc
+
+    def _ex_addrfield(self, instr: ins.AddrField, frame: Frame) -> None:
+        base = frame.temps[instr.base.index]
+        if base is None:
+            raise M3RuntimeError("NIL dereference at {}".format(instr.loc))
+        frame.temps[instr.dest.index] = FieldLoc(base, instr.field)
+
+    def _ex_addrelem(self, instr: ins.AddrElem, frame: Frame) -> None:
+        array = frame.temps[instr.base.index]
+        if array is None:
+            raise M3RuntimeError("NIL array at {}".format(instr.loc))
+        index = frame.temps[instr.index.index]
+        array.check_index(index)
+        frame.temps[instr.dest.index] = ElemLoc(array, index)
+
+    # -- allocation ---------------------------------------------------------
+
+    def _ex_newobject(self, instr: ins.NewObject, frame: Frame) -> None:
+        addr = self.heap.allocate(ObjectRef.size_of(instr.object_type))
+        frame.temps[instr.dest.index] = ObjectRef(instr.object_type, addr)
+
+    def _ex_newrecord(self, instr: ins.NewRecord, frame: Frame) -> None:
+        addr = self.heap.allocate(RecordRef.size_of(instr.ref_type))
+        frame.temps[instr.dest.index] = RecordRef(instr.ref_type, addr)
+
+    def _ex_newfixedarray(self, instr: ins.NewFixedArray, frame: Frame) -> None:
+        target = instr.ref_type.target
+        assert isinstance(target, ty.ArrayType) and target.length is not None
+        addr = self.heap.allocate(ArrayRef.size_of(target.element, target.length))
+        frame.temps[instr.dest.index] = ArrayRef(target.element, target.length, addr)
+
+    def _ex_newopenarray(self, instr: ins.NewOpenArray, frame: Frame) -> None:
+        target = instr.ref_type.target
+        assert isinstance(target, ty.ArrayType) and target.is_open
+        size = frame.temps[instr.size.index]
+        if not isinstance(size, int) or size < 0:
+            raise M3RuntimeError("bad open array size {!r}".format(size))
+        data_addr = self.heap.allocate(ArrayRef.size_of(target.element, size))
+        data = ArrayRef(target.element, size, data_addr)
+        dope_addr = self.heap.allocate(DopeRef.SIZE)
+        frame.temps[instr.dest.index] = DopeRef(data, dope_addr)
+
+    # -- calls ---------------------------------------------------------------
+
+    def _ex_call(self, instr: ins.Call, frame: Frame) -> None:
+        args = [frame.temps[a.index] for a in instr.args]
+        if self.machine:
+            self.machine.cycles += self.machine.CALL_OVERHEAD
+        result = self.call_proc(instr.proc_name, args)
+        if instr.dest is not None:
+            frame.temps[instr.dest.index] = result
+
+    def _ex_callmethod(self, instr: ins.CallMethod, frame: Frame) -> None:
+        receiver = frame.temps[instr.receiver.index]
+        if receiver is None:
+            raise M3RuntimeError("method call on NIL at {}".format(instr.loc))
+        impl = receiver.otype.method_impl(instr.method_name)
+        if impl is None:
+            raise M3RuntimeError(
+                "method {} unimplemented for {}".format(
+                    instr.method_name, receiver.otype.name
+                )
+            )
+        args = [frame.temps[a.index] for a in instr.args]
+        if self.machine:
+            self.machine.cycles += (
+                self.machine.CALL_OVERHEAD + self.machine.METHOD_DISPATCH_OVERHEAD
+            )
+        result = self.call_proc(impl, [receiver] + args)
+        if instr.dest is not None:
+            frame.temps[instr.dest.index] = result
+
+    def _ex_builtin(self, instr: ins.Builtin, frame: Frame) -> None:
+        args = [frame.temps[a.index] for a in instr.args]
+        result = _BUILTIN_IMPLS[instr.name](self, args, instr)
+        if instr.dest is not None:
+            frame.temps[instr.dest.index] = result
+
+    def _ex_typetest(self, instr: ins.TypeTest, frame: Frame) -> None:
+        value = frame.temps[instr.src.index]
+        if value is None:
+            result = True  # NIL is a member of every object type
+        elif isinstance(value, ObjectRef):
+            result = ty.is_subtype(value.otype, instr.target_type)
+        else:
+            result = False
+        frame.temps[instr.dest.index] = result
+
+    def _ex_narrow(self, instr: ins.NarrowChk, frame: Frame) -> None:
+        value = frame.temps[instr.src.index]
+        if value is not None:
+            if not isinstance(value, ObjectRef) or not ty.is_subtype(
+                value.otype, instr.target_type
+            ):
+                raise M3RuntimeError(
+                    "NARROW to {} fails at {}".format(instr.target_type.name, instr.loc)
+                )
+        frame.temps[instr.dest.index] = value
+
+
+# ----------------------------------------------------------------------
+# Operator and builtin tables
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise M3RuntimeError("DIV by zero")
+    return a // b
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise M3RuntimeError("MOD by zero")
+    return a % b
+
+
+_BINOPS: Dict[str, Callable[[object, object], object]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "DIV": _div,
+    "MOD": _mod,
+    "=": lambda a, b: a == b,
+    "#": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "AND": lambda a, b: bool(a and b),
+    "OR": lambda a, b: bool(a or b),
+}
+
+
+def _bi_textchar(interp: Interpreter, args: List[object], instr: ins.Instr) -> object:
+    text, index = args
+    if not isinstance(index, int) or index < 0 or index >= len(text):
+        raise M3RuntimeError("TextChar index {} out of range".format(index))
+    return text[index]
+
+
+def _bi_assert(interp: Interpreter, args: List[object], instr: ins.Instr) -> object:
+    if not args[0]:
+        raise M3RuntimeError("assertion failed at {}".format(instr.loc))
+    return None
+
+
+_BUILTIN_IMPLS: Dict[str, Callable[[Interpreter, List[object], ins.Instr], object]] = {
+    "ORD": lambda i, a, _: ord(a[0]) if isinstance(a[0], str) else int(a[0]),
+    "VAL": lambda i, a, _: chr(a[0]),
+    "ABS": lambda i, a, _: abs(a[0]),
+    "MIN": lambda i, a, _: min(a[0], a[1]),
+    "MAX": lambda i, a, _: max(a[0], a[1]),
+    "TextLen": lambda i, a, _: len(a[0]),
+    "TextChar": _bi_textchar,
+    "TextCat": lambda i, a, _: a[0] + a[1],
+    "IntToText": lambda i, a, _: str(a[0]),
+    "CharToText": lambda i, a, _: a[0],
+    "PutText": lambda i, a, _: i.stats.output.append(a[0]),
+    "PutInt": lambda i, a, _: i.stats.output.append(str(a[0])),
+    "PutChar": lambda i, a, _: i.stats.output.append(a[0]),
+    "ASSERT": _bi_assert,
+}
+
+
+_HANDLERS = {
+    ins.ConstInstr: Interpreter._ex_const,
+    ins.Move: Interpreter._ex_move,
+    ins.LoadVar: Interpreter._ex_loadvar,
+    ins.StoreVar: Interpreter._ex_storevar,
+    ins.BinOp: Interpreter._ex_binop,
+    ins.UnOp: Interpreter._ex_unop,
+    ins.LoadField: Interpreter._ex_loadfield,
+    ins.StoreField: Interpreter._ex_storefield,
+    ins.LoadElem: Interpreter._ex_loadelem,
+    ins.StoreElem: Interpreter._ex_storeelem,
+    ins.LoadDopeData: Interpreter._ex_loadrope_data,
+    ins.LoadDopeCount: Interpreter._ex_loadrope_count,
+    ins.LoadInd: Interpreter._ex_loadind,
+    ins.StoreInd: Interpreter._ex_storeind,
+    ins.AddrVar: Interpreter._ex_addrvar,
+    ins.AddrField: Interpreter._ex_addrfield,
+    ins.AddrElem: Interpreter._ex_addrelem,
+    ins.NewObject: Interpreter._ex_newobject,
+    ins.NewRecord: Interpreter._ex_newrecord,
+    ins.NewFixedArray: Interpreter._ex_newfixedarray,
+    ins.NewOpenArray: Interpreter._ex_newopenarray,
+    ins.Call: Interpreter._ex_call,
+    ins.CallMethod: Interpreter._ex_callmethod,
+    ins.Builtin: Interpreter._ex_builtin,
+    ins.TypeTest: Interpreter._ex_typetest,
+    ins.NarrowChk: Interpreter._ex_narrow,
+}

@@ -1,0 +1,129 @@
+"""The limit study of Section 3.5: dynamic redundancy and its causes.
+
+The paper measures, per benchmark, the fraction of heap loads that are
+*dynamically redundant* (Figure 9) before and after RLE, then manually
+classifies the residue (Figure 10) into:
+
+1. **Encapsulation** — implicit dope-vector loads the AST-level optimizer
+   cannot see;
+2. **Conditional** — partially redundant loads (redundant along some paths
+   only), out of reach of RLE but not of PRE;
+3. **Breakup** — the value was reloaded through a *different* access path
+   (a copy-propagation failure);
+4. **Alias failure** — RLE's availability was killed by a may-alias store
+   that dynamically never touched the address: genuine TBAA imprecision;
+5. **Rest** — everything else.
+
+We reproduce the classification automatically by joining three facts per
+redundant load occurrence: the instruction kind (dope or not), the static
+reason RLE left the load in place (recorded by the optimizer), and
+whether a store to the address actually intervened at run time.
+"""
+
+import enum
+from typing import Dict, Optional
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import ProgramIR
+from repro.runtime.interp import ExecutionStats, Interpreter
+from repro.runtime.machine import MachineModel
+from repro.runtime.tracing import LoadStoreTracer
+
+
+class Category(enum.Enum):
+    ENCAPSULATION = "Encapsulated"
+    CONDITIONAL = "Conditional"
+    BREAKUP = "Breakup"
+    ALIAS_FAILURE = "Alias failure"
+    REST = "Rest"
+
+
+#: Static statuses the optimizer records per heap-load instruction.
+#: (See repro.opt.rle.RLEStatistics.load_status.)
+STATUS_ELIMINATED = "eliminated"
+STATUS_HOISTED = "hoisted"
+STATUS_DOPE = "dope"
+STATUS_PARTIAL = "partial"
+STATUS_KILLED_STORE = "killed_store"
+STATUS_KILLED_CALL = "killed_call"
+STATUS_FRESH = "fresh"
+
+
+class RedundancyReport:
+    """Result of one limit-study run."""
+
+    def __init__(self) -> None:
+        self.total_heap_loads = 0
+        self.redundant_loads = 0
+        self.by_category: Dict[Category, int] = {c: 0 for c in Category}
+        self.stats: Optional[ExecutionStats] = None
+
+    @property
+    def redundant_fraction(self) -> float:
+        if self.total_heap_loads == 0:
+            return 0.0
+        return self.redundant_loads / self.total_heap_loads
+
+    def category_fraction(self, category: Category) -> float:
+        """Category count as a fraction of all heap loads (Figure 10's axis)."""
+        if self.total_heap_loads == 0:
+            return 0.0
+        return self.by_category[category] / self.total_heap_loads
+
+    def __repr__(self) -> str:
+        return "<RedundancyReport {}/{} redundant>".format(
+            self.redundant_loads, self.total_heap_loads
+        )
+
+
+class LimitStudy:
+    """Runs a program under the tracer and classifies redundant loads.
+
+    ``load_status`` maps heap-load instruction uid → static status string
+    (the constants above); pass the optimizer's record for optimized
+    programs, or ``None`` for unoptimized baselines (everything then
+    classifies by kind and dynamics only).
+    """
+
+    def __init__(
+        self,
+        program: ProgramIR,
+        load_status: Optional[Dict[int, str]] = None,
+        machine: Optional[MachineModel] = None,
+    ):
+        self.program = program
+        self.load_status = load_status or {}
+        self.machine = machine
+        self.report = RedundancyReport()
+
+    def run(self) -> RedundancyReport:
+        tracer = LoadStoreTracer(on_redundant=self._classify)
+        interp = Interpreter(self.program, machine=self.machine, tracer=tracer)
+        stats = interp.run()
+        self.report.stats = stats
+        self.report.total_heap_loads = tracer.total_loads
+        self.report.redundant_loads = tracer.redundant_loads
+        return self.report
+
+    # ------------------------------------------------------------------
+
+    def _classify(
+        self, instr: ins.Instr, prev_instr: ins.Instr, store_intervened: bool
+    ) -> None:
+        self.report.by_category[self._category(instr, prev_instr, store_intervened)] += 1
+
+    def _category(
+        self, instr: ins.Instr, prev_instr: ins.Instr, store_intervened: bool
+    ) -> Category:
+        if instr.is_dope:
+            return Category.ENCAPSULATION
+        status = self.load_status.get(instr.uid)
+        if status == STATUS_PARTIAL:
+            return Category.CONDITIONAL
+        # The same address was last loaded through a different lexical
+        # path: a copy/naming failure, not an analysis failure.
+        if prev_instr.ap is not None and instr.ap is not None and prev_instr.ap != instr.ap:
+            return Category.BREAKUP
+        if status == STATUS_KILLED_STORE and not store_intervened:
+            return Category.ALIAS_FAILURE
+        return Category.REST

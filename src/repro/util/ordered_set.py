@@ -1,0 +1,72 @@
+"""Insertion-ordered set.
+
+Analysis results in this project (alias-pair listings, type groups, mod-ref
+summaries) are rendered into tables that must be stable across runs, so we
+use an insertion-ordered set wherever iteration order leaks into output.
+Backed by a dict, which preserves insertion order in CPython >= 3.7.
+"""
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet(Generic[T]):
+    """A set that iterates in insertion order.
+
+    >>> s = OrderedSet([3, 1, 2, 1])
+    >>> list(s)
+    [3, 1, 2]
+    >>> s.add(1); s.add(9); list(s)
+    [3, 1, 2, 9]
+    """
+
+    def __init__(self, items: Iterable[T] = ()):
+        self._items: Dict[T, None] = dict.fromkeys(items)
+
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - sets are mutable
+        raise TypeError("OrderedSet is unhashable")
+
+    def __repr__(self) -> str:
+        return "OrderedSet({!r})".format(list(self._items))
+
+    def __or__(self, other: "OrderedSet[T]") -> "OrderedSet[T]":
+        result: OrderedSet[T] = OrderedSet(self)
+        result.update(other)
+        return result
+
+    def __and__(self, other: "OrderedSet[T]") -> "OrderedSet[T]":
+        return OrderedSet(item for item in self if item in other)
+
+    def intersection(self, other: Iterable[T]) -> "OrderedSet[T]":
+        other_set = set(other)
+        return OrderedSet(item for item in self if item in other_set)

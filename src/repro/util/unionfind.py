@@ -1,0 +1,108 @@
+"""Disjoint-set (union-find) structure.
+
+SMTypeRefs (Section 2.4 of the paper) merges declared pointer types into
+equivalence classes: one class per type initially, one union per pointer
+assignment whose sides have different declared types.  The natural backing
+structure is a union-find with path compression and union by size, which
+gives the paper's "O(n) bit-vector steps" flavour of near-linear behaviour.
+
+The structure is generic over hashable elements and supports late element
+registration (``find`` on an unseen element creates a singleton class),
+which keeps call sites simple.
+"""
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class UnionFind:
+    """Union-find over arbitrary hashable elements.
+
+    >>> uf = UnionFind(["T", "S1", "S2"])
+    >>> uf.union("T", "S1")
+    True
+    >>> uf.connected("T", "S1")
+    True
+    >>> uf.connected("T", "S2")
+    False
+    >>> sorted(uf.members("S1"))
+    ['S1', 'T']
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._n_classes = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as its own singleton class (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+            self._n_classes += 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        """Number of registered elements (not classes)."""
+        return len(self._parent)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct equivalence classes."""
+        return self._n_classes
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of *element*'s class.
+
+        Unseen elements are registered as singletons on the fly.
+        """
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path at the root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the classes of *a* and *b*.
+
+        Returns True if a merge happened, False if they were already in the
+        same class.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._n_classes -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True iff *a* and *b* are currently in the same class."""
+        return self.find(a) == self.find(b)
+
+    def members(self, element: Hashable) -> Set[Hashable]:
+        """Return the set of all elements in *element*'s class.
+
+        O(n) over registered elements; used only when materialising the
+        TypeRefsTable, never in the merge loop.
+        """
+        root = self.find(element)
+        return {e for e in self._parent if self.find(e) == root}
+
+    def classes(self) -> List[Set[Hashable]]:
+        """Return all equivalence classes as a list of sets."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

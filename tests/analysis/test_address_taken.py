@@ -1,0 +1,119 @@
+"""AddressTaken tests (Sections 2.3 and 4)."""
+
+from repro.analysis import SubtypeOracle, collect_address_taken
+from repro.lang import check_module, parse_module
+from repro.lang import types as ty
+
+
+def build(source, open_world=False):
+    checked = check_module(parse_module(source))
+    sub = SubtypeOracle(checked)
+    return checked, collect_address_taken(checked, sub, open_world=open_world)
+
+
+SOURCE = """
+MODULE M;
+TYPE
+  T = OBJECT n: INTEGER; f: T; END;
+  S = T OBJECT m: INTEGER; END;
+  Buf = REF ARRAY OF INTEGER;
+  CBuf = REF ARRAY OF CHAR;
+VAR t: T; s: S; buf: Buf; cbuf: CBuf; x: INTEGER;
+
+PROCEDURE TakeInt (VAR v: INTEGER) = BEGIN v := 0; END TakeInt;
+
+BEGIN
+  TakeInt (t.n);          (* field n of a T *)
+  TakeInt (buf^[2]);      (* element of a Buf array *)
+  TakeInt (x);            (* a variable *)
+  WITH w = s.m DO w := 1; END;   (* WITH takes an address too *)
+END M.
+"""
+
+
+class TestClosedWorld:
+    def test_field_taken(self):
+        checked, info = build(SOURCE)
+        t = checked.named_types["T"]
+        assert info.qualify_taken("n", t, ty.INTEGER)
+
+    def test_field_taken_via_subtype_compatibility(self):
+        """AddressTaken(p.f) is true for any base in TypeDecl(p): taking
+        &t.n also covers s.n for s: S <: T."""
+        checked, info = build(SOURCE)
+        s = checked.named_types["S"]
+        assert info.qualify_taken("n", s, ty.INTEGER)
+
+    def test_other_field_not_taken(self):
+        checked, info = build(SOURCE)
+        t = checked.named_types["T"]
+        assert not info.qualify_taken("f", t, t)
+
+    def test_with_statement_takes_address(self):
+        checked, info = build(SOURCE)
+        s = checked.named_types["S"]
+        assert info.qualify_taken("m", s, ty.INTEGER)
+
+    def test_array_element_taken_by_type_identity(self):
+        checked, info = build(SOURCE)
+        buf = checked.named_types["Buf"]
+        cbuf = checked.named_types["CBuf"]
+        assert info.subscript_taken(buf.target, ty.INTEGER)
+        assert not info.subscript_taken(cbuf.target, ty.CHAR)
+
+    def test_variable_taken(self):
+        checked, info = build(SOURCE)
+        x = next(g for g in checked.globals if g.name == "x")
+        t = next(g for g in checked.globals if g.name == "t")
+        assert info.var_taken(x)
+        assert not info.var_taken(t)
+
+    def test_nothing_taken_in_clean_program(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T;
+        BEGIN t.n := 1; END M.
+        """
+        checked, info = build(source)
+        t = checked.named_types["T"]
+        assert not info.qualify_taken("n", t, ty.INTEGER)
+
+
+class TestOpenWorld:
+    """Section 4: AddressTaken(p) also holds when a VAR formal of p's
+    exact type exists anywhere (unavailable callers may pass addresses)."""
+
+    def test_var_formal_type_taken(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T;
+        PROCEDURE P (VAR v: INTEGER) = BEGIN v := 1; END P;
+        BEGIN t.n := 1; END M.
+        """
+        checked, closed = build(source)
+        _, opened = build(source, open_world=True)
+        t = checked.named_types["T"]
+        # closed world: address never taken (P is never called with t.n)
+        assert not closed.qualify_taken("n", t, ty.INTEGER)
+        # open world: some unavailable caller may pass any INTEGER location
+        _, opened = build(source, open_world=True)
+        t2 = opened  # silence lint
+        checked2 = check_module(parse_module(source))
+        assert opened.qualify_taken("n", checked2.named_types["T"], ty.INTEGER)
+
+    def test_type_equality_not_compatibility(self):
+        """Modula-3 VAR formals require *identical* types, so a VAR T
+        formal does not open up INTEGER locations."""
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T;
+        PROCEDURE P (VAR v: T) = BEGIN END P;
+        BEGIN t.n := 1; END M.
+        """
+        checked, opened = build(source, open_world=True)
+        t = checked.named_types["T"]
+        assert not opened.qualify_taken("n", t, ty.INTEGER)  # n: INTEGER ≠ T
+        assert opened.qualify_taken("f", t, t)  # a T-typed path is open

@@ -1,0 +1,176 @@
+"""Call graph and mod-ref summary tests."""
+
+from repro.analysis import CallGraph, ModRefAnalysis
+from repro.ir.lowering import lower_program
+
+
+def lower(source):
+    return lower_program(source)
+
+
+SOURCE = """
+MODULE M;
+TYPE
+  T = OBJECT n: INTEGER; METHODS m () := PImpl; END;
+  S = T OBJECT OVERRIDES m := SImpl; END;
+VAR t: T; g: INTEGER;
+
+PROCEDURE PImpl (self: T) = BEGIN self.n := 1; END PImpl;
+PROCEDURE SImpl (self: S) = BEGIN g := 2; END SImpl;
+
+PROCEDURE Leaf () = BEGIN END Leaf;
+
+PROCEDURE WritesField () =
+BEGIN
+  t.n := 3;
+END WritesField;
+
+PROCEDURE Middle () =
+BEGIN
+  WritesField ();
+  Leaf ();
+END Middle;
+
+PROCEDURE Bump (VAR v: INTEGER) =
+BEGIN
+  v := v + 1;
+END Bump;
+
+PROCEDURE CallsBumpOnGlobal () =
+BEGIN
+  Bump (g);
+END CallsBumpOnGlobal;
+
+PROCEDURE Dispatch () =
+BEGIN
+  t.m ();
+END Dispatch;
+
+BEGIN
+  Middle ();
+  Dispatch ();
+  CallsBumpOnGlobal ();
+END M.
+"""
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        program = lower(SOURCE)
+        graph = CallGraph(program)
+        assert graph.callees["Middle"] == {"WritesField", "Leaf"}
+        assert "Middle" in graph.callers["Leaf"]
+
+    def test_method_targets_bounded_by_static_type(self):
+        program = lower(SOURCE)
+        graph = CallGraph(program)
+        t = program.checked.named_types["T"]
+        s = program.checked.named_types["S"]
+        assert set(graph.method_targets(t, "m")) == {"PImpl", "SImpl"}
+        assert set(graph.method_targets(s, "m")) == {"SImpl"}
+
+    def test_dispatch_edges_in_graph(self):
+        program = lower(SOURCE)
+        graph = CallGraph(program)
+        assert {"PImpl", "SImpl"} <= graph.callees["Dispatch"]
+
+
+class TestModRef:
+    def test_direct_heap_write(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        writes = modref.summary("WritesField").heap_writes
+        assert any(str(ap) == "t.n" for ap in writes)
+
+    def test_transitive_heap_write(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        writes = modref.summary("Middle").heap_writes
+        assert any(str(ap) == "t.n" for ap in writes)
+
+    def test_leaf_writes_nothing(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        summary = modref.summary("Leaf")
+        assert not summary.heap_writes
+        assert not summary.global_writes
+
+    def test_global_write_transitive_through_methods(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        g = next(s for s in program.checked.globals if s.name == "g")
+        # Dispatch may reach SImpl which writes g.
+        assert g in modref.summary("Dispatch").global_writes
+
+    def test_var_param_write_detected(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        assert modref.summary("Bump").param_writes == {0}
+
+    def test_var_param_write_resolves_to_global_at_call_site(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        g = next(s for s in program.checked.globals if s.name == "g")
+        assert g in modref.summary("CallsBumpOnGlobal").global_writes
+
+    def test_call_site_kill_queries(self):
+        program = lower(SOURCE)
+        modref = ModRefAnalysis(program)
+        from repro.ir import instructions as ins
+
+        main = program.main
+        calls = [i for i in main.all_instrs() if isinstance(i, ins.Call)]
+        by_name = {c.proc_name: c for c in calls}
+        g = next(s for s in program.checked.globals if s.name == "g")
+        assert modref.call_may_write_global(by_name["CallsBumpOnGlobal"], g)
+        assert not modref.call_may_write_global(by_name["Middle"], g)
+        heap = modref.call_heap_writes(by_name["Middle"])
+        assert any(str(ap) == "t.n" for ap in heap)
+
+    def test_reads_tracked(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T; x: INTEGER;
+        PROCEDURE Read () = BEGIN x := t.n; END Read;
+        BEGIN Read (); END M.
+        """
+        program = lower(source)
+        modref = ModRefAnalysis(program)
+        reads = modref.summary("Read").heap_reads
+        assert any(str(ap) == "t.n" for ap in reads)
+
+    def test_recursion_terminates(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; f: T; END;
+        VAR t: T;
+        PROCEDURE Walk (p: T) =
+        BEGIN
+          IF p # NIL THEN
+            p.n := 1;
+            Walk (p.f);
+          END;
+        END Walk;
+        BEGIN Walk (t); END M.
+        """
+        program = lower(source)
+        modref = ModRefAnalysis(program)
+        assert any(str(ap) == "p.n" for ap in modref.summary("Walk").heap_writes)
+
+    def test_with_handle_to_global_counts_as_global_write(self):
+        source = """
+        MODULE M;
+        VAR g: INTEGER;
+        PROCEDURE P () =
+        BEGIN
+          WITH w = g DO
+            w := 1;
+          END;
+        END P;
+        BEGIN P (); END M.
+        """
+        program = lower(source)
+        modref = ModRefAnalysis(program)
+        g = next(s for s in program.checked.globals if s.name == "g")
+        assert g in modref.summary("P").global_writes

@@ -1,0 +1,96 @@
+"""Tests for the explain() query tracer."""
+
+import pytest
+
+from repro.analysis import (
+    FieldTypeDeclAnalysis,
+    SubtypeOracle,
+    collect_address_taken,
+)
+from repro.analysis.typedecl import TypeDeclOracle
+from repro.ir.access_path import ConstIndex, Deref, Qualify, Subscript, VarRoot
+from repro.lang import check_module, parse_module
+
+SOURCE = """
+MODULE M;
+TYPE
+  T = OBJECT f, g: T; n: INTEGER; END;
+  IntRef = REF INTEGER;
+  Buf = REF ARRAY OF INTEGER;
+VAR t, u: T; p: IntRef; buf: Buf;
+PROCEDURE Take (VAR v: INTEGER) = BEGIN END Take;
+BEGIN
+  Take (t.n);
+END M.
+"""
+
+
+@pytest.fixture(scope="module")
+def env():
+    checked = check_module(parse_module(SOURCE))
+    sub = SubtypeOracle(checked)
+    analysis = FieldTypeDeclAnalysis(
+        TypeDeclOracle(sub), collect_address_taken(checked, sub)
+    )
+    roots = {g.name: VarRoot(g) for g in checked.globals}
+    return checked, analysis, roots
+
+
+def qual(checked, roots, base, field):
+    t = roots[base].type
+    return Qualify(roots[base], field, t.field_type(field), t.field_owner(field))
+
+
+def test_case1_identity(env):
+    checked, analysis, roots = env
+    p = qual(checked, roots, "t", "f")
+    text = analysis.explain(p, p)
+    assert "[case 1]" in text and "MAY alias" in text
+
+
+def test_case2_field_mismatch(env):
+    checked, analysis, roots = env
+    text = analysis.explain(
+        qual(checked, roots, "t", "f"), qual(checked, roots, "t", "g")
+    )
+    assert "[case 2]" in text and "do NOT alias" in text
+
+
+def test_case2_recursion_shown(env):
+    checked, analysis, roots = env
+    text = analysis.explain(
+        qual(checked, roots, "t", "f"), qual(checked, roots, "u", "f")
+    )
+    assert "[case 2]" in text and "[case 7]" in text  # recursed to roots
+    assert "MAY alias" in text
+
+
+def test_case3_address_taken(env):
+    checked, analysis, roots = env
+    deref = Deref(roots["p"], roots["p"].type.target)
+    text = analysis.explain(qual(checked, roots, "t", "n"), deref)
+    assert "[case 3]" in text and "AddressTaken" in text
+    assert "MAY alias" in text
+
+
+def test_case5_qualify_subscript(env):
+    checked, analysis, roots = env
+    arr = roots["buf"].type.target
+    sub = Subscript(Deref(roots["buf"], arr), ConstIndex(0), arr.element)
+    text = analysis.explain(qual(checked, roots, "t", "n"), sub)
+    assert "[case 5]" in text and "do NOT alias" in text
+
+
+def test_explain_matches_may_alias(env):
+    checked, analysis, roots = env
+    paths = [
+        qual(checked, roots, "t", "f"),
+        qual(checked, roots, "t", "n"),
+        qual(checked, roots, "u", "f"),
+        Deref(roots["p"], roots["p"].type.target),
+    ]
+    for p in paths:
+        for q in paths:
+            verdict = analysis.may_alias(p, q)
+            text = analysis.explain(p, q)
+            assert ("MAY alias" in text) == verdict

@@ -1,0 +1,221 @@
+"""FieldTypeDecl tests — one test per case of the paper's Table 2."""
+
+import pytest
+
+from repro.analysis import (
+    FieldTypeDeclAnalysis,
+    SubtypeOracle,
+    collect_address_taken,
+)
+from repro.analysis.typedecl import TypeDeclOracle
+from repro.ir.access_path import (
+    ConstIndex,
+    Deref,
+    Qualify,
+    Subscript,
+    VarIndex,
+    VarRoot,
+)
+from repro.lang import check_module, parse_module
+from repro.lang import types as ty
+
+SOURCE = """
+MODULE M;
+TYPE
+  T = OBJECT f, g: T; n: INTEGER; END;
+  S = T OBJECT extra: INTEGER; END;
+  IntRef = REF INTEGER;
+  Buf = REF ARRAY OF INTEGER;
+  CharBuf = REF ARRAY OF CHAR;
+VAR
+  t, t2: T; s: S; p: IntRef; buf, buf2: Buf; cbuf: CharBuf;
+  i, j: INTEGER;
+
+PROCEDURE TakeInt (VAR v: INTEGER) = BEGIN v := v + 1; END TakeInt;
+
+BEGIN
+  (* address of an INTEGER object field and of a Buf element are taken *)
+  TakeInt (t.n);
+  TakeInt (buf^[0]);
+END M.
+"""
+
+SOURCE_NO_TAKEN = """
+MODULE M;
+TYPE
+  T = OBJECT f: T; n: INTEGER; END;
+  IntRef = REF INTEGER;
+  Buf = REF ARRAY OF INTEGER;
+VAR t: T; p: IntRef; buf: Buf;
+BEGIN
+END M.
+"""
+
+
+def build(source):
+    checked = check_module(parse_module(source))
+    sub = SubtypeOracle(checked)
+    taken = collect_address_taken(checked, sub)
+    analysis = FieldTypeDeclAnalysis(TypeDeclOracle(sub), taken)
+    roots = {g.name: VarRoot(g) for g in checked.globals}
+    return checked, analysis, roots
+
+
+@pytest.fixture(scope="module")
+def env():
+    return build(SOURCE)
+
+
+def q(roots, base, field, checked):
+    base_root = roots[base]
+    base_type = base_root.type
+    ftype = base_type.field_type(field)
+    return Qualify(base_root, field, ftype, base_type.field_owner(field))
+
+
+def deref(roots, name):
+    root = roots[name]
+    return Deref(root, root.type.target)
+
+
+def sub_elem(roots, name, index_term):
+    root = roots[name]
+    arr = root.type.target
+    return Subscript(Deref(root, arr), index_term, arr.element)
+
+
+class TestCase1Identity:
+    def test_identical_paths_alias(self, env):
+        checked, analysis, roots = env
+        p1 = q(roots, "t", "f", checked)
+        p2 = q(roots, "t", "f", checked)
+        assert analysis.may_alias(p1, p2)
+
+
+class TestCase2QualifyQualify:
+    def test_same_field_compatible_bases(self, env):
+        checked, analysis, roots = env
+        assert analysis.may_alias(q(roots, "t", "f", checked), q(roots, "t2", "f", checked))
+
+    def test_same_field_sub_and_supertype_bases(self, env):
+        checked, analysis, roots = env
+        assert analysis.may_alias(q(roots, "t", "f", checked), q(roots, "s", "f", checked))
+
+    def test_different_fields_never_alias(self, env):
+        """This is the distinction TypeDecl misses: t.f vs t.g."""
+        checked, analysis, roots = env
+        assert not analysis.may_alias(q(roots, "t", "f", checked), q(roots, "t", "g", checked))
+
+    def test_same_field_incompatible_bases(self, env):
+        checked, analysis, roots = env
+        # t.n vs s.extra: different fields anyway; build unrelated same-name
+        # case via n on T vs n on... only one n; check recursion instead:
+        # s.extra vs s.extra trivially aliases.
+        p = q(roots, "s", "extra", checked)
+        assert analysis.may_alias(p, p)
+
+
+class TestCase3QualifyDeref:
+    def test_taken_field_aliases_deref(self, env):
+        checked, analysis, roots = env
+        # address of t.n was taken; p: REF INTEGER
+        assert analysis.may_alias(q(roots, "t", "n", checked), deref(roots, "p"))
+
+    def test_untaken_field_does_not_alias_deref(self):
+        checked, analysis, roots = build(SOURCE_NO_TAKEN)
+        assert not analysis.may_alias(q(roots, "t", "n", checked), deref(roots, "p"))
+
+    def test_type_incompatible_field_does_not_alias_deref(self, env):
+        checked, analysis, roots = env
+        # t.f has type T, p^ has type INTEGER
+        assert not analysis.may_alias(q(roots, "t", "f", checked), deref(roots, "p"))
+
+
+class TestCase4DerefSubscript:
+    def test_taken_element_aliases_deref(self, env):
+        checked, analysis, roots = env
+        elem = sub_elem(roots, "buf", ConstIndex(0))
+        assert analysis.may_alias(deref(roots, "p"), elem)
+
+    def test_untaken_element_no_alias(self):
+        checked, analysis, roots = build(SOURCE_NO_TAKEN)
+        elem = sub_elem(roots, "buf", ConstIndex(0))
+        assert not analysis.may_alias(deref(roots, "p"), elem)
+
+    def test_char_elements_type_incompatible(self, env):
+        checked, analysis, roots = env
+        elem = sub_elem(roots, "cbuf", ConstIndex(0))
+        assert not analysis.may_alias(deref(roots, "p"), elem)
+
+
+class TestCase5QualifySubscript:
+    def test_never_alias(self, env):
+        checked, analysis, roots = env
+        elem = sub_elem(roots, "buf", ConstIndex(0))
+        assert not analysis.may_alias(q(roots, "t", "n", checked), elem)
+        # even though t.n's address is taken and both are INTEGER locations
+
+
+class TestCase6SubscriptSubscript:
+    def test_same_array_type_aliases(self, env):
+        checked, analysis, roots = env
+        e1 = sub_elem(roots, "buf", ConstIndex(0))
+        e2 = sub_elem(roots, "buf2", ConstIndex(5))
+        assert analysis.may_alias(e1, e2)
+
+    def test_subscripts_ignored(self, env):
+        checked, analysis, roots = env
+        sym_i = next(g for g in checked.globals if g.name == "i")
+        sym_j = next(g for g in checked.globals if g.name == "j")
+        e1 = sub_elem(roots, "buf", VarIndex(sym_i))
+        e2 = sub_elem(roots, "buf", VarIndex(sym_j))
+        assert analysis.may_alias(e1, e2)
+
+    def test_different_element_types_no_alias(self, env):
+        checked, analysis, roots = env
+        e1 = sub_elem(roots, "buf", ConstIndex(0))
+        e2 = sub_elem(roots, "cbuf", ConstIndex(0))
+        assert not analysis.may_alias(e1, e2)
+
+
+class TestCase7Fallback:
+    def test_two_derefs_same_type(self, env):
+        checked, analysis, roots = env
+        assert analysis.may_alias(deref(roots, "p"), deref(roots, "p"))
+
+    def test_roots_by_typedecl(self, env):
+        checked, analysis, roots = env
+        assert analysis.may_alias(roots["t"], roots["s"])
+        assert not analysis.may_alias(roots["t"], roots["p"])
+
+
+class TestRecursionThroughBases:
+    def test_deep_paths(self, env):
+        checked, analysis, roots = env
+        # t.f.f vs s.f.f : same fields all the way; bases compatible
+        t_ff = Qualify(q(roots, "t", "f", checked), "f",
+                       checked.named_types["T"], checked.named_types["T"])
+        s_ff = Qualify(q(roots, "s", "f", checked), "f",
+                       checked.named_types["T"], checked.named_types["T"])
+        assert analysis.may_alias(t_ff, s_ff)
+
+    def test_deep_paths_field_mismatch(self, env):
+        checked, analysis, roots = env
+        T = checked.named_types["T"]
+        t_ff = Qualify(q(roots, "t", "f", checked), "f", T, T)
+        t_gf = Qualify(q(roots, "t", "g", checked), "f", T, T)
+        # same final field, bases differ in field: recursion distinguishes
+        assert not analysis.may_alias(
+            Qualify(t_ff, "n", ty.INTEGER, T), Qualify(t_gf, "g", T, T)
+        )
+
+
+def test_cache_consistency(env):
+    checked, analysis, roots = env
+    p1 = q(roots, "t", "f", checked)
+    p2 = q(roots, "s", "f", checked)
+    first = analysis.may_alias(p1, p2)
+    second = analysis.may_alias(p2, p1)
+    assert first == second
+    analysis.cache_clear()
+    assert analysis.may_alias(p1, p2) == first

@@ -1,0 +1,77 @@
+"""Cross-analysis invariants over the whole benchmark suite.
+
+The paper states SMFieldTypeRefs is *strictly more powerful* than
+FieldTypeDecl, and FieldTypeDecl than TypeDecl — so their alias relations
+must be ordered by inclusion, and their pair counts monotone.  We verify
+this on every benchmark (the paper uses this ordering to justify static
+comparison in Table 5).
+"""
+
+import pytest
+
+from repro.analysis import AliasPairCounter, collect_heap_references
+from repro.bench import registry
+from repro.bench.suite import BASE
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_pair_counts_monotone(suite, name):
+    program = suite.program(name)
+    base = suite.build(name, BASE)
+    td = AliasPairCounter(base.program, program.analysis("TypeDecl")).count()
+    ftd = AliasPairCounter(base.program, program.analysis("FieldTypeDecl")).count()
+    smftr = AliasPairCounter(base.program, program.analysis("SMFieldTypeRefs")).count()
+    assert smftr.local_pairs <= ftd.local_pairs <= td.local_pairs
+    assert smftr.global_pairs <= ftd.global_pairs <= td.global_pairs
+
+
+@pytest.mark.parametrize("name", ["format", "slisp", "k-tree"])
+def test_relation_inclusion_pointwise(suite, name):
+    """may-alias(SMFTR) ⊆ may-alias(FTD) ⊆ may-alias(TD), pair by pair."""
+    program = suite.program(name)
+    base = suite.build(name, BASE)
+    td = program.analysis("TypeDecl")
+    ftd = program.analysis("FieldTypeDecl")
+    smftr = program.analysis("SMFieldTypeRefs")
+    refs = [
+        ap for aps in collect_heap_references(base.program).values() for ap in aps
+    ]
+    refs = refs[:60]  # bound the quadratic loop
+    for i, p in enumerate(refs):
+        for q in refs[i:]:
+            if smftr.may_alias(p, q):
+                assert ftd.may_alias(p, q), (str(p), str(q))
+            if ftd.may_alias(p, q):
+                assert td.may_alias(p, q), (str(p), str(q))
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_open_world_is_more_conservative(suite, name):
+    """Open-world may-alias must include closed-world may-alias."""
+    program = suite.program(name)
+    base = suite.build(name, BASE)
+    closed = program.analysis("SMFieldTypeRefs")
+    opened = program.analysis("SMFieldTypeRefs", open_world=True)
+    refs = [
+        ap for aps in collect_heap_references(base.program).values() for ap in aps
+    ]
+    refs = refs[:45]
+    for i, p in enumerate(refs):
+        for q in refs[i:]:
+            if closed.may_alias(p, q):
+                assert opened.may_alias(p, q), (str(p), str(q))
+
+
+@pytest.mark.parametrize("name", ["format", "k-tree"])
+def test_alias_relation_reflexive_symmetric(suite, name):
+    program = suite.program(name)
+    base = suite.build(name, BASE)
+    analysis = program.analysis("SMFieldTypeRefs")
+    refs = [
+        ap for aps in collect_heap_references(base.program).values() for ap in aps
+    ][:40]
+    for p in refs:
+        assert analysis.may_alias(p, p)
+    for i, p in enumerate(refs):
+        for q in refs[i:]:
+            assert analysis.may_alias(p, q) == analysis.may_alias(q, p)

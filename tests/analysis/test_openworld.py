@@ -1,0 +1,101 @@
+"""Open-world analysis tests (Section 4)."""
+
+import pytest
+
+from repro.analysis import AliasPairCounter, make_analysis
+from repro.analysis.openworld import AnalysisContext
+from repro.analysis.smtyperefs import SMTypeRefsOracle
+from repro.analysis.typehierarchy import SubtypeOracle
+from repro.lang import check_module, parse_module
+
+
+LIBRARY = """
+MODULE Lib;
+TYPE
+  Node = OBJECT v: INTEGER; next: Node; END;
+  Wide = Node OBJECT extra: INTEGER; END;
+  Secret = BRANDED "lib.secret" OBJECT v: INTEGER; next: Secret; END;
+  SecretKid = Secret OBJECT w: INTEGER; END;
+VAR n: Node; s: Secret;
+BEGIN
+  n := NEW (Node, v := 1);
+  s := NEW (Secret, v := 2);
+END Lib.
+"""
+
+
+def oracles():
+    checked = check_module(parse_module(LIBRARY))
+    sub = SubtypeOracle(checked)
+    closed = SMTypeRefsOracle(checked, sub)
+    opened = SMTypeRefsOracle(checked, sub, open_world=True)
+    return checked, closed, opened
+
+
+class TestConservativeMerging:
+    def test_structural_subtype_merged_in_open_world(self):
+        checked, closed, opened = oracles()
+        node = checked.named_types["Node"]
+        wide = checked.named_types["Wide"]
+        assert id(wide) not in closed.type_refs(node)
+        assert id(wide) in opened.type_refs(node)
+
+    def test_branded_types_stay_separate(self):
+        """Unavailable code cannot reconstruct a BRANDED type, so brands
+        keep their observed-assignment-only merging even open-world."""
+        checked, closed, opened = oracles()
+        secret = checked.named_types["Secret"]
+        kid = checked.named_types["SecretKid"]
+        assert id(kid) not in opened.type_refs(secret)
+
+    def test_open_world_is_superset(self):
+        checked, closed, opened = oracles()
+        for name in ("Node", "Wide", "Secret", "SecretKid"):
+            t = checked.named_types[name]
+            assert closed.type_refs(t) <= opened.type_refs(t)
+
+
+class TestFactory:
+    def test_make_analysis_names(self):
+        checked = check_module(parse_module(LIBRARY))
+        for name in ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"):
+            assert make_analysis(checked, name).name == name
+
+    def test_unknown_name(self):
+        checked = check_module(parse_module(LIBRARY))
+        with pytest.raises(ValueError):
+            make_analysis(checked, "Magic")
+
+    def test_context_shares_facts(self):
+        checked = check_module(parse_module(LIBRARY))
+        ctx = AnalysisContext(checked)
+        a = ctx.build("FieldTypeDecl")
+        b = ctx.build("SMFieldTypeRefs")
+        assert a.address_taken is b.address_taken
+
+
+class TestSuiteLevel:
+    @pytest.mark.parametrize("name", ["dom", "postcard"])
+    def test_open_world_adds_pairs_on_branded_programs(self, suite, name):
+        """dom/postcard declare unexercised subtypes; the open world must
+        assume clients exercise them (except behind brands)."""
+        program = suite.program(name)
+        base = suite.build(name)
+        closed = AliasPairCounter(
+            base.program, program.analysis("SMFieldTypeRefs")
+        ).count()
+        opened = AliasPairCounter(
+            base.program, program.analysis("SMFieldTypeRefs", open_world=True)
+        ).count()
+        assert opened.global_pairs >= closed.global_pairs
+
+    def test_open_world_rle_never_better(self, suite):
+        from repro.bench.suite import RunConfig
+
+        for name in ("format", "m3cg"):
+            closed = suite.run(name, RunConfig(analysis="SMFieldTypeRefs"))
+            opened = suite.run(
+                name, RunConfig(analysis="SMFieldTypeRefs", open_world=True)
+            )
+            assert opened.heap_loads >= closed.heap_loads
+            assert opened.output_text() == closed.output_text()

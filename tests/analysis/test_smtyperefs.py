@@ -1,0 +1,235 @@
+"""SMTypeRefs tests — the paper's Figure 2 / Figure 3 / Table 3."""
+
+import pytest
+
+from repro.analysis import (
+    SMTypeRefsOracle,
+    SubtypeOracle,
+    collect_pointer_assignments,
+)
+from repro.lang import check_module, parse_module
+
+
+def build(source):
+    checked = check_module(parse_module(source))
+    sub = SubtypeOracle(checked)
+    return checked, SMTypeRefsOracle(checked, sub)
+
+
+def refs(checked, oracle, name):
+    return sorted(
+        t.name for t in oracle.type_refs_types(checked.named_types[name])
+    )
+
+
+PAPER_EXAMPLE = """
+MODULE M;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+VAR
+  s1: S1 := NEW (S1);
+  s2: S2 := NEW (S2);
+  s3: S3 := NEW (S3);
+  t: T;
+BEGIN
+  t := s1; (* Statement 1 *)
+  t := s2; (* Statement 2 *)
+END M.
+"""
+
+
+class TestPaperExample:
+    """Figure 3 / Figure 4 / Table 3, verbatim."""
+
+    def test_table3(self):
+        checked, oracle = build(PAPER_EXAMPLE)
+        assert refs(checked, oracle, "T") == ["S1", "S2", "T"]
+        assert refs(checked, oracle, "S1") == ["S1"]
+        assert refs(checked, oracle, "S2") == ["S2"]
+        assert refs(checked, oracle, "S3") == ["S3"]
+
+    def test_asymmetry(self):
+        """T may reference S1 objects but S1 paths may not reference T —
+        the pruning of Step 3 that plain Steensgaard merging misses
+        (the paper's footnote 4)."""
+        checked, oracle = build(PAPER_EXAMPLE)
+        t = checked.named_types["T"]
+        s1 = checked.named_types["S1"]
+        assert id(s1) in oracle.type_refs(t)
+        assert id(t) not in oracle.type_refs(s1)
+
+    def test_s3_never_merged(self):
+        """TypeDecl must assume T may reference S3; SMTypeRefs proves not."""
+        checked, oracle = build(PAPER_EXAMPLE)
+        t = checked.named_types["T"]
+        s3 = checked.named_types["S3"]
+        assert id(s3) not in oracle.type_refs(t)
+        assert SubtypeOracle(checked).compatible(t, s3)  # TypeDecl says yes
+
+
+class TestNoAssignments:
+    def test_every_type_singleton(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S = T OBJECT END;
+        VAR t: T; s: S;
+        END M.
+        """
+        checked, oracle = build(source)
+        assert refs(checked, oracle, "T") == ["T"]
+        assert refs(checked, oracle, "S") == ["S"]
+
+
+class TestImplicitAssignments:
+    def test_parameter_binding_merges(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S = T OBJECT END;
+        VAR s: S;
+        PROCEDURE P (x: T) = BEGIN END P;
+        BEGIN P (s); END M.
+        """
+        checked, oracle = build(source)
+        assert refs(checked, oracle, "T") == ["S", "T"]
+
+    def test_return_merges(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S = T OBJECT END;
+        VAR t: T;
+        PROCEDURE Make (): T =
+        BEGIN
+          RETURN NEW (S);
+        END Make;
+        BEGIN t := Make (); END M.
+        """
+        checked, oracle = build(source)
+        assert refs(checked, oracle, "T") == ["S", "T"]
+
+    def test_new_field_init_merges(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT link: T; END; S = T OBJECT END;
+        VAR t: T;
+        BEGIN t := NEW (T, link := NEW (S)); END M.
+        """
+        checked, oracle = build(source)
+        assert "S" in refs(checked, oracle, "T")
+
+    def test_narrow_merges(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S = T OBJECT END;
+        VAR t: T; s: S;
+        BEGIN s := NARROW (t, S); END M.
+        """
+        checked, oracle = build(source)
+        assert "S" in refs(checked, oracle, "T")
+
+    def test_method_receiver_merges(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT METHODS m () := P; END;
+             S = T OBJECT END;
+        VAR s: S;
+        PROCEDURE P (self: T) = BEGIN END P;
+        BEGIN s.m (); END M.
+        """
+        checked, oracle = build(source)
+        # receiver s (S) binds to P's formal of type T
+        assert "S" in refs(checked, oracle, "T")
+
+    def test_nil_assignment_does_not_merge(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S = T OBJECT END;
+        VAR t: T; s: S;
+        BEGIN t := NIL; s := NIL; END M.
+        """
+        checked, oracle = build(source)
+        assert refs(checked, oracle, "T") == ["T"]
+
+    def test_var_decl_initialiser_merges(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S = T OBJECT END;
+        VAR t: T := NEW (S);
+        END M.
+        """
+        checked, oracle = build(source)
+        assert "S" in refs(checked, oracle, "T")
+
+
+class TestAssignmentCollector:
+    def test_kinds_collected(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT link: T; END; S = T OBJECT END;
+        VAR t: T; s: S;
+        PROCEDURE P (x: T): T = BEGIN RETURN x; END P;
+        BEGIN
+          t := s;
+          t := NEW (T, link := NEW (S));
+          t := P (s);
+          s := NARROW (t, S);
+        END M.
+        """
+        checked = check_module(parse_module(source))
+        kinds = {a.kind for a in collect_pointer_assignments(checked)}
+        assert {"assign", "new-field", "param", "return", "narrow"} <= kinds
+
+    def test_scalar_assignments_ignored(self):
+        source = """
+        MODULE M;
+        VAR x, y: INTEGER;
+        BEGIN x := y; END M.
+        """
+        checked = check_module(parse_module(source))
+        assert collect_pointer_assignments(checked) == []
+
+    def test_merge_requires_distinct_types(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END;
+        VAR a, b: T;
+        BEGIN a := b; END M.
+        """
+        checked = check_module(parse_module(source))
+        assignments = collect_pointer_assignments(checked)
+        assert assignments and not any(a.is_merge() for a in assignments)
+
+
+class TestTransitiveMerging:
+    def test_chain_merges_into_one_group(self):
+        source = """
+        MODULE M;
+        TYPE A = OBJECT END; B = A OBJECT END; C = B OBJECT END;
+        VAR a: A; b: B; c: C;
+        BEGIN
+          b := c;
+          a := b;
+        END M.
+        """
+        checked, oracle = build(source)
+        assert refs(checked, oracle, "A") == ["A", "B", "C"]
+        assert refs(checked, oracle, "B") == ["B", "C"]
+        assert refs(checked, oracle, "C") == ["C"]
+
+    def test_pruning_by_subtypes(self):
+        """Merging unrelated siblings via a common supertype variable must
+        not let a sibling reference the other sibling."""
+        source = """
+        MODULE M;
+        TYPE T = OBJECT END; S1 = T OBJECT END; S2 = T OBJECT END;
+        VAR t: T; s1: S1; s2: S2;
+        BEGIN
+          t := s1;
+          t := s2;
+        END M.
+        """
+        checked, oracle = build(source)
+        assert refs(checked, oracle, "S1") == ["S1"]
+        assert refs(checked, oracle, "S2") == ["S2"]

@@ -1,0 +1,90 @@
+"""TypeDecl tests — the paper's Section 2.2 examples."""
+
+from repro.analysis import SubtypeOracle, TypeDeclAnalysis
+from repro.ir.access_path import VarRoot
+from repro.lang import parse_module, check_module
+
+
+HIERARCHY = """
+MODULE M;
+TYPE
+  T = OBJECT f, g: T; END;
+  S1 = T OBJECT a: INTEGER; END;
+  S2 = T OBJECT b: INTEGER; END;
+  S3 = T OBJECT c: INTEGER; END;
+  Other = OBJECT z: INTEGER; END;
+VAR t: T; s: S1; u: S2; o: Other; x: INTEGER;
+END M.
+"""
+
+
+def setup_module(module):
+    module.checked = check_module(parse_module(HIERARCHY))
+    module.analysis = TypeDeclAnalysis(SubtypeOracle(module.checked))
+    module.roots = {
+        g.name: VarRoot(g) for g in module.checked.globals
+    }
+
+
+def may_alias(a, b):
+    import sys
+
+    mod = sys.modules[__name__]
+    return mod.analysis.may_alias(mod.roots[a], mod.roots[b])
+
+
+def test_paper_example_t_and_s():
+    """Subtypes(T) ∩ Subtypes(S1) ≠ ∅ — t and s may reference the same
+    location (the paper's Figure 1 discussion)."""
+    assert may_alias("t", "s")
+
+
+def test_paper_example_t_and_u():
+    assert may_alias("t", "u")
+
+
+def test_paper_example_s_and_u_independent():
+    """s: S1 and u: S2 have disjoint subtype sets — never aliased."""
+    assert not may_alias("s", "u")
+
+
+def test_not_transitive():
+    """The paper notes TypeDecl is not transitive: t~s and t~u but not s~u."""
+    assert may_alias("t", "s") and may_alias("t", "u") and not may_alias("s", "u")
+
+
+def test_unrelated_hierarchies():
+    assert not may_alias("t", "o")
+    assert not may_alias("s", "o")
+
+
+def test_reflexive():
+    for name in ("t", "s", "u", "o"):
+        assert may_alias(name, name)
+
+
+def test_symmetric():
+    assert may_alias("s", "t") == may_alias("t", "s")
+    assert may_alias("u", "s") == may_alias("s", "u")
+
+
+def test_subtype_oracle_sets():
+    import sys
+
+    mod = sys.modules[__name__]
+    sub = SubtypeOracle(mod.checked)
+    t = mod.checked.named_types["T"]
+    s1 = mod.checked.named_types["S1"]
+    names = {o.name for o in sub.subtypes(t)}
+    assert names == {"T", "S1", "S2", "S3"}
+    assert {o.name for o in sub.subtypes(s1)} == {"S1"}
+
+
+def test_root_contains_all_objects():
+    import sys
+    from repro.lang.types import ROOT
+
+    mod = sys.modules[__name__]
+    sub = SubtypeOracle(mod.checked)
+    names = {o.name for o in sub.subtypes(ROOT)}
+    assert {"T", "S1", "S2", "S3", "Other", "ROOT"} <= names

@@ -1,0 +1,105 @@
+"""Property tests over random type hierarchies.
+
+Hypothesis builds random single-inheritance forests and checks the
+algebraic laws the analyses rely on: Subtypes is reflexive and downward
+closed, compatibility is symmetric, and SMTypeRefs under random
+assignments stays inside TypeDecl (table(t) ⊆ Subtypes(t) by Step 3).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import SubtypeOracle
+from repro.analysis.smtyperefs import SMTypeRefsOracle
+from repro.lang import check_module, parse_module
+
+
+@st.composite
+def hierarchies(draw):
+    """A random MiniM3 module with a random object forest + assignments."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    parents = [draw(st.integers(min_value=-1, max_value=i - 1)) for i in range(n)]
+    lines = ["MODULE H;", "TYPE"]
+    for i, parent in enumerate(parents):
+        sup = "" if parent < 0 else "T{} ".format(parent)
+        lines.append("  T{} = {}OBJECT f{}: INTEGER; END;".format(i, sup, i))
+    lines.append("VAR")
+    for i in range(n):
+        lines.append("  v{}: T{};".format(i, i))
+    lines.append("BEGIN")
+    # Random *legal* assignments: v_a := v_b needs related types.
+    n_assign = draw(st.integers(min_value=0, max_value=6))
+    related = [
+        (a, b)
+        for a in range(n)
+        for b in range(n)
+        if a != b and (_is_ancestor(parents, a, b) or _is_ancestor(parents, b, a))
+    ]
+    if related:
+        for _ in range(n_assign):
+            a, b = draw(st.sampled_from(related))
+            lines.append("  v{} := v{};".format(a, b))
+    lines.append("END H.")
+    return "\n".join(lines), parents, n
+
+
+def _is_ancestor(parents, anc, node):
+    while node != -1:
+        if node == anc:
+            return True
+        node = parents[node]
+    return False
+
+
+@given(hierarchies())
+def test_subtype_sets_laws(case):
+    source, parents, n = case
+    checked = check_module(parse_module(source))
+    oracle = SubtypeOracle(checked)
+    types = [checked.named_types["T{}".format(i)] for i in range(n)]
+
+    for i, t in enumerate(types):
+        subs = oracle.subtypes(t)
+        # reflexive
+        assert t in subs
+        # exactly the declared descendants
+        expected = {types[j] for j in range(n) if _is_ancestor(parents, i, j)}
+        assert set(subs) == expected
+
+    for a in types:
+        for b in types:
+            assert oracle.compatible(a, b) == oracle.compatible(b, a)
+            # compatibility iff one is an ancestor of the other
+    for i, a in enumerate(types):
+        for j, b in enumerate(types):
+            related = _is_ancestor(parents, i, j) or _is_ancestor(parents, j, i)
+            assert oracle.compatible(a, b) == related
+
+
+@given(hierarchies())
+def test_typerefs_table_subset_of_subtypes(case):
+    """Figure 2, Step 3: TypeRefsTable(t) ⊆ Subtypes(t), always."""
+    source, parents, n = case
+    checked = check_module(parse_module(source))
+    sub = SubtypeOracle(checked)
+    oracle = SMTypeRefsOracle(checked, sub)
+    for i in range(n):
+        t = checked.named_types["T{}".format(i)]
+        assert oracle.type_refs(t) <= sub.subtype_set(t)
+        # and reflexive: t can always reference its own objects
+        assert id(t) in oracle.type_refs(t)
+
+
+@given(hierarchies())
+def test_assignments_monotone(case):
+    """Adding merges can only grow the tables (monotonicity)."""
+    source, parents, n = case
+    checked = check_module(parse_module(source))
+    sub = SubtypeOracle(checked)
+    from repro.analysis.smtyperefs import collect_pointer_assignments
+
+    assignments = collect_pointer_assignments(checked)
+    empty = SMTypeRefsOracle(checked, sub, assignments=[])
+    full = SMTypeRefsOracle(checked, sub, assignments=assignments)
+    for i in range(n):
+        t = checked.named_types["T{}".format(i)]
+        assert empty.type_refs(t) <= full.type_refs(t)

@@ -1,0 +1,75 @@
+"""Benchmark registry and per-program sanity tests."""
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.suite import BASE
+
+
+def test_registry_matches_paper_suite():
+    names = registry.benchmark_names()
+    assert names == [
+        "format", "dformat", "write-pickle", "k-tree", "slisp",
+        "pp", "dom", "postcard", "m2tom3", "m3cg",
+    ]
+
+
+def test_static_only_flags():
+    dynamic = set(registry.dynamic_benchmark_names())
+    assert "dom" not in dynamic
+    assert "postcard" not in dynamic
+    assert len(dynamic) == 8
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        registry.info("nonesuch")
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_sources_load(name):
+    source = registry.load_source(name)
+    assert source.startswith("(*")
+    assert "MODULE" in source
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_programs_compile_and_run(suite, name):
+    stats = suite.run(name, BASE)
+    assert stats.instructions > 0
+    assert stats.output_text()  # every benchmark reports something
+
+
+EXPECTED_OUTPUT_PREFIX = {
+    "format": "words=",
+    "dformat": "puts=",
+    "write-pickle": "pickled=",
+    "k-tree": "len=",
+    "slisp": "fib11=89",
+    "pp": "chars=",
+    "dom": "registered=",
+    "postcard": "folders=",
+    "m2tom3": "tokens=",
+    "m3cg": "exprs=",
+}
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_expected_output_shape(suite, name):
+    stats = suite.run(name, BASE)
+    assert stats.output_text().startswith(EXPECTED_OUTPUT_PREFIX[name])
+
+
+@pytest.mark.parametrize("name", registry.dynamic_benchmark_names())
+def test_dynamic_benchmarks_do_real_work(suite, name):
+    stats = suite.run(name, BASE)
+    assert stats.instructions > 10_000, "workload too small to measure"
+    assert stats.heap_loads > 500
+
+
+@pytest.mark.parametrize("name", registry.dynamic_benchmark_names())
+def test_heap_load_fractions_plausible(suite, name):
+    """Table 4's shape: heap loads are 8-27% of instructions in the paper;
+    we accept a slightly wider band."""
+    stats = suite.run(name, BASE)
+    assert 0.04 <= stats.heap_load_fraction <= 0.35

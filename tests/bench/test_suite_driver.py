@@ -1,0 +1,57 @@
+"""BenchmarkSuite driver tests: caching and config identity."""
+
+from repro.bench.suite import BASE, BenchmarkSuite, RunConfig
+
+
+def test_program_cached(suite):
+    assert suite.program("format") is suite.program("format")
+
+
+def test_build_cached_per_config(suite):
+    a = suite.build("write-pickle", BASE)
+    b = suite.build("write-pickle", BASE)
+    assert a is b
+    c = suite.build("write-pickle", RunConfig(analysis="TypeDecl"))
+    assert c is not a
+
+
+def test_run_cached(suite):
+    a = suite.run("write-pickle", BASE)
+    b = suite.run("write-pickle", BASE)
+    assert a is b
+
+
+def test_config_keys_distinguish_options():
+    keys = {
+        RunConfig().key(),
+        RunConfig(analysis="TypeDecl").key(),
+        RunConfig(analysis="TypeDecl", hoist=False).key(),
+        RunConfig(analysis="TypeDecl", see_dope_loads=True).key(),
+        RunConfig(analysis="TypeDecl", open_world=True).key(),
+        RunConfig(minv_inline=True).key(),
+        RunConfig(copyprop=True).key(),
+        RunConfig(analysis="TypeDecl", pre=True).key(),
+    }
+    assert len(keys) == 8
+
+
+def test_is_base():
+    assert RunConfig().is_base
+    assert not RunConfig(analysis="TypeDecl").is_base
+    assert not RunConfig(minv_inline=True).is_base
+    assert not RunConfig(copyprop=True).is_base
+
+
+def test_relative_time_base_is_one(suite):
+    assert suite.relative_time("write-pickle", BASE) == 1.0
+
+
+def test_relative_time_bounded(suite):
+    rel = suite.relative_time("write-pickle", RunConfig(analysis="SMFieldTypeRefs"))
+    assert 0.5 < rel <= 1.0
+
+
+def test_fresh_suite_isolated():
+    s1 = BenchmarkSuite()
+    s2 = BenchmarkSuite()
+    assert s1.program("dom") is not s2.program("dom")

@@ -1,0 +1,182 @@
+"""Table/figure generators: structure and the paper's qualitative shapes.
+
+These tests assert the *claims* of the paper hold in the reproduction:
+who wins, orderings, near-zero categories — not absolute numbers.
+"""
+
+import pytest
+
+from repro.bench import registry, tables
+from repro.bench.tables import count_source_lines
+from repro.runtime.limit import Category
+
+FAST = ["format", "write-pickle", "k-tree"]
+
+
+class TestLineCounter:
+    def test_skips_comments_and_blanks(self):
+        source = "(* c *)\n\nVAR x: INTEGER;\n(* multi\nline *)\ny := 1;\n"
+        assert count_source_lines(source) == 2
+
+    def test_nested_comments(self):
+        assert count_source_lines("(* a (* b *) c *)\nx;\n") == 1
+
+    def test_code_and_comment_same_line(self):
+        assert count_source_lines("x := 1; (* trailing *)\n") == 1
+
+
+class TestTable4:
+    def test_structure(self, suite):
+        result = tables.table4(suite)
+        assert result.headers[0] == "Name"
+        assert len(result.rows) == 10
+        assert result.row("dom")[2] == "-"  # static-only
+
+    def test_dynamic_rows_have_numbers(self, suite):
+        result = tables.table4(suite)
+        row = result.row("format")
+        assert isinstance(row[2], int) and row[2] > 0
+
+
+class TestTable5:
+    def test_typedecl_much_worse(self, suite):
+        """'TypeDecl performs a lot worse than FieldTypeDecl.'"""
+        result = tables.table5(suite, FAST)
+        for row in result.rows:
+            td_local, ftd_local = row[2], row[4]
+            assert ftd_local <= td_local
+        total_td = sum(r[2] for r in result.rows)
+        total_ftd = sum(r[4] for r in result.rows)
+        assert total_ftd < total_td / 2  # a big gap, as in the paper
+
+    def test_smftr_close_to_ftd(self, suite):
+        """'flow-insensitive merging ... offers little improvement.'"""
+        result = tables.table5(suite, FAST)
+        for row in result.rows:
+            assert row[6] <= row[4]
+            assert row[7] <= row[5]
+
+    def test_global_exceeds_local(self, suite):
+        result = tables.table5(suite, FAST)
+        for row in result.rows:
+            assert row[3] >= row[2]
+            assert row[5] >= row[4]
+
+    def test_postcard_smftr_improves(self, suite):
+        """The paper: 'SMFieldTypeRefs improves ... on postcard.'"""
+        result = tables.table5(suite, ["postcard"])
+        row = result.rows[0]
+        assert row[6] + row[7] < row[4] + row[5]
+
+
+class TestTable6:
+    def test_fieldtypedecl_finds_more(self, suite):
+        """'differences between TypeDecl and FieldTypeDecl result in an
+        increase in the number of redundant loads found by RLE.'"""
+        result = tables.table6(suite, FAST)
+        for row in result.rows:
+            assert row[2] >= row[1]
+        assert any(row[2] > row[1] for row in result.rows)
+
+    def test_smftr_adds_nothing(self, suite):
+        """'reductions ... between FieldTypeDecl and SMFieldTypeRefs does
+        not change the number of redundant loads found by RLE.'"""
+        result = tables.table6(suite, FAST)
+        for row in result.rows:
+            assert row[3] == row[2]
+
+
+class TestFigure8:
+    def test_improvements_modest_and_ordered(self, suite):
+        result = tables.figure8(suite, FAST)
+        for row in result.rows:
+            base, td, ftd, smftr = row[1], row[2], row[3], row[4]
+            assert td <= base
+            assert smftr <= ftd <= td + 0.01  # stronger analysis no worse
+            assert smftr >= 50  # sanity: not absurdly fast
+
+    def test_all_three_roughly_equal(self, suite):
+        """'the three variants of TBAA have roughly the same performance
+        as far as RLE is concerned.'"""
+        result = tables.figure8(suite, FAST)
+        for row in result.rows:
+            assert row[2] - row[4] <= 8.0  # within a few percent
+
+
+class TestFigure9:
+    def test_rle_reduces_redundancy(self, suite):
+        result = tables.figure9(suite, FAST)
+        for row in result.rows:
+            assert row[2] <= row[1]
+
+    def test_fractions_are_fractions(self, suite):
+        result = tables.figure9(suite, FAST)
+        for row in result.rows:
+            assert 0.0 <= row[2] <= row[1] <= 1.0
+
+
+class TestFigure10:
+    def test_alias_failure_negligible(self, suite):
+        """The paper's headline: imprecision of TBAA costs at most a few
+        percent of heap references."""
+        result = tables.figure10(suite, FAST)
+        alias_col = result.headers.index(Category.ALIAS_FAILURE.value)
+        for row in result.rows:
+            assert row[alias_col] <= 0.05
+
+    def test_categories_sum_to_total(self, suite):
+        result = tables.figure10(suite, FAST)
+        for row in result.rows:
+            assert sum(row[1:6]) == pytest.approx(row[6], abs=0.01)
+
+    def test_encapsulation_dominates_where_residue_exists(self, suite):
+        """'Encapsulation ... is the most significant source of the
+        remaining redundant loads.'"""
+        result = tables.figure10(suite, ["format", "k-tree"])
+        enc = result.headers.index(Category.ENCAPSULATION.value)
+        for row in result.rows:
+            if row[6] > 0.05:
+                assert row[enc] >= max(row[2], row[3], row[4], row[5])
+
+    def test_dope_ablation_kills_encapsulation(self, suite):
+        result = tables.figure10(suite, ["k-tree"], see_dope_loads=True)
+        enc = result.headers.index(Category.ENCAPSULATION.value)
+        normal = tables.figure10(suite, ["k-tree"])
+        assert result.rows[0][enc] < normal.rows[0][enc]
+
+
+class TestFigure11:
+    def test_combination_at_least_as_good(self, suite):
+        result = tables.figure11(suite, FAST)
+        for row in result.rows:
+            base, rle, minv, both = row[1], row[2], row[3], row[4]
+            assert rle <= base
+            assert both <= minv + 0.01
+            assert both <= rle + 0.01
+
+
+class TestFigure12:
+    def test_open_world_insignificant(self, suite):
+        """'the open-world assumption has an insignificant impact.'"""
+        result = tables.figure12(suite, FAST)
+        for row in result.rows:
+            assert abs(row[1] - row[2]) <= 3.0
+
+    def test_open_world_never_beats_closed(self, suite):
+        result = tables.figure12(suite, FAST)
+        for row in result.rows:
+            assert row[2] >= row[1] - 0.01
+
+
+class TestRendering:
+    def test_text_renders(self, suite):
+        result = tables.table4(suite)
+        text = result.text
+        assert "Table 4" in text
+        assert "format" in text
+
+    def test_column_and_row_access(self, suite):
+        result = tables.table4(suite)
+        assert "format" in result.column("Name")
+        with pytest.raises(KeyError):
+            result.row("nope")

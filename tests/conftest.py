@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (compiled benchmark programs, the suite driver) are
+session-scoped: many test modules reuse them, and compilation is pure.
+"""
+
+import pytest
+
+from repro import compile_program
+from repro.bench.suite import BenchmarkSuite
+
+# A small program exercising most front-end features; reused across
+# lexer/parser/checker/lowering tests.
+DEMO_SOURCE = """
+MODULE Demo;
+
+TYPE
+  T = OBJECT f, g: T; METHODS size (): INTEGER := TSize; END;
+  S1 = T OBJECT x: INTEGER; OVERRIDES size := S1Size; END;
+  S2 = T OBJECT y: INTEGER; END;
+  Buf = REF ARRAY OF CHAR;
+  Node = BRANDED "node" REF RECORD value: INTEGER; next: Node; END;
+  Cell = REF INTEGER;
+
+CONST
+  Limit = 16;
+
+VAR
+  t: T;
+  s: S1;
+  buf: Buf;
+  cell: Cell;
+
+PROCEDURE TSize (self: T): INTEGER =
+BEGIN
+  IF self.f = NIL THEN RETURN 1; END;
+  RETURN 1 + self.f.size ();
+END TSize;
+
+PROCEDURE S1Size (self: S1): INTEGER =
+BEGIN
+  RETURN self.x;
+END S1Size;
+
+PROCEDURE Fill (b: Buf; VAR count: INTEGER) =
+VAR i: INTEGER;
+BEGIN
+  i := 0;
+  WHILE i < NUMBER (b^) DO
+    b^[i] := VAL (ORD ('a') + i MOD 26, CHAR);
+    INC (i);
+  END;
+  count := i;
+END Fill;
+
+VAR n: INTEGER;
+
+BEGIN
+  t := NEW (S1, x := 3);
+  s := NARROW (t, S1);
+  t.f := NEW (T);
+  buf := NEW (Buf, Limit);
+  cell := NEW (Cell);
+  cell^ := 7;
+  Fill (buf, n);
+  WITH h = t.f DO
+    h := NIL;
+  END;
+  IF ISTYPE (t, S1) THEN
+    PutInt (t.size ());
+  END;
+  FOR i := 0 TO n - 1 BY 2 DO
+    PutChar (buf^[i]);
+  END;
+  PutText (" n=" & IntToText (n + cell^));
+END Demo.
+"""
+
+
+@pytest.fixture(scope="session")
+def demo_program():
+    return compile_program(DEMO_SOURCE, "demo.m3")
+
+
+@pytest.fixture(scope="session")
+def demo_checked(demo_program):
+    return demo_program.checked
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """One shared BenchmarkSuite (heavy runs are cached inside)."""
+    return BenchmarkSuite()
+
+
+def compile_src(source: str):
+    """Convenience for tests building ad-hoc programs."""
+    return compile_program(source, "<test>")

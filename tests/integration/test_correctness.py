@@ -1,0 +1,75 @@
+"""End-to-end semantic preservation.
+
+Every benchmark must produce byte-identical output under every
+optimization configuration, and optimized code must never execute more
+heap loads than the baseline.  This is the master safety net for RLE,
+devirtualization and inlining.
+"""
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.suite import BASE, RunConfig
+
+CONFIGS = {
+    "rle-typedecl": RunConfig(analysis="TypeDecl"),
+    "rle-fieldtypedecl": RunConfig(analysis="FieldTypeDecl"),
+    "rle-smftr": RunConfig(analysis="SMFieldTypeRefs"),
+    "rle-open-world": RunConfig(analysis="SMFieldTypeRefs", open_world=True),
+    "minv-inline": RunConfig(minv_inline=True),
+    "all": RunConfig(analysis="SMFieldTypeRefs", minv_inline=True),
+    "rle-no-hoist": RunConfig(analysis="SMFieldTypeRefs", hoist=False),
+    "rle-see-dope": RunConfig(analysis="SMFieldTypeRefs", see_dope_loads=True),
+}
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_output_identical(suite, name, config_name):
+    base = suite.run(name, BASE)
+    opt = suite.run(name, CONFIGS[config_name])
+    assert opt.output_text() == base.output_text()
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_rle_never_adds_heap_loads(suite, name):
+    base = suite.run(name, BASE)
+    for config_name in ("rle-typedecl", "rle-fieldtypedecl", "rle-smftr"):
+        opt = suite.run(name, CONFIGS[config_name])
+        assert opt.heap_loads <= base.heap_loads, config_name
+
+
+@pytest.mark.parametrize("name", registry.dynamic_benchmark_names())
+def test_rle_improves_or_preserves_cycles(suite, name):
+    base = suite.run(name, BASE)
+    opt = suite.run(name, CONFIGS["rle-smftr"])
+    assert opt.cycles <= base.cycles
+
+
+@pytest.mark.parametrize("name", registry.dynamic_benchmark_names())
+def test_stronger_analysis_never_hurts(suite, name):
+    """More precise TBAA ⇒ no more heap loads under RLE."""
+    td = suite.run(name, CONFIGS["rle-typedecl"])
+    ftd = suite.run(name, CONFIGS["rle-fieldtypedecl"])
+    smftr = suite.run(name, CONFIGS["rle-smftr"])
+    assert smftr.heap_loads <= ftd.heap_loads <= td.heap_loads
+
+
+@pytest.mark.parametrize("name", registry.dynamic_benchmark_names())
+def test_dope_ablation_at_least_as_good(suite, name):
+    normal = suite.run(name, CONFIGS["rle-smftr"])
+    ablated = suite.run(name, CONFIGS["rle-see-dope"])
+    assert ablated.heap_loads <= normal.heap_loads
+
+
+@pytest.mark.parametrize("name", registry.benchmark_names())
+def test_benchmark_is_deterministic(suite, name):
+    """Same program, fresh run, same counters (no hidden randomness)."""
+    from repro.runtime import Interpreter, MachineModel
+
+    result = suite.build(name, BASE)
+    first = suite.run(name, BASE)
+    again = Interpreter(result.program, machine=MachineModel()).run()
+    assert again.output_text() == first.output_text()
+    assert again.instructions == first.instructions
+    assert again.heap_loads == first.heap_loads

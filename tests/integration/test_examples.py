@@ -1,0 +1,31 @@
+"""Every example script must run cleanly and show its headline output."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+CASES = {
+    "quickstart.py": ["TypeRefsTable", "may_alias", "heap loads"],
+    "optimize_program.py": ["Sum before RLE", "Sum after RLE", "eliminated loads"],
+    "limit_study.py": ["dynamically redundant", "Encapsulated", "Ablation"],
+    "open_world.py": ["TypeRefsTable(Node) [closed world]", "RLE open"],
+    "devirtualize.py": ["Minv resolved", "RLE+Minv+Inlining"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in CASES[script]:
+        assert needle in result.stdout, (script, needle)

@@ -1,0 +1,102 @@
+"""TBAA soundness against ground truth.
+
+Run each benchmark under the tracer and record which access paths
+dynamically touch each heap address.  If two paths ever refer to the same
+location at run time, every analysis (TypeDecl, FieldTypeDecl,
+SMFieldTypeRefs — closed and open world) MUST report them as may-aliases.
+This is the fundamental correctness property of Section 2.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.bench.suite import BASE
+from repro.ir.access_path import strip_index
+from repro.runtime import Interpreter
+
+
+class _AliasOracleTracer:
+    """Records, per address, every (stripped) AP that accessed it."""
+
+    def __init__(self) -> None:
+        self.by_address = defaultdict(set)
+
+    def _note(self, instr, addr):
+        if instr.ap is not None:
+            self.by_address[addr].add(strip_index(instr.ap))
+
+    def on_load(self, instr, addr, value, activation):
+        self._note(instr, addr)
+
+    def on_store(self, instr, addr, value, activation):
+        self._note(instr, addr)
+
+
+FAST_BENCHMARKS = ["format", "write-pickle", "k-tree", "slisp", "dom", "postcard", "m3cg"]
+
+
+@pytest.fixture(scope="module")
+def traces(suite):
+    """address -> AP set, per benchmark (one traced run each)."""
+    out = {}
+    for name in FAST_BENCHMARKS:
+        result = suite.build(name, BASE)
+        tracer = _AliasOracleTracer()
+        Interpreter(result.program, tracer=tracer).run()
+        out[name] = tracer.by_address
+    return out
+
+
+@pytest.mark.parametrize("name", FAST_BENCHMARKS)
+@pytest.mark.parametrize(
+    "analysis_name", ["TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"]
+)
+def test_dynamic_aliases_are_predicted(suite, traces, name, analysis_name):
+    program = suite.program(name)
+    analysis = program.analysis(analysis_name)
+    for addr, aps in traces[name].items():
+        if len(aps) < 2:
+            continue
+        aps = sorted(aps, key=str)
+        for i, p in enumerate(aps):
+            for q in aps[i + 1 :]:
+                assert analysis.may_alias(p, q), (
+                    "{}: {} and {} hit address {:#x} but {} says no-alias".format(
+                        name, p, q, addr, analysis_name
+                    )
+                )
+
+
+@pytest.mark.parametrize("name", ["format", "slisp"])
+def test_open_world_also_sound(suite, traces, name):
+    program = suite.program(name)
+    analysis = program.analysis("SMFieldTypeRefs", open_world=True)
+    for addr, aps in traces[name].items():
+        if len(aps) < 2:
+            continue
+        aps = sorted(aps, key=str)
+        for i, p in enumerate(aps):
+            for q in aps[i + 1 :]:
+                assert analysis.may_alias(p, q)
+
+
+@pytest.mark.parametrize("name", FAST_BENCHMARKS)
+def test_analyses_do_distinguish_something(suite, traces, name):
+    """Sanity against vacuous soundness: each benchmark must contain at
+    least one pair of observed APs the strongest analysis proves apart
+    (otherwise the suite wouldn't exercise disambiguation at all)."""
+    program = suite.program(name)
+    analysis = program.analysis("SMFieldTypeRefs")
+    all_aps = sorted(
+        {ap for aps in traces[name].values() for ap in aps}, key=str
+    )[:50]
+    found_disjoint = False
+    for i, p in enumerate(all_aps):
+        for q in all_aps[i + 1 :]:
+            if not analysis.may_alias(p, q):
+                found_disjoint = True
+                break
+        if found_disjoint:
+            break
+    assert found_disjoint

@@ -1,0 +1,110 @@
+"""Dominator-tree tests, incl. a brute-force cross-check."""
+
+from typing import Dict, List, Set
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.dominators import DominatorTree
+from repro.ir.lowering import lower_program
+
+
+def lower(body, decls="VAR x: INTEGER;"):
+    return lower_program("MODULE M; {} BEGIN {} END M.".format(decls, body))
+
+
+def brute_force_dominators(proc) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """dom(b) = blocks appearing on *every* entry->b path (via removal)."""
+    blocks = proc.blocks()
+
+    def reachable_without(banned) -> Set[BasicBlock]:
+        seen: Set[BasicBlock] = set()
+        stack: List[BasicBlock] = []
+        if proc.entry is not banned:
+            stack.append(proc.entry)
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            for s in b.successors():
+                if s is not banned:
+                    stack.append(s)
+        return seen
+
+    doms: Dict[BasicBlock, Set[BasicBlock]] = {}
+    for b in blocks:
+        doms[b] = {d for d in blocks if b not in reachable_without(d) or d is b}
+    return doms
+
+
+def assert_matches_brute_force(proc):
+    tree = DominatorTree(proc)
+    expected = brute_force_dominators(proc)
+    for b in proc.blocks():
+        actual = set(tree.dominators_of(b))
+        assert actual == expected[b], "dominators of {} differ".format(b.name)
+
+
+def test_straight_line():
+    assert_matches_brute_force(lower("x := 1; x := 2;").main)
+
+
+def test_diamond():
+    assert_matches_brute_force(
+        lower("IF x = 1 THEN x := 2; ELSE x := 3; END; x := 4;").main
+    )
+
+
+def test_while_loop():
+    assert_matches_brute_force(lower("WHILE x < 5 DO x := x + 1; END;").main)
+
+
+def test_nested_loops():
+    assert_matches_brute_force(
+        lower(
+            """
+            WHILE x < 5 DO
+              FOR i := 0 TO 3 DO
+                x := x + i;
+              END;
+            END;
+            """
+        ).main
+    )
+
+
+def test_loop_with_exit():
+    assert_matches_brute_force(
+        lower("LOOP IF x > 3 THEN EXIT; END; x := x + 1; END;").main
+    )
+
+
+def test_complex_mix():
+    assert_matches_brute_force(
+        lower(
+            """
+            REPEAT
+              CASE x OF
+              | 1 => x := 2;
+              | 2 => x := 3;
+              ELSE x := 0;
+              END;
+            UNTIL x = 0;
+            IF x = 0 THEN RETURN; END;
+            x := 9;
+            """
+        ).main
+    )
+
+
+def test_entry_dominates_everything():
+    proc = lower("WHILE x < 3 DO x := x + 1; END; x := 9;").main
+    tree = DominatorTree(proc)
+    for b in proc.blocks():
+        assert tree.dominates(proc.entry, b)
+
+
+def test_dominates_reflexive():
+    proc = lower("x := 1;").main
+    tree = DominatorTree(proc)
+    for b in proc.blocks():
+        assert tree.dominates(b, b)

@@ -1,0 +1,69 @@
+"""Natural-loop detection tests."""
+
+from repro.ir.dominators import DominatorTree
+from repro.ir.loops import find_natural_loops
+from repro.ir.lowering import lower_program
+
+
+def loops_of(body, decls="VAR x: INTEGER;"):
+    program = lower_program("MODULE M; {} BEGIN {} END M.".format(decls, body))
+    proc = program.main
+    return proc, find_natural_loops(proc, DominatorTree(proc))
+
+
+def test_straight_line_has_no_loops():
+    _, loops = loops_of("x := 1; IF x = 1 THEN x := 2; END;")
+    assert loops == []
+
+
+def test_while_is_one_loop():
+    proc, loops = loops_of("WHILE x < 3 DO x := x + 1; END;")
+    assert len(loops) == 1
+    (loop,) = loops
+    assert loop.header in loop.body
+    assert len(loop.latches) == 1
+    assert loop.latches[0] in loop.body
+
+
+def test_repeat_is_one_loop():
+    _, loops = loops_of("REPEAT x := x + 1; UNTIL x = 5;")
+    assert len(loops) == 1
+
+
+def test_nested_loops_sorted_inner_first():
+    _, loops = loops_of(
+        """
+        WHILE x < 9 DO
+          FOR i := 0 TO 3 DO
+            x := x + 1;
+          END;
+        END;
+        """
+    )
+    assert len(loops) == 2
+    inner, outer = loops
+    assert len(inner.body) < len(outer.body)
+    assert inner.body < outer.body  # nesting
+
+
+def test_loop_with_if_inside():
+    _, loops = loops_of(
+        "WHILE x < 9 DO IF x MOD 2 = 0 THEN x := x + 3; ELSE x := x + 1; END; END;"
+    )
+    (loop,) = loops
+    # header + if-blocks + join + latch structure all inside
+    assert len(loop.body) >= 4
+
+
+def test_exit_edges_leave_loop():
+    _, loops = loops_of("WHILE x < 3 DO x := x + 1; END; x := 0;")
+    (loop,) = loops
+    for src, dst in loop.exit_edges():
+        assert src in loop.body
+        assert dst not in loop.body
+    assert loop.exit_edges()
+
+
+def test_loop_statement_with_exit():
+    _, loops = loops_of("LOOP IF x > 2 THEN EXIT; END; x := x + 1; END;")
+    assert len(loops) == 1

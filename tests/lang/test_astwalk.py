@@ -1,0 +1,84 @@
+"""Tests for the AST traversal helpers."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang.astwalk import all_exprs, stmt_exprs, walk_exprs, walk_stmts
+from repro.lang.parser import parse_module
+
+
+SOURCE = """
+MODULE M;
+TYPE T = OBJECT f: T; METHODS m (): INTEGER := P; END;
+VAR t: T; x: INTEGER; b: BOOLEAN;
+PROCEDURE P (self: T): INTEGER = BEGIN RETURN 1; END P;
+BEGIN
+  IF b THEN
+    WHILE x < 3 DO
+      x := x + 1;
+      CASE x OF | 1 => EXIT; ELSE t := NEW (T, f := t); END;
+    END;
+  ELSE
+    REPEAT
+      WITH w = t.f DO
+        EVAL w.m ();
+      END;
+    UNTIL TRUE;
+  END;
+  FOR i := 0 TO 2 DO
+    LOOP EXIT; END;
+  END;
+END M.
+"""
+
+
+def test_walk_stmts_reaches_all_nesting():
+    module = parse_module(SOURCE)
+    stmts = list(walk_stmts(module.body))
+    kinds = {type(s).__name__ for s in stmts}
+    assert {
+        "IfStmt", "WhileStmt", "AssignStmt", "CaseStmt", "ExitStmt",
+        "RepeatStmt", "WithStmt", "EvalStmt", "ForStmt", "LoopStmt",
+    } <= kinds
+
+
+def test_walk_exprs_covers_subexpressions():
+    module = parse_module(SOURCE)
+    exprs = [e for _, e in all_exprs(module.body)]
+    kinds = {type(e).__name__ for e in exprs}
+    assert {"NameRef", "BinaryExpr", "IntLit", "NewExpr", "FieldRef", "CallExpr"} <= kinds
+
+
+def test_stmt_exprs_direct_only():
+    module = parse_module("MODULE M; VAR x: INTEGER; BEGIN x := 1 + 2; END M.")
+    stmt = module.body[0]
+    direct = list(stmt_exprs(stmt))
+    assert len(direct) == 2  # target and value
+
+
+def test_walk_exprs_on_call_includes_receiver_and_args():
+    module = parse_module(
+        """
+        MODULE M;
+        TYPE T = OBJECT METHODS m (a: INTEGER): INTEGER := P; END;
+        VAR t: T; x: INTEGER;
+        PROCEDURE P (self: T; a: INTEGER): INTEGER = BEGIN RETURN a; END P;
+        BEGIN x := t.m (x + 1); END M.
+        """
+    )
+    call = module.body[0].value
+    parts = list(walk_exprs(call))
+    names = [e.name for e in parts if isinstance(e, ast.NameRef)]
+    assert "t" in names and "x" in names
+
+
+def test_new_expr_inits_walked():
+    module = parse_module(
+        """
+        MODULE M;
+        TYPE B = REF ARRAY OF CHAR;
+        VAR b: B; n: INTEGER;
+        BEGIN b := NEW (B, n + 1); END M.
+        """
+    )
+    new = module.body[0].value
+    parts = list(walk_exprs(new))
+    assert any(isinstance(e, ast.BinaryExpr) for e in parts)

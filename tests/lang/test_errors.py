@@ -1,0 +1,62 @@
+"""Error and source-location plumbing tests."""
+
+import pytest
+
+from repro.lang.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    SourceLocation,
+    TypeCheckError,
+    UNKNOWN_LOCATION,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_module
+from repro.lang.typecheck import check_module
+
+
+def test_location_str():
+    loc = SourceLocation("file.m3", 3, 7)
+    assert str(loc) == "file.m3:3:7"
+
+
+def test_error_message_carries_location():
+    err = ParseError("boom", SourceLocation("u.m3", 1, 2))
+    assert "u.m3:1:2" in str(err)
+    assert err.message == "boom"
+
+
+def test_error_without_location_uses_unknown():
+    err = CompileError("oops")
+    assert err.loc is UNKNOWN_LOCATION
+
+
+def test_hierarchy():
+    assert issubclass(LexError, CompileError)
+    assert issubclass(ParseError, CompileError)
+    assert issubclass(TypeCheckError, CompileError)
+
+
+def test_lex_error_location_points_at_offender():
+    with pytest.raises(LexError) as err:
+        tokenize("abc\n  @", unit="bad.m3")
+    assert err.value.loc.unit == "bad.m3"
+    assert err.value.loc.line == 2
+
+
+def test_parse_error_location():
+    with pytest.raises(ParseError) as err:
+        parse_module("MODULE M;\nTYPE T = ;\nEND M.", unit="p.m3")
+    assert err.value.loc.line == 2
+
+
+def test_typecheck_error_location():
+    with pytest.raises(TypeCheckError) as err:
+        check_module(parse_module("MODULE M;\nBEGIN\n  nope := 1;\nEND M.", "t.m3"))
+    assert err.value.loc.line == 3
+
+
+def test_frontend_errors_catchable_as_compile_error():
+    for source in ("MODULE M; @", "MODULE M; TYPE = ;", "MODULE M; BEGIN x := 1; END M."):
+        with pytest.raises(CompileError):
+            check_module(parse_module(source))

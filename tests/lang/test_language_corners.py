@@ -1,0 +1,205 @@
+"""Edge-case semantics tests pinned to docs/LANGUAGE.md."""
+
+import pytest
+
+from repro import compile_program
+from repro.runtime import M3RuntimeError
+
+
+def out(body, decls=""):
+    program = compile_program("MODULE M; {} BEGIN {} END M.".format(decls, body))
+    return program.run().output_text()
+
+
+class TestCaseStatement:
+    def test_no_match_no_else_falls_through(self):
+        assert out("CASE 9 OF | 1 => PutChar ('a'); END; PutChar ('.');") == "."
+
+    def test_char_selector(self):
+        assert out(
+            "CASE 'b' OF | 'a' => PutChar ('1'); | 'b' => PutChar ('2'); END;"
+        ) == "2"
+
+    def test_const_labels(self):
+        assert out(
+            "CASE 4 OF | K => PutChar ('k'); ELSE PutChar ('?'); END;",
+            "CONST K = 2 * 2;",
+        ) == "k"
+
+
+class TestLoops:
+    def test_repeat_with_exit(self):
+        assert out(
+            """
+            i := 0;
+            REPEAT
+              INC (i);
+              IF i = 2 THEN EXIT; END;
+            UNTIL i > 10;
+            PutInt (i);
+            """,
+            "VAR i: INTEGER;",
+        ) == "2"
+
+    def test_for_by_negative_zero_trip(self):
+        assert out("FOR i := 1 TO 3 BY -1 DO PutInt (i); END; PutChar ('.');") == "."
+
+    def test_for_bounds_evaluated_once(self):
+        assert out(
+            """
+            n := 3;
+            FOR i := 0 TO n DO
+              n := 100;       (* must not extend the loop *)
+              PutInt (i);
+            END;
+            """,
+            "VAR n: INTEGER;",
+        ) == "0123"
+
+    def test_nested_exit_targets_innermost(self):
+        assert out(
+            """
+            i := 0;
+            LOOP
+              INC (i);
+              LOOP EXIT; END;
+              IF i = 3 THEN EXIT; END;
+            END;
+            PutInt (i);
+            """,
+            "VAR i: INTEGER;",
+        ) == "3"
+
+
+class TestWith:
+    def test_nested_with_shadows(self):
+        assert out(
+            """
+            x := 1;
+            WITH w = x DO
+              WITH w = 10 DO
+                PutInt (w);
+              END;
+              w := w + 1;
+            END;
+            PutInt (x);
+            """,
+            "VAR x: INTEGER;",
+        ) == "102"
+
+    def test_with_on_array_element_is_a_snapshot_location(self):
+        assert out(
+            """
+            b := NEW (B, 3);
+            i := 1;
+            WITH w = b^[i] DO
+              i := 2;          (* the binding already captured index 1 *)
+              w := 7;
+            END;
+            PutInt (b^[1]); PutInt (b^[2]);
+            """,
+            "TYPE B = REF ARRAY OF INTEGER; VAR b: B; i: INTEGER;",
+        ) == "70"
+
+    def test_with_value_binding_snapshot(self):
+        assert out(
+            """
+            x := 5;
+            WITH w = x + 1 DO
+              x := 100;
+              PutInt (w);
+            END;
+            """,
+            "VAR x: INTEGER;",
+        ) == "6"
+
+
+class TestVarParams:
+    def test_relending_chain(self):
+        decls = """
+        VAR x: INTEGER;
+        PROCEDURE Inner (VAR v: INTEGER) = BEGIN v := v + 1; END Inner;
+        PROCEDURE Outer (VAR v: INTEGER) = BEGIN Inner (v); Inner (v); END Outer;
+        """
+        assert out("x := 1; Outer (x); PutInt (x);", decls) == "3"
+
+    def test_var_param_aliasing_two_names(self):
+        decls = """
+        VAR x: INTEGER;
+        PROCEDURE Both (VAR a, b: INTEGER) =
+        BEGIN
+          a := a + 1;   (* a and b are the same location *)
+          b := b + 1;
+        END Both;
+        """
+        assert out("x := 0; Both (x, x); PutInt (x);", decls) == "2"
+
+    def test_with_handle_relent_to_var_param(self):
+        decls = """
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T;
+        PROCEDURE Bump (VAR v: INTEGER) = BEGIN v := v + 1; END Bump;
+        """
+        assert out(
+            "t := NEW (T, n := 1); WITH w = t.n DO Bump (w); END; PutInt (t.n);",
+            decls,
+        ) == "2"
+
+
+class TestMethods:
+    def test_inherited_default_implementation(self):
+        decls = """
+        TYPE
+          A = OBJECT METHODS who (): INTEGER := WhoA; END;
+          B = A OBJECT END;
+        VAR b: B;
+        PROCEDURE WhoA (self: A): INTEGER = BEGIN RETURN 1; END WhoA;
+        """
+        assert out("b := NEW (B); PutInt (b.who ());", decls) == "1"
+
+    def test_method_without_implementation_traps(self):
+        decls = """
+        TYPE A = OBJECT METHODS who (): INTEGER; END;
+        VAR a: A;
+        """
+        program = compile_program(
+            "MODULE M; {} BEGIN a := NEW (A); PutInt (a.who ()); END M.".format(decls)
+        )
+        with pytest.raises(M3RuntimeError):
+            program.run()
+
+    def test_super_call_via_direct_procedure(self):
+        decls = """
+        TYPE
+          A = OBJECT METHODS v (): INTEGER := VA; END;
+          B = A OBJECT OVERRIDES v := VB; END;
+        VAR b: B;
+        PROCEDURE VA (self: A): INTEGER = BEGIN RETURN 10; END VA;
+        PROCEDURE VB (self: B): INTEGER = BEGIN RETURN VA (self) + 1; END VB;
+        """
+        assert out("b := NEW (B); PutInt (b.v ());", decls) == "11"
+
+
+class TestTextAndChars:
+    def test_text_comparisons(self):
+        assert out('IF "abc" < "abd" THEN PutChar (\'y\'); END;') == "y"
+        assert out('IF "x" = "x" THEN PutChar (\'=\'); END;') == "="
+
+    def test_char_arithmetic_via_ord_val(self):
+        assert out("PutChar (VAL (ORD ('a') + 2, CHAR));") == "c"
+
+    def test_escapes_roundtrip(self):
+        assert out('PutText ("a\\tb");') == "a\tb"
+        assert out("PutChar ('\\n');") == "\n"
+
+
+class TestRecursionDepth:
+    def test_deep_recursion(self):
+        decls = """
+        PROCEDURE Count (n: INTEGER): INTEGER =
+        BEGIN
+          IF n = 0 THEN RETURN 0; END;
+          RETURN 1 + Count (n - 1);
+        END Count;
+        """
+        assert out("PutInt (Count (2000));", decls) == "2000"

@@ -1,0 +1,150 @@
+"""Lexer tests, incl. a hypothesis round-trip on identifiers/numbers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind as TK
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        assert kinds("") == [TK.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds(" \t\n\r ") == [TK.EOF]
+
+    def test_identifier(self):
+        toks = tokenize("hello")
+        assert toks[0].kind is TK.IDENT
+        assert toks[0].value == "hello"
+
+    def test_identifier_with_digits_and_underscore(self):
+        assert values("a_1b2") == ["a_1b2"]
+
+    def test_keywords_upper_case_only(self):
+        toks = tokenize("MODULE module")
+        assert toks[0].kind is TK.KW_MODULE
+        assert toks[1].kind is TK.IDENT
+
+    def test_integer(self):
+        toks = tokenize("12345")
+        assert toks[0].kind is TK.INT
+        assert toks[0].value == 12345
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError):
+            tokenize("12ab")
+
+    def test_text_literal(self):
+        toks = tokenize('"hi there"')
+        assert toks[0].kind is TK.TEXT
+        assert toks[0].value == "hi there"
+
+    def test_text_escapes(self):
+        toks = tokenize(r'"a\n\t\\\""')
+        assert toks[0].value == 'a\n\t\\"'
+
+    def test_unterminated_text(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_char_literal(self):
+        toks = tokenize("'x'")
+        assert toks[0].kind is TK.CHAR
+        assert toks[0].value == "x"
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == "\n"
+
+    def test_char_too_long(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds(":= .. <= >= =>")[:-1] == [
+            TK.ASSIGN,
+            TK.DOTDOT,
+            TK.LE,
+            TK.GE,
+            TK.ARROW,
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("+ - * / & # ^ | . : = < >")[:-1] == [
+            TK.PLUS, TK.MINUS, TK.STAR, TK.SLASH, TK.AMP, TK.NE,
+            TK.CARET, TK.BAR, TK.DOT, TK.COLON, TK.EQ, TK.LT, TK.GT,
+        ]
+
+    def test_brackets(self):
+        assert kinds("()[]{}")[:-1] == [
+            TK.LPAREN, TK.RPAREN, TK.LBRACKET, TK.RBRACKET,
+            TK.LBRACE, TK.RBRACE,
+        ]
+
+    def test_unexpected_char(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert kinds("(* anything *) x") == [TK.IDENT, TK.EOF]
+
+    def test_nested_comment(self):
+        assert kinds("(* a (* b *) c *) y") == [TK.IDENT, TK.EOF]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(* never closed")
+
+    def test_comment_containing_quotes(self):
+        assert kinds('(* "not a string *) z') == [TK.IDENT, TK.EOF]
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.column) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.column) == (2, 3)
+
+    def test_unit_name(self):
+        toks = tokenize("x", unit="file.m3")
+        assert toks[0].loc.unit == "file.m3"
+
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.upper() != s  # avoid accidental keywords (all upper)
+)
+
+
+@given(st.lists(_ident, min_size=1, max_size=10))
+def test_identifier_roundtrip(names):
+    source = " ".join(names)
+    toks = tokenize(source)
+    assert [t.value for t in toks[:-1]] == names
+    assert all(t.kind is TK.IDENT for t in toks[:-1])
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=1, max_size=10))
+def test_integer_roundtrip(numbers):
+    source = " ".join(str(n) for n in numbers)
+    toks = tokenize(source)
+    assert [t.value for t in toks[:-1]] == numbers
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters='"\\\n', codec="ascii"), max_size=30))
+def test_text_roundtrip(payload):
+    toks = tokenize('"{}"'.format(payload))
+    assert toks[0].value == payload

@@ -1,0 +1,452 @@
+"""Type checker tests: acceptance, annotations and rejection."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang import types as ty
+from repro.lang.errors import TypeCheckError
+from repro.lang.parser import parse_module
+from repro.lang.typecheck import MAIN_PROC, check_module
+
+
+def check(source):
+    return check_module(parse_module(source))
+
+
+def check_body(decls, body):
+    return check(
+        "MODULE M; {} BEGIN {} END M.".format(decls, body)
+    )
+
+
+def expect_error(source, fragment):
+    with pytest.raises(TypeCheckError) as err:
+        check(source)
+    assert fragment in str(err.value)
+
+
+class TestDeclarations:
+    def test_recursive_object(self, demo_checked):
+        t = demo_checked.named_types["T"]
+        assert t.field_type("f") is t
+
+    def test_recursive_ref_record(self, demo_checked):
+        node = demo_checked.named_types["Node"]
+        assert isinstance(node, ty.RefType)
+        assert node.target.field_type("next") is node
+
+    def test_brand_recorded(self, demo_checked):
+        assert demo_checked.named_types["Node"].brand == "node"
+
+    def test_type_alias(self):
+        checked = check("MODULE M; TYPE A = INTEGER; B = A; VAR x: B; END M.")
+        assert checked.named_types["B"] is ty.INTEGER
+
+    def test_duplicate_type_name(self):
+        expect_error("MODULE M; TYPE A = INTEGER; A = BOOLEAN; END M.", "duplicate")
+
+    def test_unknown_type(self):
+        expect_error("MODULE M; VAR x: Mystery; END M.", "unknown type")
+
+    def test_illegal_recursion_without_ref(self):
+        expect_error(
+            "MODULE M; TYPE R = RECORD next: R; END; END M.",
+            "aggregate",
+        )
+
+    def test_field_shadowing_rejected(self):
+        expect_error(
+            """
+            MODULE M;
+            TYPE A = OBJECT f: INTEGER; END;
+                 B = A OBJECT f: INTEGER; END;
+            END M.
+            """,
+            "shadows",
+        )
+
+    def test_aggregate_variable_rejected(self):
+        expect_error(
+            "MODULE M; VAR a: ARRAY [0..3] OF INTEGER; END M.", "aggregate"
+        )
+
+    def test_aggregate_param_rejected(self):
+        expect_error(
+            "MODULE M; PROCEDURE P (r: RECORD x: INTEGER; END) = BEGIN END P; END M.",
+            "aggregate",
+        )
+
+    def test_const_arithmetic(self):
+        checked = check("MODULE M; CONST A = 2 + 3 * 4; VAR x: INTEGER; END M.")
+        # main body sees the const via the scope; check the symbol value
+        sym = [p for p in checked.procs.values()][0]
+        # consts are global symbols — find via a body usage instead
+        checked2 = check_body("CONST A = 2 + 3 * 4; VAR x: INTEGER;", "x := A;")
+        assert checked2 is not None
+
+    def test_const_ord(self):
+        check_body("CONST A = ORD ('a'); VAR x: INTEGER;", "x := A;")
+
+
+class TestExpressions:
+    def test_literal_types(self, demo_checked):
+        pass  # covered via bodies below
+
+    def test_arith_types(self):
+        check_body("VAR x: INTEGER;", "x := 1 + 2 * (3 DIV 4) - (5 MOD 6);")
+
+    def test_real_division_rejected(self):
+        expect_error("MODULE M; VAR x: INTEGER; BEGIN x := 4 / 2; END M.", "DIV")
+
+    def test_arith_type_mismatch(self):
+        expect_error("MODULE M; VAR x: INTEGER; BEGIN x := 1 + TRUE; END M.", "expected")
+
+    def test_text_concat(self):
+        check_body("VAR t: TEXT;", 't := "a" & "b";')
+
+    def test_comparisons(self):
+        check_body("VAR b: BOOLEAN;", "b := 1 < 2;")
+        check_body("VAR b: BOOLEAN;", "b := 'a' <= 'b';")
+        check_body("VAR b: BOOLEAN;", 'b := "x" > "y";')
+
+    def test_mixed_ordering_rejected(self):
+        expect_error("MODULE M; VAR b: BOOLEAN; BEGIN b := 1 < 'a'; END M.", "ordering")
+
+    def test_equality_refs_and_nil(self):
+        check_body(
+            "TYPE T = OBJECT END; VAR t: T; b: BOOLEAN;",
+            "b := t = NIL;",
+        )
+
+    def test_equality_unrelated_rejected(self):
+        expect_error(
+            "MODULE M; VAR b: BOOLEAN; BEGIN b := 1 = TRUE; END M.", "compare"
+        )
+
+    def test_bool_ops(self):
+        check_body("VAR b: BOOLEAN;", "b := TRUE AND NOT FALSE OR b;")
+
+    def test_undeclared_name(self):
+        expect_error("MODULE M; BEGIN zap := 1; END M.", "undeclared")
+
+
+class TestDesignators:
+    DECLS = """
+    TYPE
+      T = OBJECT f: T; n: INTEGER; END;
+      B = REF ARRAY OF CHAR;
+      R = REF RECORD a: INTEGER; END;
+      C = REF INTEGER;
+    VAR t: T; b: B; r: R; c: C; x: INTEGER; ch: CHAR;
+    """
+
+    def test_field_chain(self):
+        check_body(self.DECLS, "x := t.f.f.n;")
+
+    def test_unknown_field(self):
+        expect_error(
+            "MODULE M; {} BEGIN x := t.zap; END M.".format(self.DECLS), "no field"
+        )
+
+    def test_record_field_through_deref(self):
+        check_body(self.DECLS, "x := r^.a; r^.a := x;")
+
+    def test_scalar_deref(self):
+        check_body(self.DECLS, "x := c^; c^ := 3;")
+
+    def test_deref_non_ref_rejected(self):
+        expect_error(
+            "MODULE M; {} BEGIN x := x^; END M.".format(self.DECLS), "REF"
+        )
+
+    def test_subscript(self):
+        check_body(self.DECLS, "ch := b^[x]; b^[0] := 'y';")
+
+    def test_subscript_non_array_rejected(self):
+        expect_error(
+            "MODULE M; {} BEGIN ch := t[0]; END M.".format(self.DECLS), "array"
+        )
+
+    def test_subscript_index_must_be_int(self):
+        expect_error(
+            "MODULE M; {} BEGIN ch := b^[TRUE]; END M.".format(self.DECLS),
+            "expected INTEGER",
+        )
+
+    def test_assign_to_constant_rejected(self):
+        expect_error(
+            "MODULE M; CONST K = 1; BEGIN K := 2; END M.", "constant"
+        )
+
+    def test_assign_to_for_index_rejected(self):
+        expect_error(
+            "MODULE M; BEGIN FOR i := 0 TO 3 DO i := 1; END; END M.", "FOR index"
+        )
+
+    def test_assign_to_readonly_rejected(self):
+        expect_error(
+            """
+            MODULE M;
+            PROCEDURE P (READONLY a: INTEGER) = BEGIN a := 1; END P;
+            END M.
+            """,
+            "READONLY",
+        )
+
+    def test_with_value_binding_not_writable(self):
+        expect_error(
+            "MODULE M; VAR x: INTEGER; BEGIN WITH w = x + 1 DO w := 2; END; END M.",
+            "not a location",
+        )
+
+    def test_with_location_binding_writable(self):
+        check_body("VAR x: INTEGER;", "WITH w = x DO w := 2; END;")
+
+
+class TestAssignability:
+    HIER = """
+    TYPE T = OBJECT END; S = T OBJECT END; U = OBJECT END;
+    VAR t: T; s: S; u: U;
+    """
+
+    def test_upcast_ok(self):
+        check_body(self.HIER, "t := s;")
+
+    def test_downcast_ok_runtime_checked(self):
+        check_body(self.HIER, "s := NARROW (t, S); s := t;")
+
+    def test_unrelated_rejected(self):
+        expect_error(
+            "MODULE M; {} BEGIN t := u; END M.".format(self.HIER),
+            "not assignable",
+        )
+
+    def test_nil_ok(self):
+        check_body(self.HIER, "t := NIL;")
+
+    def test_int_to_ref_rejected(self):
+        expect_error(
+            "MODULE M; {} BEGIN t := 1; END M.".format(self.HIER),
+            "not assignable",
+        )
+
+
+class TestCalls:
+    def test_proc_call_and_result(self):
+        check_body(
+            "VAR x: INTEGER; PROCEDURE F (a: INTEGER): INTEGER = BEGIN RETURN a; END F;",
+            "x := F (3);",
+        )
+
+    def test_arity_mismatch(self):
+        expect_error(
+            """
+            MODULE M;
+            PROCEDURE F (a: INTEGER) = BEGIN END F;
+            BEGIN F (1, 2); END M.
+            """,
+            "arguments",
+        )
+
+    def test_var_param_requires_designator(self):
+        expect_error(
+            """
+            MODULE M;
+            PROCEDURE F (VAR a: INTEGER) = BEGIN END F;
+            BEGIN F (1 + 2); END M.
+            """,
+            "designator",
+        )
+
+    def test_var_param_requires_identical_type(self):
+        expect_error(
+            """
+            MODULE M;
+            TYPE T = OBJECT END; S = T OBJECT END;
+            VAR s: S;
+            PROCEDURE F (VAR a: T) = BEGIN END F;
+            BEGIN F (s); END M.
+            """,
+            "exactly",
+        )
+
+    def test_discarded_result_rejected(self):
+        expect_error(
+            """
+            MODULE M;
+            PROCEDURE F (): INTEGER = BEGIN RETURN 1; END F;
+            BEGIN F (); END M.
+            """,
+            "EVAL",
+        )
+
+    def test_eval_discards(self):
+        check_body(
+            "PROCEDURE F (): INTEGER = BEGIN RETURN 1; END F;",
+            "EVAL F ();",
+        )
+
+    def test_method_call(self, demo_checked):
+        # demo calls t.size (); the checker classified it
+        main = demo_checked.main
+        calls = [
+            s.call.call_kind
+            for s in _walk(main.body)
+            if isinstance(s, ast.CallStmt)
+        ]
+        assert "builtin" in calls
+
+    def test_method_wrong_args(self):
+        expect_error(
+            """
+            MODULE M;
+            TYPE T = OBJECT METHODS m (x: INTEGER) := P; END;
+            VAR t: T;
+            PROCEDURE P (self: T; x: INTEGER) = BEGIN END P;
+            BEGIN t.m (); END M.
+            """,
+            "arguments",
+        )
+
+    def test_override_unknown_method(self):
+        expect_error(
+            """
+            MODULE M;
+            TYPE T = OBJECT OVERRIDES nope := P; END;
+            PROCEDURE P (self: T) = BEGIN END P;
+            END M.
+            """,
+            "unknown method",
+        )
+
+    def test_method_impl_arity(self):
+        expect_error(
+            """
+            MODULE M;
+            TYPE T = OBJECT METHODS m () := P; END;
+            PROCEDURE P (self: T; extra: INTEGER) = BEGIN END P;
+            END M.
+            """,
+            "params",
+        )
+
+
+class TestStatementsAndFlow:
+    def test_if_condition_must_be_bool(self):
+        expect_error("MODULE M; BEGIN IF 1 THEN END; END M.", "BOOLEAN")
+
+    def test_exit_outside_loop(self):
+        expect_error("MODULE M; BEGIN EXIT; END M.", "EXIT")
+
+    def test_return_type_mismatch(self):
+        expect_error(
+            """
+            MODULE M;
+            PROCEDURE F (): INTEGER = BEGIN RETURN TRUE; END F;
+            END M.
+            """,
+            "not assignable",
+        )
+
+    def test_return_value_in_proper_procedure(self):
+        expect_error(
+            "MODULE M; PROCEDURE P () = BEGIN RETURN 1; END P; END M.",
+            "proper procedure",
+        )
+
+    def test_missing_return_value(self):
+        expect_error(
+            "MODULE M; PROCEDURE F (): INTEGER = BEGIN RETURN; END F; END M.",
+            "carry a value",
+        )
+
+    def test_case_selector_type(self):
+        expect_error(
+            "MODULE M; BEGIN CASE TRUE OF | 1 => END; END M.",
+            "CASE selector",
+        )
+
+    def test_case_label_type_mismatch(self):
+        expect_error(
+            "MODULE M; VAR x: INTEGER; BEGIN CASE x OF | 'a' => END; END M.",
+            "label",
+        )
+
+    def test_for_zero_step_rejected(self):
+        expect_error(
+            "MODULE M; BEGIN FOR i := 0 TO 3 BY 0 DO END; END M.",
+            "non-zero",
+        )
+
+    def test_for_nonconst_step_rejected(self):
+        expect_error(
+            "MODULE M; VAR s: INTEGER; BEGIN FOR i := 0 TO 3 BY s DO END; END M.",
+            "constant",
+        )
+
+
+class TestNew:
+    def test_open_array_needs_size(self):
+        expect_error(
+            "MODULE M; TYPE B = REF ARRAY OF CHAR; VAR b: B; BEGIN b := NEW (B); END M.",
+            "size",
+        )
+
+    def test_object_new_rejects_size(self):
+        expect_error(
+            "MODULE M; TYPE T = OBJECT END; VAR t: T; BEGIN t := NEW (T, 3); END M.",
+            "size",
+        )
+
+    def test_unknown_field_init(self):
+        expect_error(
+            "MODULE M; TYPE T = OBJECT f: INTEGER; END; VAR t: T; BEGIN t := NEW (T, g := 1); END M.",
+            "no field",
+        )
+
+    def test_new_of_non_reference(self):
+        expect_error(
+            "MODULE M; VAR x: INTEGER; BEGIN x := NEW (INTEGER); END M.",
+            "reference",
+        )
+
+    def test_record_field_inits(self):
+        check_body(
+            "TYPE R = REF RECORD a: INTEGER; END; VAR r: R;",
+            "r := NEW (R, a := 4);",
+        )
+
+
+class TestTypeTests:
+    HIER = "TYPE T = OBJECT END; S = T OBJECT END; VAR t: T; b: BOOLEAN;"
+
+    def test_istype_ok(self):
+        check_body(self.HIER, "b := ISTYPE (t, S);")
+
+    def test_istype_on_non_object(self):
+        expect_error(
+            "MODULE M; VAR x: INTEGER; b: BOOLEAN; BEGIN b := ISTYPE (x, ROOT); END M.",
+            "object values",
+        )
+
+    def test_narrow_unrelated(self):
+        expect_error(
+            """
+            MODULE M;
+            TYPE A = OBJECT END; B = OBJECT END;
+            VAR a: A; b: B;
+            BEGIN b := NARROW (a, B); END M.
+            """,
+            "unrelated",
+        )
+
+
+def _walk(stmts):
+    from repro.lang.astwalk import walk_stmts
+
+    return list(walk_stmts(stmts))
+
+
+def test_proc_order_includes_main(demo_checked):
+    assert demo_checked.proc_order[-1] == MAIN_PROC
+    assert demo_checked.main.result is None

@@ -1,0 +1,157 @@
+"""Tests for the MiniM3 type system objects."""
+
+from repro.lang import types as ty
+
+
+def make_hierarchy():
+    t = ty.ObjectType("T", ty.ROOT, [("f", None), ("g", None)])
+    # give fields real types after creation (self-referential)
+    t.own_fields = [("f", t), ("g", t)]
+    s1 = ty.ObjectType("S1", t, [("x", ty.INTEGER)])
+    s2 = ty.ObjectType("S2", t, [("y", ty.INTEGER)])
+    return t, s1, s2
+
+
+class TestSubtyping:
+    def test_reflexive(self):
+        t, s1, s2 = make_hierarchy()
+        for each in (t, s1, s2, ty.ROOT):
+            assert ty.is_subtype(each, each)
+
+    def test_chain(self):
+        t, s1, _ = make_hierarchy()
+        assert ty.is_subtype(s1, t)
+        assert ty.is_subtype(s1, ty.ROOT)
+        assert not ty.is_subtype(t, s1)
+
+    def test_siblings_unrelated(self):
+        _, s1, s2 = make_hierarchy()
+        assert not ty.is_subtype(s1, s2)
+        assert not ty.is_subtype(s2, s1)
+
+    def test_nil_below_references(self):
+        t, _, _ = make_hierarchy()
+        assert ty.is_subtype(ty.NIL, t)
+        assert ty.is_subtype(ty.NIL, ty.TEXT)
+        assert not ty.is_subtype(ty.NIL, ty.INTEGER)
+
+    def test_primitives_unrelated(self):
+        assert not ty.is_subtype(ty.INTEGER, ty.BOOLEAN)
+
+
+class TestFields:
+    def test_inherited_fields_ordered(self):
+        t, s1, _ = make_hierarchy()
+        assert [f for f, _ in s1.all_fields()] == ["f", "g", "x"]
+
+    def test_field_lookup_through_chain(self):
+        t, s1, _ = make_hierarchy()
+        assert s1.field_type("f") is t
+        assert s1.field_type("x") is ty.INTEGER
+        assert s1.field_type("missing") is None
+
+    def test_field_index(self):
+        _, s1, _ = make_hierarchy()
+        assert s1.field_index("f") == 0
+        assert s1.field_index("x") == 2
+
+    def test_field_owner(self):
+        t, s1, _ = make_hierarchy()
+        assert s1.field_owner("f") is t
+        assert s1.field_owner("x") is s1
+
+
+class TestMethods:
+    def test_method_resolution_with_override(self):
+        m = ty.Method("size", [], ty.INTEGER, "BaseSize")
+        t = ty.ObjectType("T", ty.ROOT, [], methods=[m])
+        s = ty.ObjectType("S", t, [], overrides=[("size", "SSize")])
+        assert t.method_impl("size") == "BaseSize"
+        assert s.method_impl("size") == "SSize"
+        assert s.find_method("size") is m
+
+    def test_unknown_method(self):
+        t = ty.ObjectType("T", ty.ROOT, [])
+        assert t.find_method("nope") is None
+        assert t.method_impl("nope") is None
+
+
+class TestReferenceCompatibility:
+    def test_same_type(self):
+        t, _, _ = make_hierarchy()
+        assert ty.is_reference_compatible(t, t)
+
+    def test_upcast_and_checked_downcast(self):
+        t, s1, _ = make_hierarchy()
+        assert ty.is_reference_compatible(s1, t)
+        assert ty.is_reference_compatible(t, s1)  # runtime-checked
+
+    def test_siblings_incompatible(self):
+        _, s1, s2 = make_hierarchy()
+        assert not ty.is_reference_compatible(s1, s2)
+
+    def test_nil_compatible_with_refs(self):
+        assert ty.is_reference_compatible(ty.NIL, ty.TEXT)
+        assert not ty.is_reference_compatible(ty.NIL, ty.INTEGER)
+
+
+class TestTypeTable:
+    def test_structural_interning_of_refs(self):
+        table = ty.TypeTable()
+        a = table.ref(ty.INTEGER)
+        b = table.ref(ty.INTEGER)
+        assert a is b
+
+    def test_brands_distinguish(self):
+        table = ty.TypeTable()
+        plain = table.ref(ty.INTEGER)
+        branded = table.ref(ty.INTEGER, brand="b")
+        other = table.ref(ty.INTEGER, brand="c")
+        assert plain is not branded
+        assert branded is not other
+        assert table.ref(ty.INTEGER, brand="b") is branded
+
+    def test_array_interning(self):
+        table = ty.TypeTable()
+        assert table.array(ty.CHAR, None) is table.array(ty.CHAR, None)
+        assert table.array(ty.CHAR, 4) is not table.array(ty.CHAR, 5)
+
+    def test_record_interning(self):
+        table = ty.TypeTable()
+        r1 = table.record([("a", ty.INTEGER)])
+        r2 = table.record([("a", ty.INTEGER)])
+        r3 = table.record([("b", ty.INTEGER)])
+        assert r1 is r2
+        assert r1 is not r3
+
+    def test_pointer_types_listing(self):
+        table = ty.TypeTable()
+        table.ref(ty.INTEGER)
+        pointers = table.pointer_types()
+        assert ty.TEXT in pointers
+        assert ty.ROOT in pointers
+        assert ty.INTEGER not in pointers
+
+
+class TestSubtypesOf:
+    def test_object_subtypes(self):
+        table = ty.TypeTable()
+        t, s1, s2 = make_hierarchy()
+        for obj in (t, s1, s2):
+            table.register_object(obj)
+        subs = ty.subtypes_of(t, table)
+        assert set(subs) == {t, s1, s2}
+        assert ty.subtypes_of(s1, table) == [s1]
+
+    def test_non_object_singleton(self):
+        table = ty.TypeTable()
+        ref = table.ref(ty.INTEGER)
+        assert ty.subtypes_of(ref, table) == [ref]
+
+
+def test_is_pointer_type():
+    assert ty.is_pointer_type(ty.TEXT)
+    assert ty.is_pointer_type(ty.ROOT)
+    assert ty.is_pointer_type(ty.NIL)
+    assert not ty.is_pointer_type(ty.INTEGER)
+    assert not ty.is_pointer_type(ty.CHAR)

@@ -1,0 +1,226 @@
+"""Copy propagation tests — the Breakup-category fix."""
+
+from repro import compile_program
+from repro.ir.lowering import lower_module
+from repro.ir.verify import verify_program
+from repro.opt.copyprop import CopyPropagation
+from repro.runtime import Interpreter, MachineModel
+
+
+def run(program_ir):
+    return Interpreter(program_ir, machine=MachineModel()).run()
+
+
+BREAKUP = """
+MODULE M;
+TYPE T = OBJECT n: INTEGER; END;
+VAR t, o: T; x: INTEGER;
+BEGIN
+  t := NEW (T, n := 5);
+  x := t.n;
+  o := t;            (* a reference copy *)
+  x := x + o.n;      (* 'breakup': same location via a different path *)
+  PutInt (x);
+END M.
+"""
+
+
+class TestRewriting:
+    def test_copy_fact_rewrites_path(self):
+        prog = compile_program(BREAKUP)
+        program = lower_module(prog.checked)
+        stats = CopyPropagation(program).run()
+        assert stats.facts_created >= 1
+        assert stats.paths_rewritten >= 1
+        aps = {
+            str(i.ap)
+            for i in program.main.all_instrs()
+            if i.is_heap_load and not i.is_dope
+        }
+        # both loads are now rooted at t
+        assert aps == {"t.n"}
+
+    def test_semantics_preserved(self):
+        prog = compile_program(BREAKUP)
+        baseline = run(lower_module(prog.checked)).output_text()
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        verify_program(program)
+        assert run(program).output_text() == baseline == "10"
+
+    def test_enables_rle(self):
+        prog = compile_program(BREAKUP)
+        plain = prog.optimize("SMFieldTypeRefs")
+        with_cp = prog.pipeline.build(analysis="SMFieldTypeRefs", copyprop=True)
+        s_plain = prog.run(plain)
+        s_cp = prog.run(with_cp)
+        assert s_cp.output_text() == s_plain.output_text()
+        assert s_cp.heap_loads < s_plain.heap_loads
+
+
+class TestKills:
+    def test_fact_killed_by_redefinition(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t, u, o: T; x: INTEGER;
+        BEGIN
+          t := NEW (T, n := 1);
+          u := NEW (T, n := 2);
+          o := t;
+          t := u;              (* kills the o = t fact *)
+          x := o.n;            (* still the OLD t's object! *)
+          PutInt (x);
+          PutInt (t.n);
+        END M.
+        """
+        prog = compile_program(source)
+        baseline = run(lower_module(prog.checked)).output_text()
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        assert run(program).output_text() == baseline == "12"
+        # The o.n path must NOT have been rewritten to t.n.
+        aps = [
+            str(i.ap)
+            for i in program.main.all_instrs()
+            if i.is_heap_load and not i.is_dope
+        ]
+        assert "o.n" in aps
+
+    def test_with_location_bindings_never_propagate(self):
+        """WITH o = t binds the *location* of variable t (Modula-3
+        semantics): o is a handle, not a copy — excluded from facts."""
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t, u: T; x: INTEGER;
+        BEGIN
+          t := NEW (T, n := 1);
+          u := NEW (T, n := 2);
+          WITH o = t DO
+            t := u;            (* o sees the new t *)
+            x := o.n;
+          END;
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        assert run(program).output_text() == "2"
+
+    def test_address_taken_vars_excluded(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t, u: T; x: INTEGER;
+        PROCEDURE Clobber (VAR p: T) = BEGIN p := NEW (T, n := 9); END Clobber;
+        BEGIN
+          t := NEW (T, n := 1);
+          u := t;
+          Clobber (u);         (* rewrites u behind the copy *)
+          x := u.n;
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        baseline = run(lower_module(prog.checked)).output_text()
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        assert run(program).output_text() == baseline == "9"
+        aps = [
+            str(i.ap)
+            for i in program.main.all_instrs()
+            if i.is_heap_load and not i.is_dope
+        ]
+        assert "u.n" in aps  # not rewritten: u's address was taken
+
+    def test_globals_excluded(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR g, t: T; x: INTEGER;
+        PROCEDURE SetG () = BEGIN g := NEW (T, n := 7); END SetG;
+        BEGIN
+          g := NEW (T, n := 1);
+          t := g;
+          SetG ();
+          x := t.n;   (* must still read through t, not g *)
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        assert run(program).output_text() == "1"
+
+
+class TestMergePoints:
+    def test_facts_intersect_at_joins(self):
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t, u, o: T; x: INTEGER; flip: BOOLEAN;
+        BEGIN
+          t := NEW (T, n := 1);
+          u := NEW (T, n := 2);
+          IF flip THEN
+            o := t;
+          ELSE
+            o := u;
+          END;
+          x := o.n;     (* o could be either: no rewrite allowed *)
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        aps = [
+            str(i.ap)
+            for i in program.main.all_instrs()
+            if i.is_heap_load and not i.is_dope
+        ]
+        assert "o.n" in aps
+        assert run(program).output_text() == "2"  # flip defaults FALSE
+
+
+class TestIndexPropagation:
+    def test_subscript_index_copies(self):
+        source = """
+        MODULE M;
+        TYPE B = REF ARRAY OF INTEGER;
+        VAR b: B; i, j, x: INTEGER;
+        BEGIN
+          b := NEW (B, 4);
+          i := 2;
+          b^[i] := 5;
+          j := i;
+          x := b^[j];   (* same element, provable after propagation *)
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        program = lower_module(prog.checked)
+        CopyPropagation(program).run()
+        aps = {
+            str(i.ap)
+            for i in program.main.all_instrs()
+            if (i.is_heap_load or i.is_heap_store) and not i.is_dope
+        }
+        assert aps == {"b^[i]"}
+        assert run(program).output_text() == "5"
+
+
+class TestSuiteIntegration:
+    def test_benchmarks_unchanged_semantics(self, suite):
+        from repro.bench.suite import BASE, RunConfig
+
+        for name in ("format", "slisp", "m3cg"):
+            base = suite.run(name, BASE)
+            cp = suite.run(
+                name,
+                RunConfig(analysis="SMFieldTypeRefs", copyprop=True, minv_inline=True),
+            )
+            assert cp.output_text() == base.output_text()
+            assert cp.heap_loads <= base.heap_loads

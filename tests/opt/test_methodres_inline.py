@@ -1,0 +1,242 @@
+"""Method resolution and inlining tests (the Figure 11 machinery)."""
+
+from repro import compile_program
+from repro.analysis.openworld import AnalysisContext
+from repro.analysis.smtyperefs import SMTypeRefsOracle
+from repro.ir import instructions as ins
+from repro.ir.lowering import lower_module
+from repro.opt.inline import Inliner
+from repro.opt.methodres import MethodResolution
+from repro.runtime import Interpreter, MachineModel
+
+
+def lower_fresh(source):
+    return compile_program(source), None
+
+
+def build(source):
+    prog = compile_program(source)
+    return prog, lower_module(prog.checked)
+
+
+def run(program):
+    return Interpreter(program, machine=MachineModel()).run()
+
+
+SINGLE_IMPL = """
+MODULE M;
+TYPE T = OBJECT n: INTEGER; METHODS get (): INTEGER := Get; END;
+VAR t: T; x: INTEGER;
+PROCEDURE Get (self: T): INTEGER = BEGIN RETURN self.n; END Get;
+BEGIN
+  t := NEW (T, n := 5);
+  x := t.get ();
+  PutInt (x);
+END M.
+"""
+
+MULTI_IMPL = """
+MODULE M;
+TYPE
+  T = OBJECT METHODS tag (): INTEGER := TTag; END;
+  S = T OBJECT OVERRIDES tag := STag; END;
+VAR t: T; x: INTEGER;
+PROCEDURE TTag (self: T): INTEGER = BEGIN RETURN 1; END TTag;
+PROCEDURE STag (self: S): INTEGER = BEGIN RETURN 2; END STag;
+BEGIN
+  t := NEW (S);
+  x := t.tag ();
+  PutInt (x);
+END M.
+"""
+
+PRUNABLE = """
+MODULE M;
+TYPE
+  T = OBJECT METHODS tag (): INTEGER := TTag; END;
+  S = T OBJECT OVERRIDES tag := STag; END;   (* never assigned to a T *)
+VAR t: T; x: INTEGER;
+PROCEDURE TTag (self: T): INTEGER = BEGIN RETURN 1; END TTag;
+PROCEDURE STag (self: S): INTEGER = BEGIN RETURN 2; END STag;
+BEGIN
+  t := NEW (T);
+  x := t.tag ();
+  PutInt (x);
+END M.
+"""
+
+
+class TestMethodResolution:
+    def test_single_impl_devirtualized(self):
+        prog, program = build(SINGLE_IMPL)
+        stats = MethodResolution(program).run()
+        assert stats.method_calls == 1
+        assert stats.resolved == 1
+        methods = [i for i in program.all_instrs() if isinstance(i, ins.CallMethod)]
+        assert not methods
+        assert run(program).output_text() == "5"
+
+    def test_multiple_impls_not_resolved_without_type_refs(self):
+        prog, program = build(MULTI_IMPL)
+        stats = MethodResolution(program).run()
+        assert stats.resolved == 0
+        assert run(program).output_text() == "2"
+
+    def test_type_refs_prune_unassigned_subtype(self):
+        """SMTypeRefs knows no S was ever assigned into a T path, so the
+        dispatch on t can only reach TTag — TBAA-assisted Minv."""
+        prog, program = build(PRUNABLE)
+        ctx = AnalysisContext(prog.checked)
+        oracle = SMTypeRefsOracle(prog.checked, ctx.subtypes, ctx.assignments)
+        stats = MethodResolution(program, oracle).run()
+        assert stats.resolved == 1
+        assert run(program).output_text() == "1"
+
+    def test_without_type_refs_same_case_unresolved(self):
+        prog, program = build(PRUNABLE)
+        stats = MethodResolution(program).run()
+        assert stats.resolved == 0
+
+
+class TestInliner:
+    CALL_HEAVY = """
+    MODULE M;
+    TYPE T = OBJECT n: INTEGER; END;
+    VAR t: T; x, i: INTEGER;
+    PROCEDURE Get (o: T): INTEGER = BEGIN RETURN o.n; END Get;
+    PROCEDURE Bump (VAR v: INTEGER) = BEGIN v := v + 1; END Bump;
+    BEGIN
+      t := NEW (T, n := 2);
+      FOR i := 1 TO 10 DO
+        x := x + Get (t);
+        Bump (x);
+      END;
+      PutInt (x);
+    END M.
+    """
+
+    def test_small_procs_inlined(self):
+        prog, program = build(self.CALL_HEAVY)
+        stats = Inliner(program).run()
+        assert stats.inlined_calls == 2
+        calls = [i for i in program.main.all_instrs() if isinstance(i, ins.Call)]
+        assert not calls
+
+    def test_inlining_preserves_output(self):
+        prog, program = build(self.CALL_HEAVY)
+        baseline = run(lower_module(prog.checked)).output_text()
+        Inliner(program).run()
+        assert run(program).output_text() == baseline == "30"
+
+    def test_recursive_not_inlined(self):
+        source = """
+        MODULE M;
+        VAR x: INTEGER;
+        PROCEDURE Fact (n: INTEGER): INTEGER =
+        BEGIN
+          IF n <= 1 THEN RETURN 1; END;
+          RETURN n * Fact (n - 1);
+        END Fact;
+        BEGIN x := Fact (5); PutInt (x); END M.
+        """
+        prog, program = build(source)
+        stats = Inliner(program).run()
+        assert stats.inlined_calls == 0
+        assert run(program).output_text() == "120"
+
+    def test_mutually_recursive_not_inlined(self):
+        source = """
+        MODULE M;
+        VAR x: INTEGER;
+        PROCEDURE IsEven (n: INTEGER): BOOLEAN =
+        BEGIN
+          IF n = 0 THEN RETURN TRUE; END;
+          RETURN IsOdd (n - 1);
+        END IsEven;
+        PROCEDURE IsOdd (n: INTEGER): BOOLEAN =
+        BEGIN
+          IF n = 0 THEN RETURN FALSE; END;
+          RETURN IsEven (n - 1);
+        END IsOdd;
+        BEGIN
+          IF IsEven (10) THEN x := 1; END;
+          PutInt (x);
+        END M.
+        """
+        prog, program = build(source)
+        stats = Inliner(program).run()
+        assert stats.inlined_calls == 0
+        assert run(program).output_text() == "1"
+
+    def test_size_threshold_respected(self):
+        prog, program = build(self.CALL_HEAVY)
+        stats = Inliner(program, max_callee_size=1).run()
+        assert stats.inlined_calls == 0
+
+    def test_var_params_inline_correctly(self):
+        source = """
+        MODULE M;
+        VAR x, y: INTEGER;
+        PROCEDURE Swap (VAR a, b: INTEGER) =
+        VAR t: INTEGER;
+        BEGIN
+          t := a; a := b; b := t;
+        END Swap;
+        BEGIN
+          x := 1; y := 2;
+          Swap (x, y);
+          PutInt (x); PutInt (y);
+        END M.
+        """
+        prog, program = build(source)
+        stats = Inliner(program).run()
+        assert stats.inlined_calls == 1
+        assert run(program).output_text() == "21"
+
+    def test_multiple_returns_join(self):
+        source = """
+        MODULE M;
+        VAR x: INTEGER;
+        PROCEDURE Sign (n: INTEGER): INTEGER =
+        BEGIN
+          IF n > 0 THEN RETURN 1; END;
+          IF n < 0 THEN RETURN -1; END;
+          RETURN 0;
+        END Sign;
+        BEGIN
+          x := Sign (5) + Sign (-3) * 10 + Sign (0);
+          PutInt (x);
+        END M.
+        """
+        prog, program = build(source)
+        stats = Inliner(program).run()
+        assert stats.inlined_calls == 3
+        assert run(program).output_text() == "-9"
+
+    def test_inline_removes_call_overhead_but_not_breakup_loads(self):
+        """The Figure 11 interaction, faithfully: inlining removes call
+        overhead, but the exposed loads reach RLE through a parameter
+        *copy* (o := t; ... o.n), and the paper's optimizer "does not do
+        copy propagation" — so the load count stays (it later shows up as
+        the 'Breakup' category in the limit study)."""
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T; x, i: INTEGER;
+        PROCEDURE Get (o: T): INTEGER = BEGIN RETURN o.n; END Get;
+        BEGIN
+          t := NEW (T, n := 1);
+          FOR i := 1 TO 50 DO
+            x := x + Get (t);
+          END;
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        rle_only = prog.optimize("SMFieldTypeRefs")
+        both = prog.optimize("SMFieldTypeRefs", minv_inline=True)
+        s_rle = prog.run(rle_only)
+        s_both = prog.run(both)
+        assert s_rle.output_text() == s_both.output_text() == "50"
+        assert s_both.heap_loads == s_rle.heap_loads  # breakup blocks RLE
+        assert s_both.cycles < s_rle.cycles  # call overhead gone

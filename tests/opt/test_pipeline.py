@@ -1,0 +1,107 @@
+"""Pipeline driver tests."""
+
+import pytest
+
+from repro import compile_program
+
+SOURCE = """
+MODULE M;
+TYPE T = OBJECT n: INTEGER; METHODS m (): INTEGER := P; END;
+VAR t: T; x, i: INTEGER;
+PROCEDURE P (self: T): INTEGER = BEGIN RETURN self.n; END P;
+BEGIN
+  t := NEW (T, n := 1);
+  FOR i := 1 TO 10 DO
+    x := x + t.m ();
+  END;
+  PutInt (x);
+END M.
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(SOURCE)
+
+
+def test_base_label(program):
+    assert program.base().label == "base"
+
+
+def test_build_labels(program):
+    assert "rle[SMFieldTypeRefs]" in program.optimize("SMFieldTypeRefs").label
+    combo = program.pipeline.build(
+        analysis="TypeDecl", minv_inline=True, copyprop=True, pre=True
+    )
+    assert "minv+inline" in combo.label
+    assert "copyprop" in combo.label
+    assert "pre" in combo.label
+    open_result = program.optimize("SMFieldTypeRefs", open_world=True)
+    assert "open-world" in open_result.label
+
+
+def test_each_config_lowers_fresh_ir(program):
+    a = program.optimize("SMFieldTypeRefs")
+    b = program.optimize("SMFieldTypeRefs")
+    assert a.program is not b.program
+
+
+def test_context_cached_per_world(program):
+    assert program.pipeline.context(False) is program.pipeline.context(False)
+    assert program.pipeline.context(False) is not program.pipeline.context(True)
+
+
+def test_load_status_empty_for_base(program):
+    assert program.base().load_status == {}
+
+
+def test_load_status_populated_after_rle(program):
+    result = program.optimize("SMFieldTypeRefs")
+    assert result.load_status
+
+
+def test_stats_attached_per_pass(program):
+    result = program.pipeline.build(
+        analysis="SMFieldTypeRefs", minv_inline=True, copyprop=True
+    )
+    assert result.rle is not None
+    assert result.methodres is not None
+    assert result.inline is not None
+    assert result.copyprop is not None
+
+
+def test_rle_disabled(program):
+    result = program.pipeline.build(analysis=None, rle=False, minv_inline=True)
+    assert result.rle is None
+    assert result.methodres is not None
+
+
+def test_all_configs_agree_on_output(program):
+    expected = program.run(program.base()).output_text()
+    configs = [
+        dict(analysis="TypeDecl"),
+        dict(analysis="FieldTypeDecl", hoist=False),
+        dict(analysis="SMFieldTypeRefs", minv_inline=True),
+        dict(analysis="SMFieldTypeRefs", copyprop=True, pre=True),
+        dict(analysis="SMFieldTypeRefs", open_world=True, see_dope_loads=True),
+    ]
+    for kwargs in configs:
+        result = program.pipeline.build(**kwargs)
+        assert program.run(result).output_text() == expected, kwargs
+
+
+def test_backend_cse_runs_in_base():
+    source = """
+    MODULE M;
+    TYPE T = OBJECT n: INTEGER; END;
+    VAR t: T; x: INTEGER;
+    BEGIN
+      t := NEW (T, n := 1);
+      x := t.n;
+      x := x + t.n;   (* block-local: the GCC-style backend merges it *)
+      PutInt (x);
+    END M.
+    """
+    program = compile_program(source)
+    stats = program.run(program.base())
+    assert stats.heap_loads == 1

@@ -1,0 +1,130 @@
+"""PRE-of-loads tests — the Conditional-category fix (paper future work)."""
+
+from repro import compile_program
+from repro.ir.verify import verify_program
+from repro.runtime.limit import Category
+
+
+CONDITIONAL = """
+MODULE M;
+TYPE T = OBJECT n: INTEGER; END;
+VAR t, u: T; x, i: INTEGER;
+BEGIN
+  t := NEW (T, n := 3);
+  u := NEW (T, n := 0);
+  i := 0;
+  WHILE i < 30 DO
+    IF i MOD 2 = 0 THEN
+      x := x + t.n;     (* t.n available on this path... *)
+    ELSE
+      u.n := x MOD 7;   (* ...killed here (u.n may alias t.n) *)
+    END;
+    x := x + t.n;       (* partially redundant: PRE bait *)
+    INC (i);
+  END;
+  PutInt (x);
+END M.
+"""
+
+DIAMOND = """
+MODULE M;
+TYPE T = OBJECT n: INTEGER; END;
+VAR t: T; x: INTEGER; flip: BOOLEAN;
+BEGIN
+  t := NEW (T, n := 7);
+  IF flip THEN
+    x := t.n;
+  ELSE
+    x := 1;
+  END;
+  x := x + t.n;         (* available on the THEN path only *)
+  PutInt (x);
+END M.
+"""
+
+
+class TestPRE:
+    def test_semantics_preserved(self):
+        prog = compile_program(CONDITIONAL)
+        base = prog.run(prog.base())
+        pre = prog.pipeline.build(analysis="SMFieldTypeRefs", pre=True)
+        verify_program(pre.program)
+        s = prog.run(pre)
+        assert s.output_text() == base.output_text()
+
+    def test_pre_inserts_and_pays_off(self):
+        prog = compile_program(CONDITIONAL)
+        plain = prog.pipeline.build(analysis="SMFieldTypeRefs")
+        pre = prog.pipeline.build(analysis="SMFieldTypeRefs", pre=True)
+        assert pre.rle is not None and pre.rle.pre_inserted > 0
+        s_plain = prog.run(plain)
+        s_pre = prog.run(pre)
+        assert s_pre.output_text() == s_plain.output_text()
+        # The partially redundant load becomes fully redundant.
+        assert s_pre.heap_loads <= s_plain.heap_loads
+
+    def test_diamond_edge_insertion(self):
+        prog = compile_program(DIAMOND)
+        base = prog.run(prog.base())
+        pre = prog.pipeline.build(analysis="SMFieldTypeRefs", pre=True)
+        verify_program(pre.program)
+        s = prog.run(pre)
+        assert s.output_text() == base.output_text() == "8"
+
+    def test_conditional_category_shrinks(self):
+        """PRE removes the Figure 10 'Conditional' residue."""
+        prog = compile_program(CONDITIONAL)
+        plain = prog.pipeline.build(analysis="SMFieldTypeRefs")
+        plain_report = prog.limit_study(plain)
+        pre = prog.pipeline.build(analysis="SMFieldTypeRefs", pre=True)
+        pre_report = prog.limit_study(pre)
+        assert (
+            pre_report.by_category[Category.CONDITIONAL]
+            <= plain_report.by_category[Category.CONDITIONAL]
+        )
+        assert pre_report.redundant_loads <= plain_report.redundant_loads
+
+    def test_speculative_insertion_does_not_trap(self):
+        """PRE may insert a load on a path where the base is NIL; the
+        inserted load must be speculative."""
+        source = """
+        MODULE M;
+        TYPE T = OBJECT n: INTEGER; END;
+        VAR t: T; x: INTEGER; flip: BOOLEAN;
+        BEGIN
+          IF flip THEN
+            t := NEW (T, n := 1);
+            x := t.n;
+          END;
+          IF flip THEN
+            x := x + t.n;
+          END;
+          PutInt (x);
+        END M.
+        """
+        prog = compile_program(source)
+        pre = prog.pipeline.build(analysis="SMFieldTypeRefs", pre=True)
+        s = prog.run(pre)  # flip is FALSE: t stays NIL everywhere
+        assert s.output_text() == "0"
+
+
+class TestSuiteIntegration:
+    def test_benchmarks_unchanged_semantics(self, suite):
+        from repro.bench.suite import BASE, RunConfig
+
+        for name in ("format", "dformat", "k-tree"):
+            base = suite.run(name, BASE)
+            pre = suite.run(name, RunConfig(analysis="SMFieldTypeRefs", pre=True))
+            assert pre.output_text() == base.output_text()
+
+    def test_pre_reduces_conditional_residue_on_format(self, suite):
+        from repro.bench.suite import RunConfig
+
+        plain = suite.limit_study(name="format", config=RunConfig(analysis="SMFieldTypeRefs"))
+        pre = suite.limit_study(
+            name="format", config=RunConfig(analysis="SMFieldTypeRefs", pre=True)
+        )
+        assert (
+            pre.by_category[Category.CONDITIONAL]
+            <= plain.by_category[Category.CONDITIONAL]
+        )

@@ -1,0 +1,71 @@
+"""Interpreter odds and ends: stats properties, step limits, determinism."""
+
+import pytest
+
+from repro import compile_program
+from repro.runtime import Interpreter, M3RuntimeError, MachineModel
+
+
+SOURCE = """
+MODULE M;
+TYPE T = OBJECT n: INTEGER; END;
+VAR t: T; x, i: INTEGER;
+BEGIN
+  t := NEW (T, n := 2);
+  FOR i := 1 TO 100 DO
+    x := x + t.n;
+  END;
+  PutInt (x);
+END M.
+"""
+
+INFINITE = """
+MODULE M;
+VAR x: INTEGER;
+BEGIN
+  LOOP
+    x := x + 1;
+  END;
+END M.
+"""
+
+
+def test_stats_properties():
+    program = compile_program(SOURCE)
+    stats = program.run()
+    assert stats.loads == stats.heap_loads + stats.other_loads
+    assert 0.0 < stats.heap_load_fraction < 1.0
+    assert 0.0 <= stats.other_load_fraction < 1.0
+    assert stats.output_text() == "200"
+    assert "instrs" in repr(stats)
+
+
+def test_step_limit_stops_runaway():
+    program = compile_program(INFINITE)
+    interp = Interpreter(program.base().program, max_steps=10_000)
+    with pytest.raises(M3RuntimeError):
+        interp.run()
+
+
+def test_no_machine_means_no_latency_cycles():
+    program = compile_program(SOURCE)
+    result = program.base()
+    bare = Interpreter(result.program, machine=None).run()
+    timed = Interpreter(result.program, machine=MachineModel()).run()
+    assert bare.instructions == timed.instructions
+    assert bare.cycles == bare.instructions  # only instruction cycles
+    assert timed.cycles > timed.instructions
+
+
+def test_allocations_counted():
+    program = compile_program(SOURCE)
+    stats = program.run()
+    assert stats.allocations == 1
+
+
+def test_empty_stats_fractions():
+    from repro.runtime.interp import ExecutionStats
+
+    stats = ExecutionStats()
+    assert stats.heap_load_fraction == 0.0
+    assert stats.other_load_fraction == 0.0

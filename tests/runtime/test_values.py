@@ -1,0 +1,114 @@
+"""Heap value model tests: addresses, offsets, defaults."""
+
+import pytest
+
+from repro.lang import types as ty
+from repro.runtime.values import (
+    ArrayRef,
+    DopeRef,
+    HeapAllocator,
+    M3RuntimeError,
+    ObjectRef,
+    RecordRef,
+    default_value,
+    element_size,
+)
+
+
+def obj_type():
+    t = ty.ObjectType("T", ty.ROOT, [("a", ty.INTEGER), ("b", ty.BOOLEAN)])
+    return ty.ObjectType("S", t, [("c", ty.TEXT)])
+
+
+class TestAllocator:
+    def test_monotone_and_aligned(self):
+        heap = HeapAllocator()
+        a = heap.allocate(24)
+        b = heap.allocate(1)
+        c = heap.allocate(8)
+        assert a < b < c
+        assert all(addr % 8 == 0 for addr in (a, b, c))
+
+    def test_accounting(self):
+        heap = HeapAllocator()
+        heap.allocate(10)  # rounded to 16
+        heap.allocate(8)
+        assert heap.allocations == 2
+        assert heap.allocated_bytes == 24
+
+
+class TestObjectRef:
+    def test_field_offsets_follow_layout(self):
+        s = obj_type()
+        ref = ObjectRef(s, 0x100)
+        assert ref.field_addr("a") == 0x100
+        assert ref.field_addr("b") == 0x108
+        assert ref.field_addr("c") == 0x110
+
+    def test_defaults_by_type(self):
+        ref = ObjectRef(obj_type(), 0)
+        assert ref.slots["a"] == 0
+        assert ref.slots["b"] is False
+        assert ref.slots["c"] == ""
+
+    def test_size(self):
+        assert ObjectRef.size_of(obj_type()) == 3 * 8
+
+
+class TestRecordRef:
+    def test_record_fields(self):
+        rec = ty.RecordType([("x", ty.INTEGER), ("y", ty.CHAR)])
+        ref_t = ty.RefType(rec)
+        ref = RecordRef(ref_t, 0x200)
+        assert ref.slots == {"x": 0, "y": "\0"}
+        assert ref.field_addr("y") == 0x208
+
+    def test_scalar_cell(self):
+        ref_t = ty.RefType(ty.INTEGER)
+        cell = RecordRef(ref_t, 0x300)
+        assert cell.slots == {RecordRef.SCALAR_SLOT: 0}
+        assert RecordRef.size_of(ref_t) == 8
+
+
+class TestArrayRef:
+    def test_int_elements_are_8_bytes(self):
+        arr = ArrayRef(ty.INTEGER, 4, 0x400)
+        assert arr.elem_addr(0) == 0x400
+        assert arr.elem_addr(3) == 0x418
+
+    def test_char_elements_are_1_byte(self):
+        arr = ArrayRef(ty.CHAR, 16, 0x500)
+        assert arr.elem_addr(15) == 0x50F
+        assert element_size(ty.CHAR) == 1
+
+    def test_bounds_check(self):
+        arr = ArrayRef(ty.INTEGER, 2, 0)
+        arr.check_index(0)
+        arr.check_index(1)
+        with pytest.raises(M3RuntimeError):
+            arr.check_index(2)
+        with pytest.raises(M3RuntimeError):
+            arr.check_index(-1)
+
+    def test_size_of(self):
+        assert ArrayRef.size_of(ty.CHAR, 10) == 10
+        assert ArrayRef.size_of(ty.INTEGER, 10) == 80
+
+
+class TestDopeRef:
+    def test_dope_layout(self):
+        data = ArrayRef(ty.INTEGER, 3, 0x600)
+        dope = DopeRef(data, 0x700)
+        assert dope.count == 3
+        assert dope.data_addr == 0x700
+        assert dope.count_addr == 0x708
+        assert dope.data is data
+
+
+def test_default_values():
+    assert default_value(ty.INTEGER) == 0
+    assert default_value(ty.BOOLEAN) is False
+    assert default_value(ty.CHAR) == "\0"
+    assert default_value(ty.TEXT) == ""
+    assert default_value(obj_type()) is None
+    assert default_value(ty.RefType(ty.INTEGER)) is None

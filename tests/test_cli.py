@@ -1,0 +1,111 @@
+"""CLI tests (python -m repro)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+MODULE CliDemo;
+TYPE T = OBJECT n: INTEGER; END;
+VAR t: T; x, i: INTEGER;
+BEGIN
+  t := NEW (T, n := 2);
+  FOR i := 1 TO 5 DO
+    x := x + t.n;
+  END;
+  PutInt (x);
+END CliDemo.
+"""
+
+BROKEN = "MODULE Broken; BEGIN zap := 1; END Broken."
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.m3"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def test_check(demo_file, capsys):
+    assert main(["check", demo_file]) == 0
+    out = capsys.readouterr().out
+    assert "module CliDemo: OK" in out
+    assert "procedures: 0" in out
+
+
+def test_check_error(tmp_path, capsys):
+    path = tmp_path / "broken.m3"
+    path.write_text(BROKEN)
+    assert main(["check", str(path)]) == 1
+    assert "undeclared" in capsys.readouterr().err
+
+
+def test_missing_file(capsys):
+    assert main(["check", "/nonexistent/x.m3"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_run(demo_file, capsys):
+    assert main(["run", demo_file]) == 0
+    assert capsys.readouterr().out.strip() == "10"
+
+
+def test_run_with_stats_and_opt(demo_file, capsys):
+    assert main(["run", demo_file, "--stats", "--analysis", "SMFieldTypeRefs"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "10"
+    assert "cycles" in captured.err
+
+
+def test_run_optimized_matches_plain(demo_file, capsys):
+    main(["run", demo_file])
+    plain = capsys.readouterr().out
+    main(["run", demo_file, "--analysis", "TypeDecl", "--minv-inline",
+          "--copyprop", "--pre"])
+    assert capsys.readouterr().out == plain
+
+
+def test_ir_dump(demo_file, capsys):
+    assert main(["ir", demo_file]) == 0
+    out = capsys.readouterr().out
+    assert "proc <main>" in out
+    assert "ap=t.n" in out
+
+
+def test_ir_dump_optimized_reports_rle(demo_file, capsys):
+    assert main(["ir", demo_file, "--analysis", "SMFieldTypeRefs"]) == 0
+    out = capsys.readouterr().out
+    assert "RLE:" in out
+
+
+def test_alias_report(demo_file, capsys):
+    assert main(["alias", demo_file]) == 0
+    out = capsys.readouterr().out
+    for name in ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"):
+        assert name in out
+
+
+def test_limit_report(demo_file, capsys):
+    assert main(["limit", demo_file]) == 0
+    out = capsys.readouterr().out
+    assert "redundant (original)" in out
+    assert "Encapsulated" in out
+
+
+def test_bench_single(capsys):
+    assert main(["bench", "write-pickle"]) == 0
+    out = capsys.readouterr().out
+    assert "write-pickle" in out
+
+
+def test_tables_selected(capsys):
+    assert main(["tables", "table6"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 6" in out
+
+
+def test_tables_unknown(capsys):
+    assert main(["tables", "tableX"]) == 2

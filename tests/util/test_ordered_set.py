@@ -1,0 +1,71 @@
+"""Tests for OrderedSet."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.ordered_set import OrderedSet
+
+
+def test_preserves_insertion_order():
+    s = OrderedSet([3, 1, 2, 1, 3])
+    assert list(s) == [3, 1, 2]
+
+
+def test_add_and_discard():
+    s = OrderedSet()
+    s.add("a")
+    s.add("b")
+    s.add("a")
+    assert list(s) == ["a", "b"]
+    s.discard("a")
+    assert list(s) == ["b"]
+    s.discard("missing")  # no error
+
+
+def test_update():
+    s = OrderedSet([1])
+    s.update([2, 3, 1])
+    assert list(s) == [1, 2, 3]
+
+
+def test_membership_and_len():
+    s = OrderedSet("abc")
+    assert "a" in s
+    assert "z" not in s
+    assert len(s) == 3
+    assert bool(s)
+    assert not bool(OrderedSet())
+
+
+def test_equality_with_sets():
+    assert OrderedSet([1, 2]) == {2, 1}
+    assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+    assert OrderedSet([1]) != OrderedSet([2])
+
+
+def test_union_and_intersection_preserve_left_order():
+    a = OrderedSet([3, 1])
+    b = OrderedSet([1, 2])
+    assert list(a | b) == [3, 1, 2]
+    assert list(a & b) == [1]
+    assert list(a.intersection([9, 3])) == [3]
+
+
+def test_unhashable():
+    import pytest
+
+    with pytest.raises(TypeError):
+        hash(OrderedSet())
+
+
+@given(st.lists(st.integers(-5, 5)))
+def test_behaves_like_set(items):
+    s = OrderedSet(items)
+    assert set(s) == set(items)
+    assert len(s) == len(set(items))
+
+
+@given(st.lists(st.integers(0, 9)), st.lists(st.integers(0, 9)))
+def test_union_intersection_laws(xs, ys):
+    a, b = OrderedSet(xs), OrderedSet(ys)
+    assert set(a | b) == set(xs) | set(ys)
+    assert set(a & b) == set(xs) & set(ys)

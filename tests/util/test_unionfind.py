@@ -1,0 +1,123 @@
+"""Unit + property tests for the union-find backing SMTypeRefs."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.n_classes == 3
+        assert uf.find("a") == "a"
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+        assert uf.n_classes == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.union("a", "b")
+        assert not uf.union("a", "b")
+        assert uf.n_classes == 1
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert len(uf) == 1
+        assert uf.n_classes == 1
+
+    def test_find_registers_unseen(self):
+        uf = UnionFind()
+        assert uf.find("fresh") == "fresh"
+        assert "fresh" in uf
+
+    def test_members(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.members("a") == {"a", "b", "c"}
+        assert uf.members("d") == {"d"}
+
+    def test_classes_partition(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        classes = uf.classes()
+        assert sorted(len(c) for c in classes) == [1, 1, 2, 2]
+        union_of_all = set().union(*classes)
+        assert union_of_all == set(range(6))
+
+    def test_transitive_chain(self):
+        uf = UnionFind(range(50))
+        for i in range(49):
+            uf.union(i, i + 1)
+        assert uf.n_classes == 1
+        assert uf.connected(0, 49)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=30),
+    pairs=st.lists(
+        st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60
+    ),
+)
+def test_matches_naive_partition(n, pairs):
+    """Union-find agrees with a naive set-merging implementation."""
+    uf = UnionFind(range(n))
+    naive = [{i} for i in range(n)]
+
+    def naive_find(x):
+        for group in naive:
+            if x in group:
+                return group
+        group = {x}
+        naive.append(group)
+        return group
+
+    for a, b in pairs:
+        uf.union(a, b)
+        ga, gb = naive_find(a), naive_find(b)
+        if ga is not gb:
+            ga |= gb
+            naive.remove(gb)
+
+    for a in range(n):
+        for b in range(n):
+            assert uf.connected(a, b) == (naive_find(a) is naive_find(b))
+
+
+@given(
+    pairs=st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40)
+)
+def test_equivalence_relation(pairs):
+    """connected() is reflexive, symmetric and transitive."""
+    uf = UnionFind(range(16))
+    for a, b in pairs:
+        uf.union(a, b)
+    for x in range(16):
+        assert uf.connected(x, x)
+    for a in range(16):
+        for b in range(16):
+            assert uf.connected(a, b) == uf.connected(b, a)
+    # transitivity via class identity
+    roots = [uf.find(x) for x in range(16)]
+    for a in range(16):
+        for b in range(16):
+            assert uf.connected(a, b) == (roots[a] == roots[b])
+
+
+@given(
+    pairs=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=50)
+)
+def test_class_count_invariant(pairs):
+    """n_classes equals the number of distinct roots at all times."""
+    uf = UnionFind(range(21))
+    for a, b in pairs:
+        uf.union(a, b)
+        assert uf.n_classes == len({uf.find(x) for x in range(21)})
