@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench tables examples fuzz clean
+.PHONY: install test bench bench-quick tables examples fuzz clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable alias-engine numbers: analysis construction time,
+# may-alias query throughput, and Table 5 wall time under both the
+# reference and the partition-based counting engines.
+bench-quick:
+	$(PYTHON) -m pytest benchmarks/bench_analysis_cost.py benchmarks/bench_table5_alias_pairs.py --benchmark-only
+	$(PYTHON) -m repro.bench.perfjson -o BENCH_alias.json
 
 tables:
 	$(PYTHON) -m repro tables

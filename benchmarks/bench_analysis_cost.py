@@ -4,14 +4,21 @@ The paper's complexity argument: SMTypeRefs makes a single linear pass
 over the program unioning type sets, so TBAA is O(n) bit-vector steps;
 computing all may-alias pairs is O(e²) but each query is cheap.  This
 bench measures construction time for all three analyses and the raw
-query throughput, over the largest benchmark.
+query throughput over the largest benchmark, and emits the numbers both
+as an aligned table and as machine-readable JSON (the same schema
+``make bench-quick`` writes to ``BENCH_alias.json``).
 """
 
-import time
+import json
 
-from repro.analysis import AliasPairCounter, collect_heap_references
 from repro.analysis.openworld import AnalysisContext
-from repro.bench.suite import BASE
+from repro.bench.perfjson import (
+    measure_construction,
+    measure_query_throughput,
+    measure_table5_engines,
+    validate_report,
+    SCHEMA_VERSION,
+)
 from repro.util.tables import render_table
 
 
@@ -25,26 +32,32 @@ def test_analysis_construction(benchmark, suite, emit):
     analyses = benchmark.pedantic(build_all_three, rounds=5, iterations=1)
     assert len(analyses) == 3
 
-    # Query throughput table over real references.
-    base = suite.build("m3cg", BASE)
-    refs = [ap for aps in collect_heap_references(base.program).values() for ap in aps]
+    # Query throughput over real references, with memo-cache statistics.
+    throughput = measure_query_throughput(suite, "m3cg", rounds=3)
     rows = []
-    ctx = AnalysisContext(program.checked)
     for name in ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"):
-        analysis = ctx.build(name)
-        start = time.perf_counter()
-        queries = 0
-        for i in range(len(refs)):
-            for j in range(i + 1, len(refs)):
-                analysis.may_alias(refs[i], refs[j])
-                queries += 1
-        elapsed = time.perf_counter() - start
-        rows.append([name, queries, round(elapsed * 1000, 1),
-                     round(queries / max(elapsed, 1e-9) / 1000, 1)])
+        entry = throughput[name]
+        cache = entry["cache"]
+        rows.append([name, entry["queries"], entry["ms"], entry["kqps"],
+                     cache["hits"], cache["misses"]])
     text = render_table(
-        ["Analysis", "Queries", "ms", "kq/s"],
+        ["Analysis", "Queries", "ms", "kq/s", "Cache hits", "Cache misses"],
         rows,
         title="May-alias query cost on m3cg (all reference pairs)",
     )
     emit("analysis_cost", text)
-    assert all(row[1] > 0 for row in rows)
+    assert all(row[3] > 0 for row in rows)
+
+    # Table 5 wall time under both counting engines.
+    table5 = measure_table5_engines(suite, rounds=3)
+    report = {
+        "schema": SCHEMA_VERSION,
+        "query_benchmark": "m3cg",
+        "construction_ms": measure_construction(suite, "m3cg", rounds=3),
+        "query_throughput": throughput,
+        "table5": table5,
+    }
+    validate_report(report)
+    emit("analysis_cost_json", json.dumps(report, indent=2, sort_keys=True))
+    # The partition-based engine must clearly beat the per-pair loop.
+    assert table5["speedup"] > 1.0

@@ -16,10 +16,17 @@ def test_table5(benchmark, suite, emit):
 
     def count_pairs():
         analysis = program.analysis("SMFieldTypeRefs")
-        return AliasPairCounter(base.program, analysis).count()
+        return AliasPairCounter(base.program, analysis, engine="fast").count()
 
     report = benchmark.pedantic(count_pairs, rounds=3, iterations=1)
     assert report.references > 0
+
+    # The reference engine must agree with the timed fast engine.
+    analysis = program.analysis("SMFieldTypeRefs")
+    reference = AliasPairCounter(
+        base.program, analysis, engine="reference"
+    ).count()
+    assert reference.counts() == report.counts()
 
     table = tables.table5(suite)
     emit("table5", table.text)

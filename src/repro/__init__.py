@@ -98,10 +98,19 @@ class Program:
         """One of 'TypeDecl' | 'FieldTypeDecl' | 'SMFieldTypeRefs'."""
         return self.pipeline.context(open_world).build(name)
 
-    def alias_pairs(self, name: str, open_world: bool = False):
-        """Table 5's static metric for one analysis level."""
+    def alias_pairs(self, name: str, open_world: bool = False,
+                    engine: str = "fast"):
+        """Table 5's static metric for one analysis level.
+
+        ``engine`` is ``'fast'`` (partition-based counter, the default),
+        ``'reference'`` (the O(e²) per-pair loop), or ``'differential'``
+        (runs both and asserts agreement).
+        """
         program = self.pipeline.base().program
-        return AliasPairCounter(program, self.analysis(name, open_world)).count()
+        counter = AliasPairCounter(
+            program, self.analysis(name, open_world), engine=engine
+        )
+        return counter.count()
 
     # -- optimization ------------------------------------------------------
 

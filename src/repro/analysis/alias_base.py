@@ -11,7 +11,11 @@ used at the leaves:
 
 All analyses are *flow-insensitive* and query-cached (the static metric
 asks O(e²) pair queries; caching makes that tractable, as the paper notes
-in Section 2.5).
+in Section 2.5).  Access paths are interned with dense integer uids
+(:mod:`repro.ir.access_path`), so the cache keys on an unordered
+``(uid, uid)`` pair — no tree hashing on the query path — and
+:meth:`AliasAnalysis.may_alias_canonical` lets bulk clients that already
+hold canonical paths skip re-canonicalisation entirely.
 """
 
 from typing import Dict, Tuple
@@ -39,24 +43,49 @@ class AliasAnalysis:
     name = "<analysis>"
 
     def __init__(self) -> None:
-        self._cache: Dict[Tuple[AccessPath, AccessPath], bool] = {}
+        self._cache: Dict[Tuple[int, int], bool] = {}
+        self._hits = 0
+        self._misses = 0
 
     def may_alias(self, p: AccessPath, q: AccessPath) -> bool:
-        cp, cq = strip_index(p), strip_index(q)
-        key = (cp, cq)
+        return self.may_alias_canonical(strip_index(p), strip_index(q))
+
+    def may_alias_canonical(self, cp: AccessPath, cq: AccessPath) -> bool:
+        """:meth:`may_alias` for paths already canonicalised by
+        :func:`~repro.ir.access_path.strip_index`.
+
+        The pair loops of the static metric canonicalise once while
+        collecting references; this entry point lets them skip the
+        (memoised, but not free) strip on each of the O(e²) queries.
+        """
+        key = (cp.uid, cq.uid) if cp.uid <= cq.uid else (cq.uid, cp.uid)
         cached = self._cache.get(key)
         if cached is not None:
+            self._hits += 1
             return cached
+        self._misses += 1
         result = self._may_alias(cp, cq)
         self._cache[key] = result
-        self._cache[(cq, cp)] = result
         return result
 
     def _may_alias(self, p: AccessPath, q: AccessPath) -> bool:
         raise NotImplementedError
 
+    # -- cache introspection -------------------------------------------
+
     def cache_clear(self) -> None:
+        """Drop all memoised answers and reset the hit/miss counters."""
         self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        """``{'hits', 'misses', 'size'}`` of the query cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+        }
 
     def __repr__(self) -> str:
         return "<{}>".format(self.name)

@@ -50,11 +50,12 @@ class FieldTypeDeclAnalysis(AliasAnalysis):
         q_is_subscript = isinstance(q, Subscript)
 
         # Case 2: two qualified expressions alias iff they access the same
-        # field of potentially the same object.
+        # field of potentially the same object.  Bases of canonical paths
+        # are canonical, so the recursion skips re-canonicalisation.
         if p_is_qualify and q_is_qualify:
             if p.field != q.field:
                 return False
-            return self.may_alias(p.base, q.base)
+            return self.may_alias_canonical(p.base, q.base)
 
         # Case 3: qualify vs dereference — only if the program takes the
         # address of such a field and the types are compatible.
@@ -77,7 +78,7 @@ class FieldTypeDeclAnalysis(AliasAnalysis):
         # Case 6: two subscripted expressions alias iff they may subscript
         # the same array; the actual subscripts are ignored.
         if p_is_subscript and q_is_subscript:
-            return self.may_alias(p.base, q.base)
+            return self.may_alias_canonical(p.base, q.base)
 
         # Case 7: everything else (incl. two dereferences) falls back to
         # the type oracle.

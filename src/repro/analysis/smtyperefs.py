@@ -190,6 +190,7 @@ class SMTypeRefsOracle(TypeOracle):
         )
         self.merges = [a for a in self.assignments if a.is_merge()]
         self._table: Dict[int, FrozenSet[int]] = {}
+        self._mask_table: Dict[int, int] = {}
         self._build()
 
     def _build(self) -> None:
@@ -209,13 +210,29 @@ class SMTypeRefsOracle(TypeOracle):
                     if ancestor is obj or ancestor.brand is not None:
                         continue
                     group.union(id(obj), id(ancestor))
-        # Step 3: TypeRefsTable(t) = group(t) ∩ Subtypes(t).
+        # Step 3: TypeRefsTable(t) = group(t) ∩ Subtypes(t), as bitmasks
+        # over the subtype oracle's dense type numbering.
+        group_masks: Dict[int, int] = {}
         for t in pointer_types:
-            members = group.members(id(t))
-            subs = self.subtypes.subtype_set(t)
-            self._table[id(t)] = frozenset(members) & subs
+            root = group.find(id(t))
+            group_masks[root] = group_masks.get(root, 0) | (
+                1 << self.subtypes.type_bit(t)
+            )
+        for t in pointer_types:
+            mask = group_masks[group.find(id(t))] & self.subtypes.subtype_mask(t)
+            self._mask_table[id(t)] = mask
+            self._table[id(t)] = frozenset(
+                id(u) for u in self.subtypes.types_of_mask(mask)
+            )
 
     # ------------------------------------------------------------------
+
+    def type_refs_mask(self, t: Type) -> int:
+        """TypeRefsTable(t) as a bitmask (the query representation)."""
+        mask = self._mask_table.get(id(t))
+        if mask is not None:
+            return mask
+        return self.subtypes.subtype_mask(t)
 
     def type_refs(self, t: Type) -> FrozenSet[int]:
         """TypeRefsTable(t) as a set of type identities."""
@@ -233,7 +250,7 @@ class SMTypeRefsOracle(TypeOracle):
         tp, tq = p.type, q.type
         if tp is tq:
             return True
-        return not self.type_refs(tp).isdisjoint(self.type_refs(tq))
+        return (self.type_refs_mask(tp) & self.type_refs_mask(tq)) != 0
 
 
 def SMFieldTypeRefsAnalysis(

@@ -48,6 +48,7 @@ class SteensgaardTypesOracle(TypeOracle):
             assignments if assignments is not None else collect_pointer_assignments(checked)
         )
         self._table: Dict[int, FrozenSet[int]] = {}
+        self._mask_table: Dict[int, int] = {}
         self._build()
 
     def _build(self) -> None:
@@ -63,9 +64,24 @@ class SteensgaardTypesOracle(TypeOracle):
         # Following the footnote's reading, we stay closest to "apply
         # Steensgaard to user types": classes come from assignments only,
         # and the *query* unions the subtype set in (symmetrically).
+        group_masks: Dict[int, int] = {}
         for t in pointer_types:
-            members = frozenset(group.members(id(t)))
-            self._table[id(t)] = members | self.subtypes.subtype_set(t)
+            root = group.find(id(t))
+            group_masks[root] = group_masks.get(root, 0) | (
+                1 << self.subtypes.type_bit(t)
+            )
+        for t in pointer_types:
+            mask = group_masks[group.find(id(t))] | self.subtypes.subtype_mask(t)
+            self._mask_table[id(t)] = mask
+            self._table[id(t)] = frozenset(
+                id(u) for u in self.subtypes.types_of_mask(mask)
+            )
+
+    def class_mask(self, t: Type) -> int:
+        mask = self._mask_table.get(id(t))
+        if mask is not None:
+            return mask
+        return self.subtypes.subtype_mask(t)
 
     def class_of(self, t: Type) -> FrozenSet[int]:
         cached = self._table.get(id(t))
@@ -77,7 +93,7 @@ class SteensgaardTypesOracle(TypeOracle):
         tp, tq = p.type, q.type
         if tp is tq:
             return True
-        return not self.class_of(tp).isdisjoint(self.class_of(tq))
+        return (self.class_mask(tp) & self.class_mask(tq)) != 0
 
 
 def SteensgaardFieldTypeRefsAnalysis(

@@ -8,9 +8,15 @@ For object types the set comes from the declared inheritance hierarchy;
 for every other type it is the singleton {T} (structural types have no
 proper subtypes in MiniM3; NIL is handled by the analyses directly since
 no access path is declared with type NULL).
+
+Each type is assigned a dense bit position and ``Subtypes(T)`` is kept as
+a Python ``int`` bitmask, so the hot compatibility test
+``Subtypes(T1) ∩ Subtypes(T2) ≠ ∅`` is a single ``&``.  The
+``frozenset``-of-identities view remains available through
+:meth:`SubtypeOracle.subtype_set` for reports and tests.
 """
 
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, List
 
 from repro.lang.typecheck import CheckedModule
 from repro.lang.types import ObjectType, Type, is_subtype
@@ -20,25 +26,67 @@ class SubtypeOracle:
     """Precomputed subtype sets and the type-compatibility test.
 
     ``compatible(t1, t2)`` is the core of TypeDecl:
-    ``Subtypes(Type(p)) ∩ Subtypes(Type(q)) ≠ ∅``.
+    ``Subtypes(Type(p)) ∩ Subtypes(Type(q)) ≠ ∅``, evaluated as a
+    bitmask intersection.
     """
 
     def __init__(self, checked: CheckedModule):
         self.checked = checked
+        self._bits: Dict[int, int] = {}      # id(type) -> bit position
+        self._bit_types: List[Type] = []     # bit position -> type
+        self._masks: Dict[int, int] = {}     # id(type) -> Subtypes bitmask
         self._subtype_ids: Dict[int, FrozenSet[int]] = {}
         objects = checked.object_types()
         for obj in objects:
-            subs = frozenset(id(o) for o in objects if is_subtype(o, obj))
-            self._subtype_ids[id(obj)] = subs
+            self.type_bit(obj)
+        for obj in objects:
+            mask = 0
+            for o in objects:
+                if is_subtype(o, obj):
+                    mask |= 1 << self._bits[id(o)]
+            self._masks[id(obj)] = mask
+
+    # -- dense type numbering ------------------------------------------
+
+    def type_bit(self, t: Type) -> int:
+        """The dense bit position assigned to *t* (assigned on demand)."""
+        bit = self._bits.get(id(t))
+        if bit is None:
+            bit = len(self._bit_types)
+            self._bits[id(t)] = bit
+            self._bit_types.append(t)
+        return bit
+
+    def types_of_mask(self, mask: int) -> List[Type]:
+        """The types whose bits are set in *mask* (for reports/tests)."""
+        out: List[Type] = []
+        bit = 0
+        while mask:
+            if mask & 1:
+                out.append(self._bit_types[bit])
+            mask >>= 1
+            bit += 1
+        return out
+
+    # -- Subtypes(T) ----------------------------------------------------
+
+    def subtype_mask(self, t: Type) -> int:
+        """``Subtypes(t)`` as a bitmask over the dense type numbering."""
+        mask = self._masks.get(id(t))
+        if mask is not None:
+            return mask
+        mask = 1 << self.type_bit(t)
+        self._masks[id(t)] = mask
+        return mask
 
     def subtype_set(self, t: Type) -> FrozenSet[int]:
         """``Subtypes(t)`` as a set of type identities."""
         cached = self._subtype_ids.get(id(t))
         if cached is not None:
             return cached
-        singleton = frozenset((id(t),))
-        self._subtype_ids[id(t)] = singleton
-        return singleton
+        ids = frozenset(id(u) for u in self.types_of_mask(self.subtype_mask(t)))
+        self._subtype_ids[id(t)] = ids
+        return ids
 
     def subtypes(self, t: Type) -> list:
         """``Subtypes(t)`` as type objects (for reports and tests)."""
@@ -50,4 +98,4 @@ class SubtypeOracle:
         """True iff the subtype sets of *t1* and *t2* intersect."""
         if t1 is t2:
             return True
-        return not self.subtype_set(t1).isdisjoint(self.subtype_set(t2))
+        return (self.subtype_mask(t1) & self.subtype_mask(t2)) != 0

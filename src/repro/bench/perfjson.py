@@ -1,0 +1,183 @@
+"""Machine-readable performance numbers for the alias-query engine.
+
+``make bench-quick`` runs :func:`run_quick_bench` and writes
+``BENCH_alias.json`` at the repository root; the test suite runs the same
+code with tiny repetition counts to keep the JSON schema honest.  The
+report captures the three costs the paper's Section 2.5 discusses plus
+the engineering numbers this reproduction adds on top:
+
+* ``construction_ms`` — building each analysis from the checked module
+  (the "single linear pass" claim);
+* ``query_throughput`` — raw ``may_alias`` queries over all reference
+  pairs of one benchmark, in thousands of queries per second, with the
+  memo-cache statistics;
+* ``table5`` — full-suite Table 5 wall time under the per-pair
+  ``reference`` engine and the partition-based ``fast`` engine, and the
+  resulting speedup.
+"""
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis import ANALYSIS_NAMES, AliasPairCounter, collect_heap_references
+from repro.analysis.openworld import AnalysisContext
+from repro.bench import registry
+from repro.bench.suite import BASE, BenchmarkSuite
+
+#: Bumped whenever the JSON layout changes.
+SCHEMA_VERSION = 1
+
+#: Keys every report must carry (the smoke test checks these).
+REPORT_KEYS = ("schema", "query_benchmark", "construction_ms",
+               "query_throughput", "table5")
+
+
+def _best(fn, rounds: int) -> float:
+    """Best-of-*rounds* wall time of ``fn()`` in seconds (at least one)."""
+    best = float("inf")
+    for _ in range(max(rounds, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_construction(suite: BenchmarkSuite, name: str,
+                         rounds: int = 3) -> Dict[str, float]:
+    """Per-analysis build time (ms) from an already-checked module."""
+    program = suite.program(name)
+    out: Dict[str, float] = {}
+    for analysis_name in ANALYSIS_NAMES:
+        def build() -> None:
+            AnalysisContext(program.checked).build(analysis_name)
+        out[analysis_name] = round(_best(build, rounds) * 1000, 3)
+    return out
+
+
+def measure_query_throughput(suite: BenchmarkSuite, name: str,
+                             rounds: int = 3) -> Dict[str, dict]:
+    """All-pairs ``may_alias`` throughput per analysis, with cache stats.
+
+    Each round starts from a cold cache; cache statistics are taken from
+    the last round, so they describe exactly one all-pairs sweep.
+    """
+    program = suite.program(name)
+    base = suite.build(name, BASE)
+    refs = [ap for aps in collect_heap_references(base.program).values()
+            for ap in aps]
+    queries = len(refs) * (len(refs) - 1) // 2
+    ctx = AnalysisContext(program.checked)
+    out: Dict[str, dict] = {}
+    for analysis_name in ANALYSIS_NAMES:
+        analysis = ctx.build(analysis_name)
+
+        def sweep() -> None:
+            analysis.cache_clear()
+            may_alias = analysis.may_alias
+            for i in range(len(refs)):
+                for j in range(i + 1, len(refs)):
+                    may_alias(refs[i], refs[j])
+
+        elapsed = _best(sweep, rounds)
+        out[analysis_name] = {
+            "queries": queries,
+            "ms": round(elapsed * 1000, 3),
+            "kqps": round(queries / max(elapsed, 1e-9) / 1000, 1),
+            "cache": analysis.cache_stats(),
+        }
+    return out
+
+
+def measure_table5_engines(suite: BenchmarkSuite,
+                           names: Optional[List[str]] = None,
+                           rounds: int = 3) -> Dict[str, object]:
+    """Full-suite Table 5 counting time under both engines.
+
+    Analyses and reference lists are built once; each timed round clears
+    the per-analysis query caches so both engines start cold.
+    """
+    names = names or registry.benchmark_names()
+    counters = []
+    for name in names:
+        program = suite.program(name)
+        base = suite.build(name, BASE)
+        for analysis_name in ANALYSIS_NAMES:
+            analysis = program.analysis(analysis_name)
+            counters.append((
+                analysis,
+                AliasPairCounter(base.program, analysis, engine="reference"),
+                AliasPairCounter(base.program, analysis, engine="fast"),
+            ))
+
+    def run(index: int) -> None:
+        for entry in counters:
+            entry[0].cache_clear()
+            entry[index].count()
+
+    reference = _best(lambda: run(1), rounds)
+    fast = _best(lambda: run(2), rounds)
+    return {
+        "programs": list(names),
+        "analyses": list(ANALYSIS_NAMES),
+        "reference_ms": round(reference * 1000, 3),
+        "fast_ms": round(fast * 1000, 3),
+        "speedup": round(reference / max(fast, 1e-9), 2),
+    }
+
+
+def run_quick_bench(query_benchmark: str = "m3cg",
+                    table5_names: Optional[List[str]] = None,
+                    rounds: int = 3) -> Dict[str, object]:
+    """Collect every number ``BENCH_alias.json`` records."""
+    suite = BenchmarkSuite()
+    return {
+        "schema": SCHEMA_VERSION,
+        "query_benchmark": query_benchmark,
+        "construction_ms": measure_construction(suite, query_benchmark, rounds),
+        "query_throughput": measure_query_throughput(suite, query_benchmark, rounds),
+        "table5": measure_table5_engines(suite, table5_names, rounds),
+    }
+
+
+def validate_report(report: Dict[str, object]) -> None:
+    """Raise ``AssertionError`` unless *report* matches the schema."""
+    for key in REPORT_KEYS:
+        assert key in report, "missing key {!r}".format(key)
+    assert report["schema"] == SCHEMA_VERSION
+    construction = report["construction_ms"]
+    throughput = report["query_throughput"]
+    for analysis_name in ANALYSIS_NAMES:
+        assert construction[analysis_name] >= 0
+        entry = throughput[analysis_name]
+        assert entry["queries"] > 0 and entry["kqps"] > 0
+        cache = entry["cache"]
+        assert set(cache) == {"hits", "misses", "size"}
+        assert cache["misses"] == cache["size"] > 0
+    table5 = report["table5"]
+    assert table5["reference_ms"] > 0 and table5["fast_ms"] > 0
+    assert table5["speedup"] > 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="write machine-readable alias-engine benchmark numbers")
+    parser.add_argument("-o", "--output", default="BENCH_alias.json")
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+    report = run_quick_bench(rounds=args.rounds)
+    validate_report(report)
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    table5 = report["table5"]
+    print("wrote {}: table5 reference {}ms fast {}ms ({}x)".format(
+        args.output, table5["reference_ms"], table5["fast_ms"],
+        table5["speedup"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ whose ``text`` is an aligned text rendering.  The benchmark files under
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import ANALYSIS_NAMES, AliasPairCounter
+from repro.analysis.alias_pairs import DEFAULT_ENGINE
 from repro.bench import registry
 from repro.bench.suite import BASE, BenchmarkSuite, RunConfig
 from repro.runtime.limit import Category
@@ -105,7 +106,11 @@ def table4(suite: BenchmarkSuite) -> TableResult:
 # Table 5: alias pairs
 
 
-def table5(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
+def table5(
+    suite: BenchmarkSuite,
+    names: Optional[List[str]] = None,
+    engine: str = DEFAULT_ENGINE,
+) -> TableResult:
     """References and local/global alias pairs for the three analyses."""
     rows: List[List[object]] = []
     for name in names or registry.benchmark_names():
@@ -115,7 +120,7 @@ def table5(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableRes
         references = None
         for analysis_name in ANALYSIS_NAMES:
             analysis = program.analysis(analysis_name)
-            report = AliasPairCounter(base.program, analysis).count()
+            report = AliasPairCounter(base.program, analysis, engine=engine).count()
             references = report.references
             row.extend([report.local_pairs, report.global_pairs])
         row.insert(1, references)
@@ -136,7 +141,11 @@ def table5(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableRes
     )
 
 
-def table5_summary(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
+def table5_summary(
+    suite: BenchmarkSuite,
+    names: Optional[List[str]] = None,
+    engine: str = DEFAULT_ENGINE,
+) -> TableResult:
     """The paper's Section 3.3 averages: how many other references each
     heap reference may alias, intra- and inter-procedurally.
 
@@ -153,7 +162,7 @@ def table5_summary(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> 
         counted_refs = None
         for analysis_name in ANALYSIS_NAMES:
             report = AliasPairCounter(
-                base.program, program.analysis(analysis_name)
+                base.program, program.analysis(analysis_name), engine=engine
             ).count()
             locals_by[analysis_name] += report.local_pairs
             globals_by[analysis_name] += report.global_pairs
@@ -324,17 +333,23 @@ def figure12(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableR
 # Extension: static alias pairs, open vs closed (Section 4's remark)
 
 
-def open_world_pairs(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
+def open_world_pairs(
+    suite: BenchmarkSuite,
+    names: Optional[List[str]] = None,
+    engine: str = DEFAULT_ENGINE,
+) -> TableResult:
     """Global alias pairs, closed vs open world, SMFieldTypeRefs."""
     rows: List[List[object]] = []
     for name in names or registry.benchmark_names():
         program = suite.program(name)
         base = suite.build(name, BASE)
         closed = AliasPairCounter(
-            base.program, program.analysis("SMFieldTypeRefs")
+            base.program, program.analysis("SMFieldTypeRefs"), engine=engine
         ).count()
         opened = AliasPairCounter(
-            base.program, program.analysis("SMFieldTypeRefs", open_world=True)
+            base.program,
+            program.analysis("SMFieldTypeRefs", open_world=True),
+            engine=engine,
         ).count()
         rows.append([name, closed.global_pairs, opened.global_pairs])
     return TableResult(

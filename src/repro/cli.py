@@ -93,7 +93,7 @@ def cmd_alias(args) -> int:
     rows = []
     for name in ANALYSIS_NAMES:
         analysis = program.analysis(name, open_world=args.open_world)
-        report = AliasPairCounter(base.program, analysis).count()
+        report = AliasPairCounter(base.program, analysis, engine=args.engine).count()
         rows.append(
             [name, report.references, report.local_pairs, report.global_pairs]
         )
@@ -173,13 +173,29 @@ def cmd_tables(args) -> int:
         if key not in generators:
             print("unknown table {!r}; known: {}".format(key, sorted(generators)))
             return 2
-        print(generators[key](suite).text)
+        generator = generators[key]
+        if key == "table5":
+            print(generator(suite, engine=args.engine).text)
+        else:
+            print(generator(suite).text)
         print()
     return 0
 
 
 # ----------------------------------------------------------------------
 # Argument parsing
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.analysis.alias_pairs import DEFAULT_ENGINE, ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=DEFAULT_ENGINE,
+        help="alias-pair counting engine: the partition-based fast path, "
+        "the per-pair reference loop, or differential (both + agreement check)",
+    )
 
 
 def _add_opt_flags(parser: argparse.ArgumentParser) -> None:
@@ -224,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("alias", help="static alias-pair report")
     p.add_argument("file")
     p.add_argument("--open-world", action="store_true")
+    _add_engine_flag(p)
     p.set_defaults(func=cmd_alias)
 
     p = sub.add_parser("limit", help="dynamic redundancy limit study")
@@ -239,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
     p.add_argument("which", nargs="*", default=None,
                    help="e.g. table5 figure8 (default: all)")
+    _add_engine_flag(p)
     p.set_defaults(func=cmd_tables)
 
     return parser

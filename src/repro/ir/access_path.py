@@ -30,9 +30,20 @@ Subscript indices carry a lexical term (:class:`ConstIndex`,
 because RLE must distinguish ``t[i]`` from ``t[j]`` (Figure 7 of the
 paper), while the alias analyses deliberately ignore the subscript
 (Table 2, case 6).
+
+AP nodes are **hash-consed**: constructing the same path over the same
+root symbols, fields, index terms and types returns the pointer-identical
+node, and every node carries a dense integer :attr:`~AccessPath.uid`.
+The alias analyses key their query caches on ``(uid, uid)`` pairs and
+:func:`strip_index` memoises its result on the node, so repeated queries
+never re-hash or re-canonicalise a tree.  :class:`FreshRoot` and
+subscripts with an :class:`UnknownIndex` are intentionally generative
+(never equal to another occurrence), so they bypass the intern table but
+still receive uids.
 """
 
 import itertools
+import weakref
 from typing import FrozenSet, List, Optional, Union
 
 from repro.lang.symtab import Symbol
@@ -44,6 +55,8 @@ from repro.lang.types import ObjectType, Type
 
 class IndexTerm:
     """Lexical description of a subscript expression."""
+
+    __slots__ = ()
 
     def root_symbols(self) -> FrozenSet[Symbol]:
         return frozenset()
@@ -117,14 +130,53 @@ class UnknownIndex(IndexTerm):
 # ----------------------------------------------------------------------
 # Access paths
 
+#: Global intern table for hash-consed AP nodes.  Keys are flat tuples of
+#: ints/strings (uids and object ids of components the node keeps alive);
+#: values are weakly referenced so dropping a program frees its paths.
+_intern_table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
-class AccessPath:
+_uid_counter = itertools.count()
+
+
+def interned_path_count() -> int:
+    """Number of live interned AP nodes (for tests and benchmarks)."""
+    return len(_intern_table)
+
+
+class _InternMeta(type):
+    """Hash-consing constructor: structurally-equal APs are identical.
+
+    Each concrete AP class provides ``_intern_key(...)`` mirroring its
+    ``__init__`` signature; a ``None`` key means the node is generative
+    (FreshRoot, UnknownIndex subscripts) and is built fresh every time.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        key = cls._intern_key(*args, **kwargs)
+        if key is None:
+            return super().__call__(*args, **kwargs)
+        node = _intern_table.get(key)
+        if node is None:
+            node = super().__call__(*args, **kwargs)
+            _intern_table[key] = node
+        return node
+
+
+class AccessPath(metaclass=_InternMeta):
     """Base class: an AP node with a static type (``Type(p)``)."""
 
-    __slots__ = ("type",)
+    __slots__ = ("type", "uid", "_stripped", "__weakref__")
 
     def __init__(self, type: Type):
         self.type = type
+        #: Dense integer identity; caches key on pairs of these.
+        self.uid = next(_uid_counter)
+        #: Memoised ``strip_index(self)`` (None until first computed).
+        self._stripped: Optional["AccessPath"] = None
+
+    @staticmethod
+    def _intern_key(*args, **kwargs):
+        return None  # base class nodes are never constructed directly
 
     # -- structure -----------------------------------------------------
 
@@ -187,6 +239,10 @@ class VarRoot(AccessPath):
         super().__init__(symbol.type)
         self.symbol = symbol
 
+    @staticmethod
+    def _intern_key(symbol: Symbol):
+        return ("var", symbol.uid)
+
     @property
     def is_handle(self) -> bool:
         return self.symbol.by_reference or (
@@ -194,6 +250,8 @@ class VarRoot(AccessPath):
         )
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, VarRoot) and other.symbol is self.symbol
 
     def __hash__(self) -> int:
@@ -218,6 +276,10 @@ class FreshRoot(AccessPath):
     def __init__(self, type: Type):
         super().__init__(type)
         self.serial = next(_unknown_counter)
+
+    @staticmethod
+    def _intern_key(type: Type):
+        return None  # generative: every FreshRoot is distinct
 
     @property
     def is_handle(self) -> bool:
@@ -245,11 +307,18 @@ class Qualify(AccessPath):
         self.field = field
         self.owner = owner
 
+    @staticmethod
+    def _intern_key(base: AccessPath, field: str, field_type: Type,
+                    owner: Optional[ObjectType] = None):
+        return ("qualify", base.uid, field, id(field_type), id(owner))
+
     @property
     def base(self) -> AccessPath:
         return self._base
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, Qualify)
             and other.field == self.field
@@ -272,11 +341,17 @@ class Deref(AccessPath):
         super().__init__(target_type)
         self._base = base
 
+    @staticmethod
+    def _intern_key(base: AccessPath, target_type: Type):
+        return ("deref", base.uid, id(target_type))
+
     @property
     def base(self) -> AccessPath:
         return self._base
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Deref) and other._base == self._base
 
     def __hash__(self) -> int:
@@ -296,11 +371,23 @@ class Subscript(AccessPath):
         self._base = base
         self.index = index
 
+    @staticmethod
+    def _intern_key(base: AccessPath, index: IndexTerm, element_type: Type):
+        if isinstance(index, ConstIndex):
+            ikey = ("c", index.value)
+        elif isinstance(index, VarIndex):
+            ikey = ("v", index.symbol.uid)
+        else:
+            return None  # UnknownIndex: generative by design
+        return ("subscript", base.uid, ikey, id(element_type))
+
     @property
     def base(self) -> AccessPath:
         return self._base
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, Subscript)
             and other.index == self.index
@@ -317,18 +404,31 @@ class Subscript(AccessPath):
 APIndex = Union[ConstIndex, VarIndex, UnknownIndex]
 
 
+#: The fixed marker every subscript index canonicalises to.
+_STRIPPED_INDEX = ConstIndex(0)
+
+
 def strip_index(ap: AccessPath) -> AccessPath:
     """Return *ap* with every subscript index replaced by a fixed marker.
 
     The alias analyses ignore subscripts (Table 2, case 6); canonicalising
-    indices lets them use hash-based pair caching.
+    indices lets them use identity-based pair caching.  The result is
+    memoised on the node, and a canonical node is its own fixpoint, so
+    repeated canonicalisation of the same (interned) path is O(1).
     """
+    cached = ap._stripped
+    if cached is not None:
+        return cached
     if isinstance(ap, (VarRoot, FreshRoot)):
-        return ap
-    if isinstance(ap, Qualify):
-        return Qualify(strip_index(ap.base), ap.field, ap.type, ap.owner)
-    if isinstance(ap, Deref):
-        return Deref(strip_index(ap.base), ap.type)
-    if isinstance(ap, Subscript):
-        return Subscript(strip_index(ap.base), ConstIndex(0), ap.type)
-    raise TypeError("not an access path: {!r}".format(ap))
+        stripped = ap
+    elif isinstance(ap, Qualify):
+        stripped = Qualify(strip_index(ap.base), ap.field, ap.type, ap.owner)
+    elif isinstance(ap, Deref):
+        stripped = Deref(strip_index(ap.base), ap.type)
+    elif isinstance(ap, Subscript):
+        stripped = Subscript(strip_index(ap.base), _STRIPPED_INDEX, ap.type)
+    else:
+        raise TypeError("not an access path: {!r}".format(ap))
+    stripped._stripped = stripped
+    ap._stripped = stripped
+    return stripped

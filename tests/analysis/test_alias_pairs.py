@@ -98,3 +98,36 @@ def test_per_reference_averages():
     report = AliasPairCounter(program, make_analysis(checked, "TypeDecl")).count()
     assert report.local_per_reference == 2 * 1 / 4
     assert report.global_per_reference == 2 * 3 / 4
+
+
+def test_cache_stats_and_clear():
+    checked, program = build()
+    analysis = make_analysis(checked, "FieldTypeDecl")
+    stats = analysis.cache_stats()
+    assert stats == {"hits": 0, "misses": 0, "size": 0}
+
+    AliasPairCounter(program, analysis, engine="reference").count()
+    stats = analysis.cache_stats()
+    assert stats["misses"] == stats["size"] > 0
+
+    # A repeated query is a pure cache hit.
+    hits_before = stats["hits"]
+    refs = [ap for aps in collect_heap_references(program).values() for ap in aps]
+    analysis.may_alias(refs[0], refs[1])
+    assert analysis.cache_stats()["hits"] == hits_before + 1
+
+    analysis.cache_clear()
+    assert analysis.cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+def test_engines_agree_and_fast_queries_less():
+    checked, program = build()
+    reference = make_analysis(checked, "FieldTypeDecl")
+    fast = make_analysis(checked, "FieldTypeDecl")
+    ref_report = AliasPairCounter(program, reference, engine="reference").count()
+    fast_report = AliasPairCounter(program, fast, engine="fast").count()
+    assert ref_report.counts() == fast_report.counts()
+    ref_stats, fast_stats = reference.cache_stats(), fast.cache_stats()
+    ref_queries = ref_stats["hits"] + ref_stats["misses"]
+    fast_queries = fast_stats["hits"] + fast_stats["misses"]
+    assert fast_queries < ref_queries

@@ -1,0 +1,32 @@
+"""Smoke test for the machine-readable benchmark report.
+
+Runs the real measurement code with a minimal configuration (one round,
+two programs) so the ``BENCH_alias.json`` schema cannot rot without a
+test failing, then checks the CLI writer round-trips through JSON.
+"""
+
+import json
+
+from repro.bench import perfjson
+
+
+def test_quick_bench_schema(tmp_path):
+    report = perfjson.run_quick_bench(
+        query_benchmark="format",
+        table5_names=["format", "m3cg"],
+        rounds=1,
+    )
+    perfjson.validate_report(report)
+    assert report["table5"]["programs"] == ["format", "m3cg"]
+
+    # The report must be valid JSON and survive a round trip.
+    path = tmp_path / "BENCH_alias.json"
+    path.write_text(json.dumps(report))
+    assert json.loads(path.read_text()) == report
+
+
+def test_validate_rejects_missing_keys():
+    import pytest
+
+    with pytest.raises(AssertionError):
+        perfjson.validate_report({"schema": perfjson.SCHEMA_VERSION})

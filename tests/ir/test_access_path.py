@@ -171,6 +171,72 @@ class TestStripIndex:
         assert strip_index(p) == p
 
 
+class TestInterning:
+    """Hash-consing: equal construction returns the identical node."""
+
+    def test_var_root_interned(self):
+        s = sym("x", obj_type())
+        assert VarRoot(s) is VarRoot(s)
+
+    def test_qualify_interned(self):
+        t = obj_type()
+        s = sym("a", t)
+        assert Qualify(VarRoot(s), "f", ty.INTEGER, t) is Qualify(
+            VarRoot(s), "f", ty.INTEGER, t
+        )
+
+    def test_deref_and_subscript_interned(self):
+        arr = ty.ArrayType(ty.INTEGER, None)
+        s = sym("p", ty.RefType(arr))
+        d1 = Deref(VarRoot(s), arr)
+        d2 = Deref(VarRoot(s), arr)
+        assert d1 is d2
+        assert Subscript(d1, ConstIndex(3), ty.INTEGER) is Subscript(
+            d2, ConstIndex(3), ty.INTEGER
+        )
+        i = sym("i")
+        assert Subscript(d1, VarIndex(i), ty.INTEGER) is Subscript(
+            d2, VarIndex(i), ty.INTEGER
+        )
+
+    def test_distinct_structures_not_shared(self):
+        t = obj_type()
+        s = sym("a", t)
+        assert Qualify(VarRoot(s), "f", ty.INTEGER, t) is not Qualify(
+            VarRoot(s), "g", ty.INTEGER, t
+        )
+
+    def test_generative_nodes_stay_distinct(self):
+        t = obj_type()
+        assert FreshRoot(t) is not FreshRoot(t)
+        arr = ty.ArrayType(ty.INTEGER, None)
+        d = Deref(VarRoot(sym("p", ty.RefType(arr))), arr)
+        assert Subscript(d, UnknownIndex(), ty.INTEGER) is not Subscript(
+            d, UnknownIndex(), ty.INTEGER
+        )
+
+    def test_uid_stable_across_reconstruction(self):
+        s = sym("x", obj_type())
+        assert VarRoot(s).uid == VarRoot(s).uid
+
+    def test_uids_distinct_between_nodes(self):
+        t = obj_type()
+        s = sym("a", t)
+        root = VarRoot(s)
+        q = Qualify(root, "f", ty.INTEGER, t)
+        assert root.uid != q.uid
+
+    def test_strip_index_memoised_to_identical_node(self):
+        arr = ty.ArrayType(ty.INTEGER, None)
+        base = Deref(VarRoot(sym("p", ty.RefType(arr))), arr)
+        s1 = Subscript(base, VarIndex(sym("i")), ty.INTEGER)
+        s2 = Subscript(base, ConstIndex(7), ty.INTEGER)
+        c1, c2 = strip_index(s1), strip_index(s2)
+        assert c1 is c2
+        assert strip_index(c1) is c1  # canonical nodes are fixpoints
+        assert strip_index(s1) is c1  # memo returns the same node again
+
+
 # -- property tests ----------------------------------------------------
 
 
