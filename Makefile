@@ -2,13 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick tables examples fuzz clean
+.PHONY: install test bench bench-quick tables examples fuzz fuzz-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+	$(MAKE) fuzz-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -31,6 +32,14 @@ examples:
 
 fuzz:
 	$(PYTHON) -m pytest tests/integration/test_fuzz_rle.py -q
+
+# Fixed-seed soundness fuzz over generated programs: every analysis
+# level is cross-checked against the refinement hierarchy, the fast
+# engine, and a traced dynamic run.  Deterministic, so a failure here
+# is reproducible by seed; crash bundles land under the --out dir.
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --count 200 \
+		--out benchmarks/results/fuzz-smoke
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results \

@@ -21,6 +21,7 @@ hold canonical paths skip re-canonicalisation entirely.
 from typing import Dict, Tuple
 
 from repro.ir.access_path import AccessPath, strip_index
+from repro.qa import guards
 
 
 class TypeOracle:
@@ -64,6 +65,11 @@ class AliasAnalysis:
             self._hits += 1
             return cached
         self._misses += 1
+        # Guard hook on the miss (slow) path only: cache hits stay a
+        # dict probe, and a guarded run that hangs inside the analyses
+        # is necessarily generating fresh queries.
+        if (self._misses & 4095) == 0:
+            guards.check_active()
         result = self._may_alias(cp, cq)
         self._cache[key] = result
         return result

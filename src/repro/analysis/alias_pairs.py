@@ -38,6 +38,7 @@ from repro.analysis.fieldtypedecl import FieldTypeDeclAnalysis
 from repro.analysis.typedecl import TypeDeclAnalysis
 from repro.ir.access_path import AccessPath, Deref, Qualify, Subscript, VarRoot, strip_index
 from repro.ir.cfg import ProgramIR
+from repro.qa import guards
 
 #: Valid values for the ``engine`` argument of :class:`AliasPairCounter`.
 ENGINES = ("reference", "fast", "differential")
@@ -222,6 +223,8 @@ class AliasPairCounter:
 
         may_alias = self.analysis.may_alias_canonical
         for i in range(len(flat)):
+            if (i & 127) == 0:
+                guards.check_active()  # O(e²) loop: poll per outer row
             proc_i, ap_i = flat[i]
             for j in range(i + 1, len(flat)):
                 proc_j, ap_j = flat[j]
@@ -277,6 +280,8 @@ class AliasPairCounter:
         """No structural knowledge: pairwise over distinct paths only."""
         may_alias = self.analysis.may_alias_canonical
         for i, a in enumerate(distinct):
+            if (i & 127) == 0:
+                guards.check_active()
             for b in distinct[i + 1:]:
                 if may_alias(a.ap, b.ap):
                     acc.add_pair(a, b)

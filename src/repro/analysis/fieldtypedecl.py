@@ -25,6 +25,7 @@ algorithm").
 from repro.analysis.address_taken import AddressTakenInfo
 from repro.analysis.alias_base import AliasAnalysis, TypeOracle
 from repro.ir.access_path import AccessPath, Deref, Qualify, Subscript
+from repro.lang.types import ObjectType
 
 
 class FieldTypeDeclAnalysis(AliasAnalysis):
@@ -50,11 +51,23 @@ class FieldTypeDeclAnalysis(AliasAnalysis):
         q_is_subscript = isinstance(q, Subscript)
 
         # Case 2: two qualified expressions alias iff they access the same
-        # field of potentially the same object.  Bases of canonical paths
-        # are canonical, so the recursion skips re-canonicalisation.
+        # field of potentially the same object.  Object field selection
+        # (`o.f` with o of OBJECT type) carries an *implicit dereference*:
+        # the paper's form is (o^).f, so with equal fields the recursion
+        # reaches AE(o1^, o2^) — case 7, the type oracle on the pointer
+        # values.  Recursing on the bases as locations instead would ask
+        # whether the pointer *cells* coincide and wrongly separate
+        # differently-named fields that point at the same object.
+        # Embedded record/array fields have no such deref and recurse
+        # structurally.  Bases of canonical paths are canonical, so the
+        # recursion skips re-canonicalisation.
         if p_is_qualify and q_is_qualify:
             if p.field != q.field:
                 return False
+            if isinstance(p.base.type, ObjectType) or isinstance(
+                q.base.type, ObjectType
+            ):
+                return self.oracle.types_compatible(p.base, q.base)
             return self.may_alias_canonical(p.base, q.base)
 
         # Case 3: qualify vs dereference — only if the program takes the
@@ -118,6 +131,14 @@ class FieldTypeDeclAnalysis(AliasAnalysis):
             if p.field != q.field:
                 note("2", "fields differ: {} vs {}".format(p.field, q.field))
                 return False
+            if isinstance(p.base.type, ObjectType) or isinstance(
+                q.base.type, ObjectType
+            ):
+                compatible = self.oracle.types_compatible(p.base, q.base)
+                note("2", "same field '{}' via implicit deref; {}({}, {}) = {}".format(
+                    p.field, self.oracle.name, p.base.type.name,
+                    q.base.type.name, compatible))
+                return compatible
             note("2", "same field '{}'; recurse on bases".format(p.field))
             return self._explain(p.base, q.base, lines, depth + 1)
         if (p_q and q_d) or (q_q and p_d):

@@ -16,10 +16,18 @@ a Python ``int`` bitmask, so the hot compatibility test
 :meth:`SubtypeOracle.subtype_set` for reports and tests.
 """
 
+import os
 from typing import Dict, FrozenSet, List
 
 from repro.lang.typecheck import CheckedModule
 from repro.lang.types import ObjectType, Type, is_subtype
+
+#: QA fault injection (see DESIGN.md §6d): when this environment variable
+#: is non-empty, every multi-bit ``Subtypes`` mask silently drops its
+#: highest bit, making the analyses *unsound* (they miss aliases through
+#: the dropped subtype).  The fuzzing oracles must catch this; nothing
+#: else may ever set it.
+FAULT_ENV = "REPRO_QA_BREAK_SUBTYPES"
 
 
 class SubtypeOracle:
@@ -39,11 +47,14 @@ class SubtypeOracle:
         objects = checked.object_types()
         for obj in objects:
             self.type_bit(obj)
+        inject_fault = bool(os.environ.get(FAULT_ENV))
         for obj in objects:
             mask = 0
             for o in objects:
                 if is_subtype(o, obj):
                     mask |= 1 << self._bits[id(o)]
+            if inject_fault and mask.bit_count() > 1:
+                mask &= ~(1 << (mask.bit_length() - 1))
             self._masks[id(obj)] = mask
 
     # -- dense type numbering ------------------------------------------

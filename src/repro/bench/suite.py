@@ -4,9 +4,16 @@ The figures re-run the same programs under several configurations (base,
 three TBAA levels, open world, Minv+Inlining combos); the suite memoises
 compiled programs and execution results so each (benchmark, config) pair
 is computed once per process.
+
+A suite is either the registered paper benchmarks (the default) or an
+arbitrary directory of ``.m3`` files (:meth:`BenchmarkSuite.from_directory`);
+the table/figure generators only go through the suite's accessors
+(:meth:`names`, :meth:`dynamic_names`, :meth:`load_source`,
+:meth:`description`), so they work over both.
 """
 
-from typing import Dict, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Tuple
 
 from repro import Program, compile_program
 from repro.bench import registry
@@ -62,20 +69,82 @@ BASE = RunConfig()
 
 
 class BenchmarkSuite:
-    """Caching driver over the registered benchmarks."""
+    """Caching driver over the registered benchmarks, or over an
+    explicit ``name -> source path`` mapping (directory suites)."""
 
-    def __init__(self) -> None:
+    def __init__(self, sources: Optional[Dict[str, str]] = None) -> None:
+        self._sources = dict(sources) if sources is not None else None
         self._programs: Dict[str, Program] = {}
         self._pipelines: Dict[Tuple[str, Tuple], PipelineResult] = {}
         self._runs: Dict[Tuple[str, Tuple], ExecutionStats] = {}
         self._limits: Dict[Tuple[str, Tuple], RedundancyReport] = {}
+
+    @classmethod
+    def from_directory(cls, directory: str) -> "BenchmarkSuite":
+        """A suite over every ``*.m3`` file in *directory* (sorted, named
+        by file stem).  Raises ``FileNotFoundError`` if there are none."""
+        entries = sorted(
+            f for f in os.listdir(directory) if f.endswith(".m3")
+        )
+        if not entries:
+            raise FileNotFoundError(
+                "no .m3 programs found in {!r}".format(directory)
+            )
+        return cls(
+            sources={
+                os.path.splitext(f)[0]: os.path.join(directory, f)
+                for f in entries
+            }
+        )
+
+    # -- program-set accessors (the generators' only view) -------------
+
+    def names(self) -> List[str]:
+        """Every program name in this suite, in stable order."""
+        if self._sources is not None:
+            return list(self._sources)
+        return registry.benchmark_names()
+
+    def dynamic_names(self) -> List[str]:
+        """Names whose programs are executed for the dynamic figures
+        (directory suites treat every program as dynamic)."""
+        if self._sources is not None:
+            return list(self._sources)
+        return registry.dynamic_benchmark_names()
+
+    def is_dynamic(self, name: str) -> bool:
+        return self._sources is not None or registry.info(name).dynamic
+
+    def load_source(self, name: str) -> str:
+        if self._sources is not None:
+            with open(self._sources[name]) as f:
+                return f.read()
+        return registry.load_source(name)
+
+    def source_path(self, name: str) -> str:
+        if self._sources is not None:
+            return self._sources[name]
+        return registry.source_path(name)
+
+    def description(self, name: str) -> str:
+        if self._sources is not None:
+            return ""
+        return registry.info(name).description
+
+    def drop(self, name: str) -> None:
+        """Remove one program from a directory suite (e.g. after its
+        compile failed) so the generators skip it."""
+        if self._sources is None:
+            raise ValueError("cannot drop programs from the registry suite")
+        self._sources.pop(name, None)
+        self._programs.pop(name, None)
 
     # ------------------------------------------------------------------
 
     def program(self, name: str) -> Program:
         prog = self._programs.get(name)
         if prog is None:
-            prog = compile_program(registry.load_source(name), name)
+            prog = compile_program(self.load_source(name), name)
             self._programs[name] = prog
         return prog
 

@@ -4,13 +4,17 @@ Each function takes a (shared) :class:`~repro.bench.suite.BenchmarkSuite`
 and returns a :class:`TableResult` whose ``rows`` are plain data and
 whose ``text`` is an aligned text rendering.  The benchmark files under
 ``benchmarks/`` print these and assert the paper's qualitative shapes.
+
+Generators reach programs only through the suite's accessors, never the
+registry, so every table also works over a directory suite
+(:meth:`~repro.bench.suite.BenchmarkSuite.from_directory` — the
+``repro tables --programs DIR`` path).
 """
 
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import ANALYSIS_NAMES, AliasPairCounter
 from repro.analysis.alias_pairs import DEFAULT_ENGINE
-from repro.bench import registry
 from repro.bench.suite import BASE, BenchmarkSuite, RunConfig
 from repro.runtime.limit import Category
 from repro.util.tables import render_table
@@ -75,26 +79,26 @@ def count_source_lines(source: str) -> int:
 # Table 4: benchmark descriptions
 
 
-def table4(suite: BenchmarkSuite) -> TableResult:
+def table4(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
     """Lines, instructions executed, % heap loads, % other loads."""
     rows: List[List[object]] = []
-    for bench in registry.BENCHMARKS:
-        source = registry.load_source(bench.name)
+    for name in names or suite.names():
+        source = suite.load_source(name)
         lines = count_source_lines(source)
-        if bench.dynamic:
-            stats = suite.run(bench.name, BASE)
+        if suite.is_dynamic(name):
+            stats = suite.run(name, BASE)
             rows.append(
                 [
-                    bench.name,
+                    name,
                     lines,
                     stats.instructions,
                     _pct(stats.heap_load_fraction),
                     _pct(stats.other_load_fraction),
-                    bench.description,
+                    suite.description(name),
                 ]
             )
         else:
-            rows.append([bench.name, lines, "-", "-", "-", bench.description])
+            rows.append([name, lines, "-", "-", "-", suite.description(name)])
     return TableResult(
         "Table 4: Description of Benchmark Programs",
         ["Name", "Lines", "Instructions", "% Heap loads", "% Other loads", "Description"],
@@ -113,7 +117,7 @@ def table5(
 ) -> TableResult:
     """References and local/global alias pairs for the three analyses."""
     rows: List[List[object]] = []
-    for name in names or registry.benchmark_names():
+    for name in names or suite.names():
         program = suite.program(name)
         base = suite.build(name, BASE)
         row: List[object] = [name]
@@ -156,7 +160,7 @@ def table5_summary(
     locals_by = {a: 0 for a in ANALYSIS_NAMES}
     globals_by = {a: 0 for a in ANALYSIS_NAMES}
     references = 0
-    for name in names or registry.benchmark_names():
+    for name in names or suite.names():
         program = suite.program(name)
         base = suite.build(name, BASE)
         counted_refs = None
@@ -190,7 +194,7 @@ def table5_summary(
 
 def table6(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
     rows: List[List[object]] = []
-    for name in names or registry.dynamic_benchmark_names():
+    for name in names or suite.dynamic_names():
         row: List[object] = [name]
         for analysis_name in ANALYSIS_NAMES:
             result = suite.build(name, RunConfig(analysis=analysis_name))
@@ -211,7 +215,7 @@ def table6(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableRes
 def figure8(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
     """Percent of original running time under RLE per TBAA level."""
     rows: List[List[object]] = []
-    for name in names or registry.dynamic_benchmark_names():
+    for name in names or suite.dynamic_names():
         row: List[object] = [name, 100]
         for analysis_name in ANALYSIS_NAMES:
             rel = suite.relative_time(name, RunConfig(analysis=analysis_name))
@@ -230,7 +234,7 @@ def figure8(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableRe
 
 def figure9(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableResult:
     rows: List[List[object]] = []
-    for name in names or registry.dynamic_benchmark_names():
+    for name in names or suite.dynamic_names():
         before = suite.limit_study(name, BASE)
         after = suite.limit_study(name, RunConfig(analysis="SMFieldTypeRefs"))
         rows.append(
@@ -263,7 +267,7 @@ def figure10(
     dope-vector loads (beyond the paper, which could not)."""
     rows: List[List[object]] = []
     config = RunConfig(analysis="SMFieldTypeRefs", see_dope_loads=see_dope_loads)
-    for name in names or registry.dynamic_benchmark_names():
+    for name in names or suite.dynamic_names():
         report = suite.limit_study(name, config)
         rows.append(
             [name]
@@ -287,7 +291,7 @@ def figure11(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableR
     rle = RunConfig(analysis="SMFieldTypeRefs")
     minv = RunConfig(minv_inline=True)
     both = RunConfig(analysis="SMFieldTypeRefs", minv_inline=True)
-    for name in names or registry.dynamic_benchmark_names():
+    for name in names or suite.dynamic_names():
         rows.append(
             [
                 name,
@@ -313,7 +317,7 @@ def figure12(suite: BenchmarkSuite, names: Optional[List[str]] = None) -> TableR
     rows: List[List[object]] = []
     closed = RunConfig(analysis="SMFieldTypeRefs")
     opened = RunConfig(analysis="SMFieldTypeRefs", open_world=True)
-    for name in names or registry.dynamic_benchmark_names():
+    for name in names or suite.dynamic_names():
         rows.append(
             [
                 name,
@@ -340,7 +344,7 @@ def open_world_pairs(
 ) -> TableResult:
     """Global alias pairs, closed vs open world, SMFieldTypeRefs."""
     rows: List[List[object]] = []
-    for name in names or registry.benchmark_names():
+    for name in names or suite.names():
         program = suite.program(name)
         base = suite.build(name, BASE)
         closed = AliasPairCounter(

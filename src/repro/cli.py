@@ -8,16 +8,24 @@ Commands:
 * ``alias FILE``   — static alias-pair report under each analysis;
 * ``limit FILE``   — dynamic redundancy limit study (Figures 9/10 style);
 * ``bench NAME``   — run one registered paper benchmark;
-* ``tables``       — regenerate the paper's tables/figures (slow).
+* ``tables``       — regenerate the paper's tables/figures (slow);
+* ``fuzz``         — generate seeded programs and cross-check the
+  analyses against the soundness oracles (see DESIGN.md §6d).
+
+``bench`` and ``tables`` isolate faults: one broken benchmark or input
+file is reported (as a structured JSON failure entry) without aborting
+the others, and the exit code reflects the aggregate outcome.
 """
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro import CompileError, compile_program
 from repro.analysis import ANALYSIS_NAMES, AliasPairCounter
 from repro.ir.printer import format_program
+from repro.lang.errors import ResourceLimitError
 from repro.runtime.limit import Category
 from repro.util.tables import render_table
 
@@ -26,6 +34,23 @@ def _load(path: str):
     with open(path) as f:
         source = f.read()
     return compile_program(source, path)
+
+
+def _failure_entry(name: str, phase: str, exc: BaseException) -> dict:
+    """One machine-readable failure record for batch commands."""
+    return {
+        "name": name,
+        "phase": phase,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def _emit_failures(failures: List[dict]) -> None:
+    """Print the aggregate failure report (JSON, one parseable block)."""
+    if failures:
+        print("--- failures ---", file=sys.stderr)
+        print(json.dumps(failures, indent=2, sort_keys=True), file=sys.stderr)
 
 
 def _optimize(program, args):
@@ -46,7 +71,14 @@ def _optimize(program, args):
 
 
 def cmd_check(args) -> int:
-    program = _load(args.file)
+    with open(args.file) as f:
+        source = f.read()
+    try:
+        program = compile_program(source, args.file)
+    except CompileError as err:
+        # Render with the offending source line and a caret.
+        print("error: {}".format(err.render(source)), file=sys.stderr)
+        return 1
     checked = program.checked
     print("module {}: OK".format(checked.name))
     print("  types     : {}".format(len(checked.named_types)))
@@ -130,10 +162,18 @@ def cmd_bench(args) -> int:
     suite = BenchmarkSuite()
     names = [args.name] if args.name else registry.benchmark_names()
     rows = []
+    failures: List[dict] = []
     for name in names:
-        base = suite.run(name)
-        config = RunConfig(analysis=args.analysis or "SMFieldTypeRefs")
-        opt = suite.run(name, config)
+        # Bulkhead: one broken benchmark must not sink the whole run.
+        try:
+            base = suite.run(name)
+            config = RunConfig(analysis=args.analysis or "SMFieldTypeRefs")
+            opt = suite.run(name, config)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            failures.append(_failure_entry(name, "bench", exc))
+            continue
         rows.append(
             [
                 name,
@@ -143,21 +183,39 @@ def cmd_bench(args) -> int:
                 round(100.0 * opt.cycles / base.cycles, 1),
             ]
         )
-    print(
-        render_table(
-            ["Benchmark", "Instructions", "Heap loads", "After RLE", "% time"],
-            rows,
-            title="Benchmark summary (RLE[{}])".format(args.analysis or "SMFieldTypeRefs"),
+    if rows:
+        print(
+            render_table(
+                ["Benchmark", "Instructions", "Heap loads", "After RLE", "% time"],
+                rows,
+                title="Benchmark summary (RLE[{}])".format(
+                    args.analysis or "SMFieldTypeRefs"
+                ),
+            )
         )
-    )
-    return 0
+    _emit_failures(failures)
+    return 1 if failures else 0
 
 
 def cmd_tables(args) -> int:
     from repro.bench import tables
     from repro.bench.suite import BenchmarkSuite
 
-    suite = BenchmarkSuite()
+    failures: List[dict] = []
+    if args.programs:
+        suite = BenchmarkSuite.from_directory(args.programs)
+        # Compile every input eagerly behind a bulkhead: broken files
+        # become failure entries and the tables cover the rest.
+        for name in suite.names():
+            try:
+                suite.program(name)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failures.append(_failure_entry(name, "compile", exc))
+                suite.drop(name)
+    else:
+        suite = BenchmarkSuite()
     generators = {
         "table4": tables.table4,
         "table5": tables.table5,
@@ -173,13 +231,72 @@ def cmd_tables(args) -> int:
         if key not in generators:
             print("unknown table {!r}; known: {}".format(key, sorted(generators)))
             return 2
+    for key in wanted:
         generator = generators[key]
-        if key == "table5":
-            print(generator(suite, engine=args.engine).text)
-        else:
-            print(generator(suite).text)
+        try:
+            if key == "table5":
+                result = generator(suite, engine=args.engine)
+            else:
+                result = generator(suite)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            failures.append(_failure_entry(key, "table", exc))
+            continue
+        print(result.text)
         print()
-    return 0
+    _emit_failures(failures)
+    return 1 if failures else 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.qa.generator import GenConfig
+    from repro.qa.runner import run_fuzz
+
+    config = GenConfig(max_stmts=args.max_stmts)
+    out_dir = None if args.no_report else args.out
+
+    def progress(seed: int, oracle) -> None:
+        if args.verbose:
+            status = "ok" if oracle.ok else "FAIL"
+            run = "ran" if oracle.ran else ("trap" if oracle.trapped else "-")
+            print("seed {:6d}  {:4s} {}".format(seed, run, status))
+
+    report = run_fuzz(
+        count=args.count,
+        base_seed=args.seed,
+        out_dir=out_dir,
+        per_program_seconds=args.per_program_seconds,
+        max_steps=args.max_steps,
+        reduce=not args.no_reduce,
+        config=config,
+        progress=progress,
+    )
+    print(
+        "fuzz: {} programs (seeds {}..{}), {} ran clean, {} trapped, "
+        "{} failures, {:.1f}s".format(
+            report.count,
+            report.base_seed,
+            report.base_seed + report.count - 1,
+            report.ran_clean,
+            report.trapped,
+            len(report.failures),
+            report.duration,
+        )
+    )
+    if report.failures:
+        print("distinct failure shapes: {}".format(
+            " ".join(report.distinct_digests())))
+        for f in report.failures[:10]:
+            print("  seed {:6d}  [{}] {}: {}".format(
+                f.seed, f.phase, f.kind, f.message[:100]))
+            if f.bundle:
+                print("            bundle: {}".format(f.bundle))
+        if len(report.failures) > 10:
+            print("  ... and {} more".format(len(report.failures) - 10))
+    if out_dir is not None:
+        print("report: {}/fuzz-report.json".format(out_dir))
+    return 1 if report.failures else 0
 
 
 # ----------------------------------------------------------------------
@@ -256,8 +373,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
     p.add_argument("which", nargs="*", default=None,
                    help="e.g. table5 figure8 (default: all)")
+    p.add_argument("--programs", metavar="DIR", default=None,
+                   help="generate the tables over every .m3 file in DIR "
+                   "instead of the registered benchmarks")
     _add_engine_flag(p)
     p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="cross-check the analyses on generated programs",
+        description="Generate seeded, type-correct MiniM3 programs and "
+        "run the soundness/consistency oracles over each: analysis "
+        "refinement, open-world conservatism, fast-vs-reference engine "
+        "agreement, dynamic (traced) soundness and cache coherence.  "
+        "Failures are isolated per seed, delta-debugged to minimal "
+        "reproducers and written as crash bundles.",
+    )
+    p.add_argument("--count", type=int, default=200,
+                   help="number of programs to generate (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; program i uses seed+i (default 0)")
+    p.add_argument("--out", default="benchmarks/results/fuzz",
+                   help="directory for crash bundles and fuzz-report.json")
+    p.add_argument("--no-report", action="store_true",
+                   help="do not write bundles or the JSON report")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip delta-debugging of failing programs")
+    p.add_argument("--per-program-seconds", type=float, default=10.0,
+                   help="wall-clock bulkhead per program (default 10)")
+    p.add_argument("--max-steps", type=int, default=400_000,
+                   help="interpreter step budget per traced run")
+    p.add_argument("--max-stmts", type=int, default=22,
+                   help="statement bound for generated programs")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print one line per seed")
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 
@@ -273,6 +423,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as err:
         print("error: {}".format(err), file=sys.stderr)
         return 1
+    except ResourceLimitError as err:
+        print("error: resource limit exceeded ({}): {}".format(err.kind, err),
+              file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # Conventional 128+SIGINT, without a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.  Redirect
+        # stdout to devnull so interpreter shutdown does not raise again
+        # while flushing.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,7 +21,14 @@ resolves names/types and returns a :class:`~repro.lang.typecheck.CheckedModule`
 that the IR lowering (:mod:`repro.ir.lowering`) consumes.
 """
 
-from repro.lang.errors import CompileError, LexError, ParseError, TypeCheckError, SourceLocation
+from repro.lang.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    ResourceLimitError,
+    SourceLocation,
+    TypeCheckError,
+)
 from repro.lang.lexer import Lexer, tokenize
 from repro.lang.parser import Parser, parse_module
 from repro.lang.typecheck import TypeChecker, check_module, CheckedModule
@@ -33,6 +40,7 @@ __all__ = [
     "LexError",
     "ParseError",
     "TypeCheckError",
+    "ResourceLimitError",
     "SourceLocation",
     "Lexer",
     "tokenize",

@@ -31,6 +31,46 @@ class CompileError(Exception):
         self.message = message
         super().__init__("{}: {}".format(self.loc, message))
 
+    def render(self, source_text: str) -> str:
+        """Multi-line rendering: the message, the offending source line,
+        and a caret under the reported column.
+
+        Falls back to the plain one-line message when the location does
+        not point into *source_text* (unknown location, stale line
+        numbers after editing, column past the end of the line).
+        """
+        header = str(self)
+        if self.loc is UNKNOWN_LOCATION or self.loc.line < 1:
+            return header
+        lines = source_text.splitlines()
+        if self.loc.line > len(lines):
+            return header
+        line = lines[self.loc.line - 1]
+        column = self.loc.column
+        if column < 1 or column > len(line) + 1:
+            return header
+        # Tabs in the prefix must stay tabs so the caret lines up.
+        pad = "".join(ch if ch == "\t" else " " for ch in line[: column - 1])
+        return "{}\n  {}\n  {}^".format(header, line, pad)
+
+
+class ResourceLimitError(Exception):
+    """A guarded operation exceeded a resource budget.
+
+    Raised instead of hanging (wall-clock deadlines), instead of running
+    forever (interpreter step budgets) and instead of ``RecursionError``
+    (parser nesting caps).  ``kind`` names the exhausted resource:
+    ``'wall-clock'``, ``'steps'`` or ``'recursion'``.
+
+    Deliberately *not* a :class:`CompileError`: resource exhaustion is a
+    property of the run, not of the program text, and batch drivers
+    (``repro fuzz``, ``repro tables``) classify the two differently.
+    """
+
+    def __init__(self, message: str, kind: str = "limit"):
+        self.kind = kind
+        super().__init__(message)
+
 
 class LexError(CompileError):
     """Raised by the lexer on malformed input (bad char, unterminated text)."""

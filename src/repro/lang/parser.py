@@ -6,12 +6,21 @@ unary < postfix).  ``ISTYPE`` and ``NARROW`` are recognised syntactically
 (their second argument is a type name, not an expression).
 """
 
+import sys
 from typing import List, Optional, Tuple
 
 from repro.lang import ast_nodes as ast
-from repro.lang.errors import ParseError
+from repro.lang.errors import ParseError, ResourceLimitError
 from repro.lang.lexer import tokenize
 from repro.lang.tokens import Token, TokenKind as TK
+
+#: Nesting budget shared by expressions, type expressions and statements.
+#: Each syntactic nesting level consumes a handful of ticks (an
+#: expression passes through `_expr`, `_not_expr` and `_unary_expr` on
+#: its way down), so this bounds real nesting at several hundred levels —
+#: far beyond any legitimate program, and reached long before the Python
+#: stack would overflow (see :func:`parse_module`).
+MAX_NESTING_DEPTH = 1000
 
 # Tokens that terminate a statement list.
 _BLOCK_ENDERS = (TK.KW_END, TK.KW_ELSE, TK.KW_ELSIF, TK.KW_UNTIL, TK.BAR, TK.EOF)
@@ -24,9 +33,24 @@ _MUL_OPS = {TK.STAR: "*", TK.SLASH: "/", TK.KW_DIV: "DIV", TK.KW_MOD: "MOD"}
 class Parser:
     """One-token-lookahead parser over a token list."""
 
-    def __init__(self, tokens: List[Token]):
+    def __init__(self, tokens: List[Token], max_depth: int = MAX_NESTING_DEPTH):
         self._tokens = tokens
         self._pos = 0
+        self._depth = 0
+        self._max_depth = max_depth
+
+    def _enter(self, what: str) -> None:
+        self._depth += 1
+        if self._depth > self._max_depth:
+            raise ResourceLimitError(
+                "{}: {} nesting exceeds the parser depth cap ({})".format(
+                    self._peek().loc, what, self._max_depth
+                ),
+                kind="recursion",
+            )
+
+    def _leave(self) -> None:
+        self._depth -= 1
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -183,6 +207,13 @@ class Parser:
     # Type expressions
 
     def _type_expr(self) -> ast.TypeExpr:
+        self._enter("type expression")
+        try:
+            return self._type_expr_inner()
+        finally:
+            self._leave()
+
+    def _type_expr_inner(self) -> ast.TypeExpr:
         tok = self._peek()
         if tok.kind is TK.KW_BRANDED:
             self._advance()
@@ -312,6 +343,13 @@ class Parser:
         return stmts
 
     def _stmt(self) -> ast.Stmt:
+        self._enter("statement")
+        try:
+            return self._stmt_inner()
+        finally:
+            self._leave()
+
+    def _stmt_inner(self) -> ast.Stmt:
         tok = self._peek()
         if tok.kind is TK.KW_IF:
             return self._if_stmt()
@@ -440,7 +478,11 @@ class Parser:
     # Expressions (precedence climbing)
 
     def _expr(self) -> ast.Expr:
-        return self._or_expr()
+        self._enter("expression")
+        try:
+            return self._or_expr()
+        finally:
+            self._leave()
 
     def _or_expr(self) -> ast.Expr:
         left = self._and_expr()
@@ -457,9 +499,15 @@ class Parser:
         return left
 
     def _not_expr(self) -> ast.Expr:
+        # `NOT NOT NOT ...` recurses without passing through `_expr`,
+        # so it burns nesting budget on its own.
         if self._at(TK.KW_NOT):
-            loc = self._advance().loc
-            return ast.UnaryExpr(loc, "NOT", self._not_expr())
+            self._enter("expression")
+            try:
+                loc = self._advance().loc
+                return ast.UnaryExpr(loc, "NOT", self._not_expr())
+            finally:
+                self._leave()
         return self._rel_expr()
 
     def _rel_expr(self) -> ast.Expr:
@@ -485,9 +533,13 @@ class Parser:
         return left
 
     def _unary_expr(self) -> ast.Expr:
-        if self._at(TK.MINUS):
-            loc = self._advance().loc
-            return ast.UnaryExpr(loc, "-", self._unary_expr())
+        if self._at(TK.MINUS):  # `- - - x` also bypasses `_expr`
+            self._enter("expression")
+            try:
+                loc = self._advance().loc
+                return ast.UnaryExpr(loc, "-", self._unary_expr())
+            finally:
+                self._leave()
         return self._postfix_expr()
 
     def _postfix_expr(self) -> ast.Expr:
@@ -584,5 +636,16 @@ class Parser:
 
 
 def parse_module(source: str, unit: str = "<input>") -> ast.Module:
-    """Parse a complete MiniM3 module from *source*."""
-    return Parser(tokenize(source, unit)).parse_module()
+    """Parse a complete MiniM3 module from *source*.
+
+    Pathological nesting (thousands of parens, REFs or records) raises
+    :class:`~repro.lang.errors.ResourceLimitError` via the parser's depth
+    cap; the interpreter stack limit is raised for the duration so the
+    cap always fires before Python's own ``RecursionError`` would.
+    """
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 30 * MAX_NESTING_DEPTH))
+    try:
+        return Parser(tokenize(source, unit)).parse_module()
+    finally:
+        sys.setrecursionlimit(old_limit)

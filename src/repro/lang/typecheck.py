@@ -1039,5 +1039,20 @@ _PRIMITIVES: Dict[str, ty.Type] = {
 
 
 def check_module(module: ast.Module) -> CheckedModule:
-    """Type-check *module* and return the annotated result."""
-    return TypeChecker(module).run()
+    """Type-check *module* and return the annotated result.
+
+    ASTs that pass the parser's nesting cap can still be deep enough
+    (hundreds of levels) to exhaust Python's default interpreter stack in
+    the recursive checker, so the limit is raised for the duration, like
+    :func:`~repro.lang.parser.parse_module` does while building the AST.
+    """
+    import sys
+
+    from repro.lang.parser import MAX_NESTING_DEPTH
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 30 * MAX_NESTING_DEPTH))
+    try:
+        return TypeChecker(module).run()
+    finally:
+        sys.setrecursionlimit(old_limit)

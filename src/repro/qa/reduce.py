@@ -1,0 +1,147 @@
+"""Delta-debugging reducer for failing generated programs.
+
+Given a :class:`~repro.qa.generator.GeneratedProgram` and a predicate
+"does this still fail the same way?", shrink the program to a (locally)
+minimal reproducer with the classic ddmin algorithm, applied list by
+list over the program's parts: body statements first (most numerous,
+most removable), then procedures, prologue, globals and type
+declarations, and finally the epilogue.
+
+The predicate sees re-rendered candidate programs; shrinking a
+declaration a later statement still uses simply makes the candidate fail
+to *compile*, which the predicate rejects (a compile failure is not "the
+same failure" unless the original failure was one), so ddmin naturally
+backs off.  Every candidate evaluation is bounded by the caller's
+resource guards; the reducer itself caps total predicate probes.
+
+:func:`write_crash_bundle` persists the evidence: original source,
+reduced source, and the JSON oracle report, in one directory per
+failure.
+"""
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.qa.generator import GeneratedProgram
+from repro.qa.oracles import OracleReport
+
+__all__ = ["reduce_program", "write_crash_bundle"]
+
+#: Part lists eligible for reduction, in reduction order.
+_PART_ORDER = ("body", "procs", "prologue", "var_decls", "type_decls", "epilogue")
+
+#: Hard cap on predicate evaluations per :func:`reduce_program` call.
+MAX_PROBES = 400
+
+
+def reduce_program(
+    program: GeneratedProgram,
+    still_fails: Callable[[GeneratedProgram], bool],
+    max_probes: int = MAX_PROBES,
+) -> GeneratedProgram:
+    """Shrink *program* while ``still_fails`` holds; returns the smallest
+    variant found (the input itself if nothing could be removed)."""
+    budget = [max_probes]
+    current = program
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for part in _PART_ORDER:
+            items: List[str] = list(getattr(current, part))
+            if not items:
+                continue
+            kept = _ddmin(
+                items,
+                lambda subset: still_fails(current.with_parts(**{part: subset})),
+                budget,
+            )
+            if len(kept) < len(items):
+                current = current.with_parts(**{part: kept})
+                changed = True
+    return current
+
+
+def _ddmin(
+    items: Sequence[str],
+    fails: Callable[[Sequence[str]], bool],
+    budget: List[int],
+) -> List[str]:
+    """Zeller's ddmin over one list: find a 1-minimal failing subset."""
+    items = list(items)
+    n = 2
+    while len(items) >= 2 and budget[0] > 0:
+        chunks = _split(items, n)
+        reduced = False
+        # Try each chunk alone ...
+        for chunk in chunks:
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1
+            if fails(chunk):
+                items = list(chunk)
+                n = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ... then each complement.
+        if n > 2:
+            for i in range(len(chunks)):
+                if budget[0] <= 0:
+                    break
+                complement = [x for j, c in enumerate(chunks) if j != i for x in c]
+                budget[0] -= 1
+                if fails(complement):
+                    items = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+            if reduced:
+                continue
+        if n >= len(items):
+            break
+        n = min(len(items), 2 * n)
+    # Final one-minimality pass: drop single items while possible.
+    i = 0
+    while i < len(items) and budget[0] > 0:
+        candidate = items[:i] + items[i + 1 :]
+        if candidate:
+            budget[0] -= 1
+            if fails(candidate):
+                items = candidate
+                continue
+        i += 1
+    return items
+
+
+def _split(items: List[str], n: int) -> List[List[str]]:
+    """*items* in *n* roughly equal contiguous chunks (no empties)."""
+    n = min(n, len(items))
+    size, extra = divmod(len(items), n)
+    out: List[List[str]] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def write_crash_bundle(
+    directory: Path,
+    original: GeneratedProgram,
+    reduced: Optional[GeneratedProgram],
+    report: OracleReport,
+) -> Path:
+    """Persist one failure as ``<dir>/seed-<n>/{original,reduced}.m3 +
+    report.json``; returns the bundle directory."""
+    bundle = Path(directory) / "seed-{}".format(report.seed)
+    bundle.mkdir(parents=True, exist_ok=True)
+    (bundle / "original.m3").write_text(original.render())
+    if reduced is not None:
+        (bundle / "reduced.m3").write_text(reduced.render())
+    (bundle / "report.json").write_text(
+        json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    return bundle

@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional
 from repro.ir import instructions as ins
 from repro.ir.cfg import ProgramIR, ProcIR
 from repro.lang import types as ty
+from repro.lang.errors import ResourceLimitError
+from repro.qa import guards
 from repro.lang.symtab import Symbol
 from repro.lang.typecheck import MAIN_PROC
 from repro.runtime.machine import MachineModel
@@ -115,11 +117,13 @@ class Interpreter:
         machine: Optional[MachineModel] = None,
         tracer: Optional[object] = None,
         max_steps: Optional[int] = None,
+        deadline: Optional["guards.Deadline"] = None,
     ):
         self.program = program
         self.machine = machine
         self.tracer = tracer
         self.max_steps = max_steps
+        self.deadline = deadline
         self.stats = ExecutionStats()
         self.heap = HeapAllocator()
         self.globals = _Store()
@@ -173,6 +177,8 @@ class Interpreter:
         stats = self.stats
         block = proc.entry
         max_steps = self.max_steps
+        deadline = self.deadline
+        last_poll = stats.instructions
         while True:
             for instr in block.instrs:
                 if instr.counted:
@@ -187,7 +193,19 @@ class Interpreter:
                 )
             stats.instructions += 1
             if max_steps is not None and stats.instructions > max_steps:
-                raise M3RuntimeError("execution step limit exceeded")
+                raise ResourceLimitError(
+                    "execution exceeded the step budget of {}".format(max_steps),
+                    kind="steps",
+                )
+            # Poll the wall clock every ~2048 instructions: cheap enough
+            # to leave on, frequent enough that runaway programs (and
+            # runaway *interpretation*) die promptly.
+            if stats.instructions - last_poll >= 2048:
+                last_poll = stats.instructions
+                if deadline is not None:
+                    deadline.check()
+                else:
+                    guards.check_active()
             if isinstance(terminator, ins.Jump):
                 block = terminator.target
             elif isinstance(terminator, ins.Branch):

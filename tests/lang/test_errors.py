@@ -60,3 +60,44 @@ def test_frontend_errors_catchable_as_compile_error():
     for source in ("MODULE M; @", "MODULE M; TYPE = ;", "MODULE M; BEGIN x := 1; END M."):
         with pytest.raises(CompileError):
             check_module(parse_module(source))
+
+
+# ----------------------------------------------------------------------
+# CompileError.render: offending line + caret
+
+
+def test_render_points_caret_at_column():
+    source = "MODULE M;\nBEGIN\n  nope := 1;\nEND M.\n"
+    with pytest.raises(TypeCheckError) as err:
+        check_module(parse_module(source, "t.m3"))
+    rendered = err.value.render(source)
+    lines = rendered.splitlines()
+    assert lines[0] == str(err.value)
+    assert lines[1].strip() == "nope := 1;"
+    # The caret sits under the start of the offender.
+    caret_col = lines[2].index("^")
+    assert lines[1][caret_col:].startswith("nope")
+
+
+def test_render_preserves_tabs_in_caret_padding():
+    err = ParseError("bad", SourceLocation("u.m3", 1, 9))
+    rendered = err.render("\tx := @ y;")
+    line, caret = rendered.splitlines()[1:]
+    # Tab padding keeps the caret aligned in tab-displaying terminals.
+    assert caret.lstrip(" ").startswith("\t") or caret.endswith("^")
+    assert caret.rstrip().endswith("^")
+
+
+def test_render_without_location_degrades_to_message():
+    err = CompileError("oops")
+    assert err.render("whatever") == str(err)
+
+
+def test_render_with_out_of_range_line_degrades():
+    err = ParseError("bad", SourceLocation("u.m3", 99, 1))
+    assert err.render("only one line") == str(err)
+
+
+def test_render_with_out_of_range_column_degrades():
+    err = ParseError("bad", SourceLocation("u.m3", 1, 99))
+    assert err.render("short") == str(err)

@@ -1,0 +1,87 @@
+"""Pathological nesting must fail cleanly, never with RecursionError.
+
+The recursive-descent parser and the recursive type checker both walk
+structures as deep as the input nests; without a cap, hostile input
+escalates to an uncatchable ``RecursionError`` deep inside the stack.
+The parser counts nesting depth and raises ``ResourceLimitError``
+(kind="recursion") at ``MAX_NESTING_DEPTH``, and bumps the interpreter
+recursion limit high enough that inputs *under* the cap parse and check
+without incident.
+"""
+
+import pytest
+
+from repro.lang.errors import CompileError, ResourceLimitError
+from repro.lang.parser import MAX_NESTING_DEPTH, parse_module
+from repro.lang.typecheck import check_module
+
+
+def _module(body: str, decls: str = "") -> str:
+    return "MODULE M;\n{}\nBEGIN\n{}\nEND M.".format(decls, body)
+
+
+def test_deep_parens_hit_the_cap_not_recursion_error():
+    depth = MAX_NESTING_DEPTH + 50
+    source = _module("  x := {}1{};".format("(" * depth, ")" * depth),
+                     "VAR x: INTEGER;")
+    with pytest.raises(ResourceLimitError) as err:
+        parse_module(source)
+    assert err.value.kind == "recursion"
+    assert "depth cap" in str(err.value)
+
+
+def test_deep_not_chain_hits_the_cap():
+    depth = MAX_NESTING_DEPTH + 50
+    source = _module("  IF {} TRUE THEN END;".format("NOT " * depth))
+    with pytest.raises(ResourceLimitError) as err:
+        parse_module(source)
+    assert err.value.kind == "recursion"
+
+
+def test_deep_unary_minus_hits_the_cap():
+    depth = MAX_NESTING_DEPTH + 50
+    source = _module("  x := {}1;".format("- " * depth), "VAR x: INTEGER;")
+    with pytest.raises(ResourceLimitError):
+        parse_module(source)
+
+
+def test_deep_record_types_hit_the_cap():
+    depth = MAX_NESTING_DEPTH + 50
+    decl = "TYPE T = {} INTEGER {};".format(
+        "RECORD f: " * depth, "; END" * depth
+    )
+    with pytest.raises(ResourceLimitError) as err:
+        parse_module(_module("", decl))
+    assert err.value.kind == "recursion"
+
+
+def test_deep_nested_statements_hit_the_cap():
+    depth = MAX_NESTING_DEPTH + 50
+    body = "".join("  IF TRUE THEN\n" for _ in range(depth))
+    body += "  x := 1;\n" + "  END;\n" * depth
+    with pytest.raises(ResourceLimitError):
+        parse_module(_module(body, "VAR x: INTEGER;"))
+
+
+def test_under_cap_parses_and_checks():
+    # Deep but legal input must survive the full front end: the parser
+    # bumps the Python recursion limit for its own walk, and the type
+    # checker (which recurses over the same shapes) does too.
+    depth = 200
+    source = _module(
+        "  x := {}1{} + 2;".format("(" * depth, ")" * depth),
+        "VAR x: INTEGER;",
+    )
+    check_module(parse_module(source))
+
+
+def test_resource_limit_is_not_a_compile_error():
+    # Batch drivers treat CompileError as "bad input" and
+    # ResourceLimitError as "ran out of budget"; the distinction matters
+    # for exit codes and must not erode.
+    depth = MAX_NESTING_DEPTH + 50
+    source = _module("  x := {}1{};".format("(" * depth, ")" * depth),
+                     "VAR x: INTEGER;")
+    with pytest.raises(ResourceLimitError) as err:
+        parse_module(source)
+    assert not isinstance(err.value, CompileError)

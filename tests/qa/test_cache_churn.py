@@ -1,0 +1,84 @@
+"""Cache churn: interleaved cache_clear() must never change answers.
+
+Regression coverage for the memoisation layer of the fast alias-query
+engine: the cache is a pure performance artifact, so clearing it at any
+point — including mid-stream between queries — must leave every
+subsequent answer identical, and the hit/miss/size counters must stay
+mutually consistent.
+"""
+
+import pytest
+
+from repro import compile_program
+from repro.analysis import ANALYSIS_NAMES
+from repro.analysis.alias_pairs import collect_heap_references
+from repro.qa.generator import generate_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_program(generate_program(17).render())
+
+
+@pytest.fixture(scope="module")
+def paths(program):
+    seen = {}
+    for aps in collect_heap_references(program.base().program).values():
+        for ap in aps:
+            seen.setdefault(ap, None)
+    paths = list(seen)
+    assert len(paths) >= 4
+    return paths
+
+
+@pytest.mark.parametrize("name", ANALYSIS_NAMES)
+def test_interleaved_clear_preserves_answers(program, paths, name):
+    analysis = program.analysis(name)
+    analysis.cache_clear()
+    baseline = {
+        (p.uid, q.uid): analysis.may_alias_canonical(p, q)
+        for p in paths
+        for q in paths
+    }
+    # Re-query with a clear thrown in after every few answers.
+    analysis.cache_clear()
+    for i, ((pu, qu), expected) in enumerate(sorted(baseline.items())):
+        p = next(x for x in paths if x.uid == pu)
+        q = next(x for x in paths if x.uid == qu)
+        assert analysis.may_alias_canonical(p, q) == expected
+        if i % 3 == 2:
+            analysis.cache_clear()
+
+
+@pytest.mark.parametrize("name", ANALYSIS_NAMES)
+def test_stats_consistent_across_churn(program, paths, name):
+    analysis = program.analysis(name)
+    analysis.cache_clear()
+    stats = analysis.cache_stats()
+    assert stats == {"hits": 0, "misses": 0, "size": 0}
+
+    for p in paths:
+        for q in paths:
+            analysis.may_alias_canonical(p, q)
+    stats = analysis.cache_stats()
+    total = len(paths) * len(paths)
+    assert stats["hits"] + stats["misses"] == total
+    # Unordered pairs: n*(n+1)/2 distinct keys at most.
+    assert stats["size"] <= stats["misses"]
+    assert stats["size"] <= len(paths) * (len(paths) + 1) // 2
+
+    # Asking everything again is pure hits: size must not grow.
+    size_before = stats["size"]
+    for p in paths:
+        for q in paths:
+            analysis.may_alias_canonical(p, q)
+    stats = analysis.cache_stats()
+    assert stats["size"] == size_before
+    assert stats["hits"] >= total
+
+
+def test_clear_resets_counters(program, paths):
+    analysis = program.analysis("FieldTypeDecl")
+    analysis.may_alias_canonical(paths[0], paths[1])
+    analysis.cache_clear()
+    assert analysis.cache_stats() == {"hits": 0, "misses": 0, "size": 0}

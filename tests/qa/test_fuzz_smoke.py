@@ -1,0 +1,19 @@
+"""A pytest-level fuzz smoke: a small fixed-seed batch must be clean.
+
+``make fuzz-smoke`` runs the full 200-program batch via the CLI; this
+in-suite version keeps a smaller always-on guard inside ``make test`` /
+plain ``pytest`` runs.
+"""
+
+from repro.qa.runner import run_fuzz
+
+
+def test_fixed_seed_smoke_batch_is_clean():
+    report = run_fuzz(40, base_seed=0, out_dir=None, reduce=False)
+    assert report.checked == 40
+    assert report.ok, [
+        (f.seed, f.phase, f.kind, f.message) for f in report.failures[:3]
+    ]
+    # The batch must actually exercise both outcomes to mean anything.
+    assert report.ran_clean > 0
+    assert report.ran_clean + report.trapped == 40

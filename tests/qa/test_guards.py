@@ -1,0 +1,74 @@
+"""Resource guards: deadlines, the ambient guard stack, error kinds."""
+
+import time
+
+import pytest
+
+from repro.lang.errors import ResourceLimitError
+from repro.qa.guards import Deadline, active_deadline, check_active, guarded
+
+
+def test_fresh_deadline_not_expired():
+    deadline = Deadline(60.0, "test")
+    assert not deadline.expired()
+    assert deadline.remaining() > 0
+    deadline.check()  # must not raise
+
+
+def test_expired_deadline_raises_wall_clock():
+    deadline = Deadline(0.0, "tight")
+    time.sleep(0.01)
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+    with pytest.raises(ResourceLimitError) as err:
+        deadline.check()
+    assert err.value.kind == "wall-clock"
+    assert "tight" in str(err.value)
+
+
+def test_check_active_is_noop_without_guard():
+    assert active_deadline() is None
+    check_active()  # empty stack: must not raise
+
+
+def test_guarded_pushes_and_pops():
+    assert active_deadline() is None
+    with guarded(60.0, "outer") as deadline:
+        assert active_deadline() is deadline
+        check_active()
+    assert active_deadline() is None
+
+
+def test_guarded_none_is_transparent():
+    with guarded(None, "disabled") as deadline:
+        assert deadline is None
+        assert active_deadline() is None
+
+
+def test_nested_guards_check_whole_stack():
+    with guarded(0.0, "outer"):
+        with guarded(60.0, "inner"):
+            time.sleep(0.01)
+            # The *outer* deadline has expired; check_active must see it
+            # even though the innermost guard is still fine.
+            with pytest.raises(ResourceLimitError) as err:
+                check_active()
+            assert "outer" in str(err.value)
+    assert active_deadline() is None
+
+
+def test_guard_stack_unwinds_on_exception():
+    with pytest.raises(RuntimeError):
+        with guarded(60.0, "doomed"):
+            raise RuntimeError("boom")
+    assert active_deadline() is None
+
+
+def test_resource_limit_error_kinds():
+    assert ResourceLimitError("x").kind == "limit"
+    assert ResourceLimitError("x", kind="steps").kind == "steps"
+    # Deliberately not a CompileError: resource exhaustion is an
+    # operational condition, not a source defect.
+    from repro.lang.errors import CompileError
+
+    assert not issubclass(ResourceLimitError, CompileError)

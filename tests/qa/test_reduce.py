@@ -1,0 +1,93 @@
+"""Delta-debugging reducer: ddmin correctness and crash bundles."""
+
+import json
+
+import pytest
+
+from repro.analysis.typehierarchy import FAULT_ENV
+from repro.qa.generator import generate_program
+from repro.qa.oracles import check_program
+from repro.qa.reduce import _ddmin, reduce_program, write_crash_bundle
+
+
+def test_ddmin_finds_single_culprit():
+    items = ["s{}".format(i) for i in range(20)]
+    probes = []
+
+    def fails(subset):
+        probes.append(list(subset))
+        return "s13" in subset
+
+    result = _ddmin(items, fails, budget=[500])
+    assert result == ["s13"]
+
+
+def test_ddmin_finds_interacting_pair():
+    items = ["s{}".format(i) for i in range(16)]
+
+    def fails(subset):
+        return "s2" in subset and "s11" in subset
+
+    result = _ddmin(items, fails, budget=[500])
+    assert sorted(result) == ["s11", "s2"]
+
+
+def test_ddmin_respects_budget():
+    items = list("abcdefgh")
+    calls = []
+
+    def fails(subset):
+        calls.append(1)
+        return "d" in subset
+
+    _ddmin(items, fails, budget=[3])
+    assert len(calls) <= 3
+
+
+def test_reduce_program_is_identity_when_nothing_fails():
+    prog = generate_program(0)
+    reduced = reduce_program(prog, lambda candidate: False)
+    assert reduced.render() == prog.render()
+
+
+def test_reduce_program_shrinks_injected_failure(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "1")
+    # Find a seed the sabotage breaks, then shrink it.
+    for seed in range(20):
+        prog = generate_program(seed)
+        report = check_program(prog)
+        if not report.ok:
+            break
+    else:
+        pytest.fail("no failing seed in window")
+    kind = report.first_kind()
+
+    def still_fails(candidate):
+        try:
+            oracle = check_program(candidate)
+        except Exception:
+            return False
+        return any(v.kind == kind for v in oracle.violations)
+
+    reduced = reduce_program(prog, still_fails)
+    assert still_fails(reduced)  # the reproducer really reproduces
+    assert reduced.statement_count() < prog.statement_count()
+
+
+def test_write_crash_bundle(tmp_path):
+    prog = generate_program(9)
+    report = check_program(prog)
+    bundle = write_crash_bundle(tmp_path, prog, prog.with_parts(body=[]), report)
+    assert bundle == tmp_path / "seed-9"
+    assert (bundle / "original.m3").read_text() == prog.render()
+    assert "BEGIN" in (bundle / "reduced.m3").read_text()
+    data = json.loads((bundle / "report.json").read_text())
+    assert data["seed"] == 9
+
+
+def test_write_crash_bundle_without_reduction(tmp_path):
+    prog = generate_program(4)
+    report = check_program(prog)
+    bundle = write_crash_bundle(tmp_path, prog, None, report)
+    assert (bundle / "original.m3").exists()
+    assert not (bundle / "reduced.m3").exists()

@@ -1,0 +1,93 @@
+"""Batch runner: fault isolation, JSON reports, digests, bundles."""
+
+import json
+
+import pytest
+
+from repro.analysis.typehierarchy import FAULT_ENV
+from repro.qa import runner as runner_mod
+from repro.qa.runner import FailureRecord, FuzzReport, failure_digest, run_fuzz
+
+
+def test_clean_batch_is_ok(tmp_path):
+    report = run_fuzz(8, base_seed=0, out_dir=tmp_path)
+    assert report.ok
+    assert report.checked == 8
+    assert report.ran_clean + report.trapped == 8
+    data = json.loads((tmp_path / "fuzz-report.json").read_text())
+    assert data["ok"] is True
+    assert data["failures"] == []
+    assert data["count"] == 8
+
+
+def test_failures_recorded_and_reduced(tmp_path, monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "1")
+    report = run_fuzz(6, base_seed=0, out_dir=tmp_path)
+    assert not report.ok
+    assert report.failures  # seeds 0 and 1 both catch the sabotage
+    first = report.failures[0]
+    assert first.kind in ("dynamic-soundness", "refinement")
+    assert first.bundle is not None
+    assert (tmp_path / "seed-{}".format(first.seed) / "reduced.m3").exists()
+    assert first.reduced_statements is not None
+    # The batch kept going after the first failure.
+    assert report.checked == 6
+    data = json.loads((tmp_path / "fuzz-report.json").read_text())
+    assert data["ok"] is False
+    assert data["distinct_digests"]
+
+
+def test_one_crashing_seed_does_not_abort_batch(monkeypatch):
+    real = runner_mod.check_program
+
+    def sabotaged(program, **kwargs):
+        if getattr(program, "seed", None) == 2:
+            raise RuntimeError("synthetic harness crash")
+        return real(program, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "check_program", sabotaged)
+    report = run_fuzz(5, base_seed=0)
+    assert report.checked == 4  # the crashed seed is excluded ...
+    [failure] = report.failures  # ... but recorded
+    assert failure.seed == 2
+    assert failure.phase == "harness"
+    assert failure.kind == "RuntimeError"
+
+
+def test_keyboard_interrupt_propagates(monkeypatch):
+    def interrupted(program, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_mod, "check_program", interrupted)
+    with pytest.raises(KeyboardInterrupt):
+        run_fuzz(3, base_seed=0)
+
+
+def test_digest_is_stable_and_masks_digits():
+    a = failure_digest("dynamic", "dynamic-soundness",
+                       "v1.r12.f1 and v3.r2.f1 hit address 0x10088")
+    b = failure_digest("dynamic", "dynamic-soundness",
+                       "v9.r55.f7 and v8.r4.f2 hit address 0x99999")
+    assert a == b  # same shape, different seeds/addresses
+    assert len(a) == 12
+    assert a != failure_digest("static", "refinement", "other")
+
+
+def test_no_out_dir_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    report = run_fuzz(3, base_seed=0, out_dir=None)
+    assert report.ok
+    assert not list(tmp_path.iterdir())
+
+
+def test_report_json_shape():
+    report = FuzzReport(base_seed=5, count=2)
+    report.failures.append(
+        FailureRecord(seed=5, name="Fuzz5", phase="static", kind="refinement",
+                      message="m", digest="abc")
+    )
+    data = report.to_json()
+    assert data["base_seed"] == 5
+    assert data["ok"] is False
+    assert data["failures"][0]["digest"] == "abc"
+    json.dumps(data)  # fully serialisable

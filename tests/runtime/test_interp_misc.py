@@ -41,10 +41,29 @@ def test_stats_properties():
 
 
 def test_step_limit_stops_runaway():
+    from repro.lang.errors import ResourceLimitError
+
     program = compile_program(INFINITE)
     interp = Interpreter(program.base().program, max_steps=10_000)
-    with pytest.raises(M3RuntimeError):
+    with pytest.raises(ResourceLimitError) as err:
         interp.run()
+    assert err.value.kind == "steps"
+
+
+def test_deadline_stops_runaway():
+    from repro.lang.errors import ResourceLimitError
+    from repro.qa.guards import Deadline, guarded
+
+    program = compile_program(INFINITE)
+    interp = Interpreter(program.base().program, deadline=Deadline(0.05, "test run"))
+    with pytest.raises(ResourceLimitError) as err:
+        interp.run()
+    assert err.value.kind == "wall-clock"
+
+    # The ambient guard stack works too, without threading a handle.
+    with guarded(0.05, "ambient"):
+        with pytest.raises(ResourceLimitError):
+            Interpreter(program.base().program).run()
 
 
 def test_no_machine_means_no_latency_cycles():

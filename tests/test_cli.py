@@ -43,6 +43,15 @@ def test_check_error(tmp_path, capsys):
     assert "undeclared" in capsys.readouterr().err
 
 
+def test_check_error_renders_caret(tmp_path, capsys):
+    path = tmp_path / "broken.m3"
+    path.write_text("MODULE Broken;\nBEGIN\n  zap := 1;\nEND Broken.\n")
+    assert main(["check", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "zap := 1;" in err  # the offending source line ...
+    assert "^" in err          # ... with a caret under the offender
+
+
 def test_missing_file(capsys):
     assert main(["check", "/nonexistent/x.m3"]) == 1
     assert "error" in capsys.readouterr().err
@@ -109,3 +118,117 @@ def test_tables_selected(capsys):
 
 def test_tables_unknown(capsys):
     assert main(["tables", "tableX"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Fault isolation and signal/pipe behaviour
+
+
+GOOD_DIR_PROGRAM = """
+MODULE DirGood;
+TYPE T = OBJECT n: INTEGER; next: T; END;
+VAR t: T; i, sum: INTEGER;
+BEGIN
+  t := NEW (T, n := 1);
+  t.next := NEW (T, n := 2);
+  FOR i := 1 TO 3 DO
+    sum := sum + t.next.n;
+  END;
+  PutInt (sum);
+END DirGood.
+"""
+
+
+@pytest.fixture
+def program_dir(tmp_path):
+    directory = tmp_path / "programs"
+    directory.mkdir()
+    (directory / "dirgood.m3").write_text(GOOD_DIR_PROGRAM)
+    (directory / "dirbad.m3").write_text(BROKEN)
+    return directory
+
+
+def test_tables_over_directory_isolates_broken_input(program_dir, capsys):
+    import json
+
+    exit_code = main(["tables", "table4", "table5",
+                      "--programs", str(program_dir)])
+    assert exit_code == 1  # aggregate failure is visible in the exit code
+    captured = capsys.readouterr()
+    # Tables for the good program were still produced ...
+    assert "Table 4" in captured.out and "Table 5" in captured.out
+    assert "dirgood" in captured.out
+    # ... and the broken one became a structured failure entry.
+    assert "--- failures ---" in captured.err
+    payload = captured.err.split("--- failures ---", 1)[1]
+    [entry] = json.loads(payload)
+    assert entry["name"] == "dirbad"
+    assert entry["phase"] == "compile"
+    assert "undeclared" in entry["message"]
+
+
+def test_tables_over_directory_all_good_exits_zero(program_dir, capsys):
+    (program_dir / "dirbad.m3").unlink()
+    assert main(["tables", "table4", "--programs", str(program_dir)]) == 0
+    captured = capsys.readouterr()
+    assert "dirgood" in captured.out
+    assert "failures" not in captured.err
+
+
+def test_fuzz_command_clean(capsys):
+    assert main(["fuzz", "--count", "6", "--seed", "0", "--no-report"]) == 0
+    out = capsys.readouterr().out
+    assert "0 failures" in out
+
+
+def test_fuzz_command_catches_injected_fault(tmp_path, monkeypatch, capsys):
+    from repro.analysis.typehierarchy import FAULT_ENV
+
+    monkeypatch.setenv(FAULT_ENV, "1")
+    out_dir = tmp_path / "fuzz-out"
+    exit_code = main(["fuzz", "--count", "3", "--seed", "0",
+                      "--out", str(out_dir)])
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    assert "distinct failure shapes" in out
+    assert (out_dir / "fuzz-report.json").exists()
+
+
+def test_keyboard_interrupt_exits_130(monkeypatch, capsys):
+    import repro.cli as cli
+
+    def boom(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(cli.__dict__, "cmd_check", boom)
+    parser_args = ["check", "whatever.m3"]
+    # Rebuild the parser so the monkeypatched function is bound.
+    monkeypatch.setattr(cli, "build_parser", _patched_parser(boom))
+    assert cli.main(parser_args) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_resource_limit_reported(monkeypatch, capsys):
+    import repro.cli as cli
+    from repro.lang.errors import ResourceLimitError
+
+    def exhausted(args):
+        raise ResourceLimitError("too deep", kind="recursion")
+
+    monkeypatch.setattr(cli, "build_parser", _patched_parser(exhausted))
+    assert cli.main(["check", "x.m3"]) == 1
+    assert "resource limit" in capsys.readouterr().err
+
+
+def _patched_parser(func):
+    import argparse
+
+    def build():
+        parser = argparse.ArgumentParser()
+        sub = parser.add_subparsers(dest="command", required=True)
+        p = sub.add_parser("check")
+        p.add_argument("file")
+        p.set_defaults(func=func)
+        return parser
+
+    return build
