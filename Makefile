@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick tables examples fuzz fuzz-smoke clean
+.PHONY: install test bench bench-quick tables examples fuzz fuzz-smoke \
+	profile-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,6 +11,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
+	$(MAKE) profile-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -19,7 +21,7 @@ bench:
 # reference and the partition-based counting engines.
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/bench_analysis_cost.py benchmarks/bench_table5_alias_pairs.py --benchmark-only
-	$(PYTHON) -m repro.bench.perfjson -o BENCH_alias.json
+	$(PYTHON) -m repro.bench.perfjson -o BENCH_alias.json --prom BENCH_obs.prom
 
 tables:
 	$(PYTHON) -m repro tables
@@ -40,6 +42,19 @@ fuzz:
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --count 200 \
 		--out benchmarks/results/fuzz-smoke
+
+# Observability smoke: `repro profile` over two bundled benchmarks with
+# the tree-sum check on, JSONL traces written and validated against the
+# pinned schema.
+profile-smoke:
+	@mkdir -p benchmarks/results/profile-smoke
+	PYTHONPATH=src $(PYTHON) -m repro -q profile m3cg --check \
+		--trace benchmarks/results/profile-smoke/m3cg.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro -q profile slisp --check \
+		--trace benchmarks/results/profile-smoke/slisp.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.obs.trace \
+		benchmarks/results/profile-smoke/m3cg.jsonl \
+		benchmarks/results/profile-smoke/slisp.jsonl
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results \

@@ -152,4 +152,7 @@ class Program:
 
 def compile_program(source: str, unit: str = "<input>") -> Program:
     """Parse and type-check MiniM3 source into a :class:`Program`."""
-    return Program(check_module(parse_module(source, unit)), source)
+    from repro.obs import core as obs
+
+    with obs.span("compile", unit=unit):
+        return Program(check_module(parse_module(source, unit)), source)

@@ -16,11 +16,21 @@ in Section 2.5).  Access paths are interned with dense integer uids
 ``(uid, uid)`` pair — no tree hashing on the query path — and
 :meth:`AliasAnalysis.may_alias_canonical` lets bulk clients that already
 hold canonical paths skip re-canonicalisation entirely.
+
+Query and cache statistics are :mod:`repro.obs` counters: each instance
+owns child counters of the ``alias.cache.hits`` / ``alias.cache.misses``
+series (labelled by analysis name), registered in the process registry.
+``cache_stats()``/``cache_clear()`` are thin shims over those counters,
+so the per-instance view and the global metrics export read the same
+numbers.  The hot path mutates ``Counter.value`` directly — alias
+queries are single-threaded by construction and a per-query lock would
+cost more than the query.
 """
 
 from typing import Dict, Tuple
 
 from repro.ir.access_path import AccessPath, strip_index
+from repro.obs import metrics
 from repro.qa import guards
 
 
@@ -43,10 +53,13 @@ class AliasAnalysis:
 
     name = "<analysis>"
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = None) -> None:
+        if name is not None:
+            self.name = name
         self._cache: Dict[Tuple[int, int], bool] = {}
-        self._hits = 0
-        self._misses = 0
+        registry = metrics.registry()
+        self._hits = registry.new_counter("alias.cache.hits", analysis=self.name)
+        self._misses = registry.new_counter("alias.cache.misses", analysis=self.name)
 
     def may_alias(self, p: AccessPath, q: AccessPath) -> bool:
         return self.may_alias_canonical(strip_index(p), strip_index(q))
@@ -62,13 +75,14 @@ class AliasAnalysis:
         key = (cp.uid, cq.uid) if cp.uid <= cq.uid else (cq.uid, cp.uid)
         cached = self._cache.get(key)
         if cached is not None:
-            self._hits += 1
+            self._hits.value += 1
             return cached
-        self._misses += 1
+        misses = self._misses.value + 1
+        self._misses.value = misses
         # Guard hook on the miss (slow) path only: cache hits stay a
         # dict probe, and a guarded run that hangs inside the analyses
         # is necessarily generating fresh queries.
-        if (self._misses & 4095) == 0:
+        if (misses & 4095) == 0:
             guards.check_active()
         result = self._may_alias(cp, cq)
         self._cache[key] = result
@@ -78,18 +92,21 @@ class AliasAnalysis:
         raise NotImplementedError
 
     # -- cache introspection -------------------------------------------
+    #
+    # Thin shims over the obs counters (kept for API compatibility with
+    # PR 1 callers; the counters are the source of truth).
 
     def cache_clear(self) -> None:
         """Drop all memoised answers and reset the hit/miss counters."""
         self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
     def cache_stats(self) -> Dict[str, int]:
         """``{'hits', 'misses', 'size'}`` of the query cache."""
         return {
-            "hits": self._hits,
-            "misses": self._misses,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
             "size": len(self._cache),
         }
 

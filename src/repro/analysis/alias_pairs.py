@@ -38,6 +38,8 @@ from repro.analysis.fieldtypedecl import FieldTypeDeclAnalysis
 from repro.analysis.typedecl import TypeDeclAnalysis
 from repro.ir.access_path import AccessPath, Deref, Qualify, Subscript, VarRoot, strip_index
 from repro.ir.cfg import ProgramIR
+from repro.obs import core as obs
+from repro.obs import metrics
 from repro.qa import guards
 
 #: Valid values for the ``engine`` argument of :class:`AliasPairCounter`.
@@ -197,6 +199,11 @@ class AliasPairCounter:
         self.references = collect_heap_references(program)
 
     def count(self) -> AliasPairReport:
+        with obs.span("aliaspairs.count", analysis=self.analysis.name,
+                      engine=self.engine):
+            return self._count()
+
+    def _count(self) -> AliasPairReport:
         if self.engine == "reference":
             return self._count_reference()
         if self.engine == "fast":
@@ -266,15 +273,30 @@ class AliasPairCounter:
                 acc.global_ += g.count * (g.count - 1) // 2
 
         if isinstance(analysis, FieldTypeDeclAnalysis):
-            self._pairs_fieldtypedecl(distinct, analysis, acc)
+            n_classes = self._pairs_fieldtypedecl(distinct, analysis, acc)
         elif isinstance(analysis, TypeDeclAnalysis):
-            self._pairs_by_type(distinct, acc)
+            n_classes = self._pairs_by_type(distinct, acc)
         else:
+            n_classes = len(distinct)
             self._pairs_generic(distinct, acc)
 
+        self._record_fast_metrics(report.references, len(distinct), n_classes)
         report.local_pairs = acc.local
         report.global_pairs = acc.global_
         return report
+
+    def _record_fast_metrics(self, references: int, distinct: int,
+                             n_classes: int) -> None:
+        """Partition statistics of one fast-engine count (one child per
+        count, so the series sums across programs and analyses)."""
+        registry = metrics.registry()
+        name = self.analysis.name
+        registry.new_counter("aliaspairs.fast.references", analysis=name).inc(
+            references)
+        registry.new_counter("aliaspairs.fast.distinct_paths",
+                             analysis=name).inc(distinct)
+        registry.new_counter("aliaspairs.fast.classes", analysis=name).inc(
+            n_classes)
 
     def _pairs_generic(self, distinct: List[_RefGroup], acc: _PairAccumulator) -> None:
         """No structural knowledge: pairwise over distinct paths only."""
@@ -286,7 +308,7 @@ class AliasPairCounter:
                 if may_alias(a.ap, b.ap):
                     acc.add_pair(a, b)
 
-    def _pairs_by_type(self, distinct: List[_RefGroup], acc: _PairAccumulator) -> None:
+    def _pairs_by_type(self, distinct: List[_RefGroup], acc: _PairAccumulator) -> int:
         """TypeDecl ignores structure: the answer is a function of the two
         declared types, so one query per *type pair* decides whole buckets."""
         may_alias = self.analysis.may_alias_canonical
@@ -297,13 +319,14 @@ class AliasPairCounter:
             for b in reps[i + 1:]:
                 if may_alias(a[0].ap, b[0].ap):
                     acc.add_bucket_cross(a, b)
+        return len(reps)
 
     def _pairs_fieldtypedecl(
         self,
         distinct: List[_RefGroup],
         analysis: FieldTypeDeclAnalysis,
         acc: _PairAccumulator,
-    ) -> None:
+    ) -> int:
         """Partition the references into Table 2 *query-equivalence
         classes* and count class pairs combinatorially.
 
@@ -354,6 +377,7 @@ class AliasPairCounter:
                     continue  # case 5, other order
                 if may_alias(a[0].ap, b[0].ap):
                     acc.add_bucket_cross(a, b)
+        return len(keyed)
 
 
 def _bucket_by(groups: List[_RefGroup], key) -> Dict[object, List[_RefGroup]]:

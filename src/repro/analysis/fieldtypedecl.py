@@ -33,10 +33,9 @@ class FieldTypeDeclAnalysis(AliasAnalysis):
 
     def __init__(self, oracle: TypeOracle, address_taken: AddressTakenInfo,
                  name: str = "FieldTypeDecl"):
-        super().__init__()
+        super().__init__(name)
         self.oracle = oracle
         self.address_taken = address_taken
-        self.name = name
 
     def _may_alias(self, p: AccessPath, q: AccessPath) -> bool:
         # Case 1: identical APs always alias each other.

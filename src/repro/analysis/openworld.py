@@ -24,6 +24,7 @@ from repro.analysis.smtyperefs import SMFieldTypeRefsAnalysis, collect_pointer_a
 from repro.analysis.typedecl import TypeDeclAnalysis, TypeDeclOracle
 from repro.analysis.typehierarchy import SubtypeOracle
 from repro.lang.typecheck import CheckedModule
+from repro.obs import core as obs
 
 #: The three analyses of the paper, weakest first.
 ANALYSIS_NAMES = ("TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs")
@@ -39,13 +40,20 @@ class AnalysisContext:
     def __init__(self, checked: CheckedModule, open_world: bool = False):
         self.checked = checked
         self.open_world = open_world
-        self.subtypes = SubtypeOracle(checked)
-        self.address_taken: AddressTakenInfo = collect_address_taken(
-            checked, self.subtypes, open_world=open_world
-        )
-        self.assignments = collect_pointer_assignments(checked)
+        with obs.span("analysis.facts", module=checked.name,
+                      open_world=open_world):
+            self.subtypes = SubtypeOracle(checked)
+            self.address_taken: AddressTakenInfo = collect_address_taken(
+                checked, self.subtypes, open_world=open_world
+            )
+            self.assignments = collect_pointer_assignments(checked)
 
     def build(self, name: str) -> AliasAnalysis:
+        with obs.span("analysis.build", analysis=name,
+                      open_world=self.open_world):
+            return self._build(name)
+
+    def _build(self, name: str) -> AliasAnalysis:
         if name == "TypeDecl":
             return TypeDeclAnalysis(self.subtypes)
         if name == "FieldTypeDecl":

@@ -49,6 +49,7 @@ from repro.lang.types import (
     is_pointer_type,
     is_subtype,
 )
+from repro.obs import metrics
 from repro.util.unionfind import UnionFind
 
 
@@ -218,12 +219,38 @@ class SMTypeRefsOracle(TypeOracle):
             group_masks[root] = group_masks.get(root, 0) | (
                 1 << self.subtypes.type_bit(t)
             )
+        pruned_refs = 0
         for t in pointer_types:
-            mask = group_masks[group.find(id(t))] & self.subtypes.subtype_mask(t)
+            group_mask = group_masks[group.find(id(t))]
+            mask = group_mask & self.subtypes.subtype_mask(t)
+            pruned_refs += group_mask.bit_count() - mask.bit_count()
             self._mask_table[id(t)] = mask
             self._table[id(t)] = frozenset(
                 id(u) for u in self.subtypes.types_of_mask(mask)
             )
+        self._record_build_metrics(group, pruned_refs, len(pointer_types))
+
+    def _record_build_metrics(self, group: UnionFind, pruned_refs: int,
+                              n_pointer_types: int) -> None:
+        """One set of child metrics per oracle build (DESIGN.md §6e).
+
+        ``pruned_refs`` is the total number of (type, referenced-type)
+        entries Step 3's ``∩ Subtypes(t)`` removed from the raw merge
+        groups — the table's asymmetry, made countable.
+        """
+        registry = metrics.registry()
+        world = "open" if self.open_world else "closed"
+        registry.new_counter(
+            "smtyperefs.unionfind.finds", world=world).inc(group.finds)
+        registry.new_counter(
+            "smtyperefs.unionfind.merges", world=world).inc(group.merges)
+        registry.new_counter(
+            "smtyperefs.typerefs.pruned_refs", world=world).inc(pruned_refs)
+        registry.new_counter(
+            "smtyperefs.assignments.merging", world=world).inc(len(self.merges))
+        registry.gauge("smtyperefs.pointer_types", world=world).set(
+            n_pointer_types)
+        registry.gauge("smtyperefs.groups", world=world).set(group.n_classes)
 
     # ------------------------------------------------------------------
 

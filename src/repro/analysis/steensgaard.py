@@ -28,6 +28,7 @@ from repro.analysis.typehierarchy import SubtypeOracle
 from repro.ir.access_path import AccessPath
 from repro.lang.typecheck import CheckedModule
 from repro.lang.types import Type
+from repro.obs import metrics
 from repro.util.unionfind import UnionFind
 
 
@@ -76,6 +77,15 @@ class SteensgaardTypesOracle(TypeOracle):
             self._table[id(t)] = frozenset(
                 id(u) for u in self.subtypes.types_of_mask(mask)
             )
+        # Over-merging is exactly what this baseline exists to measure
+        # (cf. oversharing diagnostics in unification-based analyses):
+        # record the equivalence-class size distribution per build.
+        registry = metrics.registry()
+        sizes = registry.new_histogram("steensgaard.group.size")
+        for cls in group.classes():
+            sizes.observe(len(cls))
+        registry.gauge("steensgaard.groups").set(group.n_classes)
+        registry.new_counter("steensgaard.unionfind.merges").inc(group.merges)
 
     def class_mask(self, t: Type) -> int:
         mask = self._mask_table.get(id(t))

@@ -166,7 +166,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="write machine-readable alias-engine benchmark numbers")
     parser.add_argument("-o", "--output", default="BENCH_alias.json")
     parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--prom", metavar="FILE", default=None,
+                        help="also dump the observability metric registry "
+                        "in Prometheus text format (e.g. BENCH_obs.prom)")
     args = parser.parse_args(argv)
+    if args.prom is not None:
+        from repro.obs import metrics
+        metrics.registry().reset()
     report = run_quick_bench(rounds=args.rounds)
     validate_report(report)
     with open(args.output, "w") as f:
@@ -176,6 +182,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("wrote {}: table5 reference {}ms fast {}ms ({}x)".format(
         args.output, table5["reference_ms"], table5["fast_ms"],
         table5["speedup"]))
+    if args.prom is not None:
+        from repro.obs.promtext import write_prom
+
+        lines = write_prom(args.prom)
+        print("wrote {}: {} lines".format(args.prom, lines))
     return 0
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import Program, compile_program
 from repro.bench import registry
+from repro.obs import core as obs
 from repro.opt.pipeline import PipelineResult
 from repro.runtime import ExecutionStats, Interpreter, LimitStudy, MachineModel, RedundancyReport
 
@@ -144,7 +145,8 @@ class BenchmarkSuite:
     def program(self, name: str) -> Program:
         prog = self._programs.get(name)
         if prog is None:
-            prog = compile_program(self.load_source(name), name)
+            with obs.span("bench.compile", program=name):
+                prog = compile_program(self.load_source(name), name)
             self._programs[name] = prog
         return prog
 
@@ -153,19 +155,21 @@ class BenchmarkSuite:
         result = self._pipelines.get(key)
         if result is None:
             program = self.program(name)
-            if config.is_base:
-                result = program.base()
-            else:
-                result = program.pipeline.build(
-                    analysis=config.analysis,
-                    rle=config.analysis is not None,
-                    minv_inline=config.minv_inline,
-                    open_world=config.open_world,
-                    hoist=config.hoist,
-                    see_dope_loads=config.see_dope_loads,
-                    copyprop=config.copyprop,
-                    pre=config.pre,
-                )
+            with obs.span("bench.build", program=name,
+                          config=repr(config.key())):
+                if config.is_base:
+                    result = program.base()
+                else:
+                    result = program.pipeline.build(
+                        analysis=config.analysis,
+                        rle=config.analysis is not None,
+                        minv_inline=config.minv_inline,
+                        open_world=config.open_world,
+                        hoist=config.hoist,
+                        see_dope_loads=config.see_dope_loads,
+                        copyprop=config.copyprop,
+                        pre=config.pre,
+                    )
             self._pipelines[key] = result
         return result
 
@@ -175,8 +179,10 @@ class BenchmarkSuite:
         stats = self._runs.get(key)
         if stats is None:
             result = self.build(name, config)
-            interp = Interpreter(result.program, machine=MachineModel())
-            stats = interp.run()
+            with obs.span("bench.run", program=name,
+                          config=repr(config.key())):
+                interp = Interpreter(result.program, machine=MachineModel())
+                stats = interp.run()
             self._runs[key] = stats
         return stats
 
@@ -186,8 +192,9 @@ class BenchmarkSuite:
         report = self._limits.get(key)
         if report is None:
             result = self.build(name, config)
-            study = LimitStudy(result.program, result.load_status)
-            report = study.run()
+            with obs.span("bench.limit_study", program=name):
+                study = LimitStudy(result.program, result.load_status)
+                report = study.run()
             self._limits[key] = report
         return report
 

@@ -10,22 +10,32 @@ Commands:
 * ``bench NAME``   — run one registered paper benchmark;
 * ``tables``       — regenerate the paper's tables/figures (slow);
 * ``fuzz``         — generate seeded programs and cross-check the
-  analyses against the soundness oracles (see DESIGN.md §6d).
+  analyses against the soundness oracles (see DESIGN.md §6d);
+* ``profile``      — phase-time tree + top metric counts for one program
+  (a file or a registered benchmark; see DESIGN.md §6e).
 
 ``bench`` and ``tables`` isolate faults: one broken benchmark or input
 file is reported (as a structured JSON failure entry) without aborting
 the others, and the exit code reflects the aggregate outcome.
+
+Cross-cutting flags: ``-q``/``-v`` before the command select the logging
+level (:mod:`repro.obs.log`); ``--trace FILE.jsonl`` on the analysis
+commands enables the span recorder and writes a schema-pinned JSONL
+trace on exit (:mod:`repro.obs.trace`).
 """
 
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro import CompileError, compile_program
 from repro.analysis import ANALYSIS_NAMES, AliasPairCounter
 from repro.ir.printer import format_program
 from repro.lang.errors import ResourceLimitError
+from repro.obs import core as obs
+from repro.obs import log
 from repro.runtime.limit import Category
 from repro.util.tables import render_table
 
@@ -36,21 +46,29 @@ def _load(path: str):
     return compile_program(source, path)
 
 
-def _failure_entry(name: str, phase: str, exc: BaseException) -> dict:
-    """One machine-readable failure record for batch commands."""
-    return {
+def _failure_entry(name: str, phase: str, exc: BaseException,
+                   seconds: Optional[float] = None) -> dict:
+    """One machine-readable failure record for batch commands.
+
+    ``seconds`` is the wall clock the failed unit burned before its
+    bulkhead caught it, so failure timing is never lost.
+    """
+    entry = {
         "name": name,
         "phase": phase,
         "error": type(exc).__name__,
         "message": str(exc),
     }
+    if seconds is not None:
+        entry["seconds"] = round(seconds, 3)
+    return entry
 
 
 def _emit_failures(failures: List[dict]) -> None:
     """Print the aggregate failure report (JSON, one parseable block)."""
     if failures:
-        print("--- failures ---", file=sys.stderr)
-        print(json.dumps(failures, indent=2, sort_keys=True), file=sys.stderr)
+        log.error("--- failures ---")
+        log.error(json.dumps(failures, indent=2, sort_keys=True))
 
 
 def _optimize(program, args):
@@ -77,7 +95,7 @@ def cmd_check(args) -> int:
         program = compile_program(source, args.file)
     except CompileError as err:
         # Render with the offending source line and a caret.
-        print("error: {}".format(err.render(source)), file=sys.stderr)
+        log.error("error: {}".format(err.render(source)))
         return 1
     checked = program.checked
     print("module {}: OK".format(checked.name))
@@ -109,13 +127,13 @@ def cmd_run(args) -> int:
     if not stats.output_text().endswith("\n"):
         print()
     if args.stats:
-        print("--- execution statistics ---", file=sys.stderr)
-        print("instructions : {}".format(stats.instructions), file=sys.stderr)
-        print("heap loads   : {}".format(stats.heap_loads), file=sys.stderr)
-        print("other loads  : {}".format(stats.other_loads), file=sys.stderr)
-        print("heap stores  : {}".format(stats.heap_stores), file=sys.stderr)
-        print("calls        : {}".format(stats.calls), file=sys.stderr)
-        print("cycles       : {}".format(stats.cycles), file=sys.stderr)
+        log.info("--- execution statistics ---")
+        log.info("instructions : {}".format(stats.instructions))
+        log.info("heap loads   : {}".format(stats.heap_loads))
+        log.info("other loads  : {}".format(stats.other_loads))
+        log.info("heap stores  : {}".format(stats.heap_stores))
+        log.info("calls        : {}".format(stats.calls))
+        log.info("cycles       : {}".format(stats.cycles))
     return 0
 
 
@@ -165,6 +183,9 @@ def cmd_bench(args) -> int:
     failures: List[dict] = []
     for name in names:
         # Bulkhead: one broken benchmark must not sink the whole run.
+        # Wall clock is taken around the bulkhead so a failing benchmark
+        # still reports how long it burned before it died.
+        started = time.perf_counter()
         try:
             base = suite.run(name)
             config = RunConfig(analysis=args.analysis or "SMFieldTypeRefs")
@@ -172,7 +193,8 @@ def cmd_bench(args) -> int:
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
-            failures.append(_failure_entry(name, "bench", exc))
+            failures.append(_failure_entry(
+                name, "bench", exc, seconds=time.perf_counter() - started))
             continue
         rows.append(
             [
@@ -181,12 +203,14 @@ def cmd_bench(args) -> int:
                 base.heap_loads,
                 opt.heap_loads,
                 round(100.0 * opt.cycles / base.cycles, 1),
+                round(time.perf_counter() - started, 3),
             ]
         )
     if rows:
         print(
             render_table(
-                ["Benchmark", "Instructions", "Heap loads", "After RLE", "% time"],
+                ["Benchmark", "Instructions", "Heap loads", "After RLE",
+                 "% time", "Wall s"],
                 rows,
                 title="Benchmark summary (RLE[{}])".format(
                     args.analysis or "SMFieldTypeRefs"
@@ -207,12 +231,15 @@ def cmd_tables(args) -> int:
         # Compile every input eagerly behind a bulkhead: broken files
         # become failure entries and the tables cover the rest.
         for name in suite.names():
+            started = time.perf_counter()
             try:
                 suite.program(name)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
-                failures.append(_failure_entry(name, "compile", exc))
+                failures.append(_failure_entry(
+                    name, "compile", exc,
+                    seconds=time.perf_counter() - started))
                 suite.drop(name)
     else:
         suite = BenchmarkSuite()
@@ -233,6 +260,7 @@ def cmd_tables(args) -> int:
             return 2
     for key in wanted:
         generator = generators[key]
+        started = time.perf_counter()
         try:
             if key == "table5":
                 result = generator(suite, engine=args.engine)
@@ -241,7 +269,8 @@ def cmd_tables(args) -> int:
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
-            failures.append(_failure_entry(key, "table", exc))
+            failures.append(_failure_entry(
+                key, "table", exc, seconds=time.perf_counter() - started))
             continue
         print(result.text)
         print()
@@ -299,6 +328,67 @@ def cmd_fuzz(args) -> int:
     return 1 if report.failures else 0
 
 
+def _load_profile_target(target: str):
+    """A registered benchmark name, or a path to a ``.m3`` file."""
+    import os
+
+    from repro.bench import registry
+
+    if not os.path.exists(target) and target in registry.benchmark_names():
+        return compile_program(registry.load_source(target), target)
+    return _load(target)
+
+
+def cmd_profile(args) -> int:
+    from repro.obs import metrics
+    from repro.obs.profile import (
+        render_counter_table,
+        render_phase_tree,
+        tree_check,
+    )
+
+    recorder = obs.recorder()
+    recorder.reset()
+    metrics.registry().reset()
+    obs.enable()
+    analysis_for_rle = args.analysis or "SMFieldTypeRefs"
+    try:
+        _profile_phases(args, recorder, analysis_for_rle)
+    finally:
+        # Leave the process recorder the way library users expect it
+        # (recorded spans survive for the --trace flush in main()).
+        obs.disable()
+    print("profile: {}".format(args.target))
+    print()
+    print(render_phase_tree(recorder))
+    print()
+    print(render_counter_table(metrics.registry(), top=args.top))
+    if args.check:
+        tree_check(recorder)
+        log.info("profile: tree check ok "
+                 "(children sum to parents within tolerance)")
+    return 0
+
+
+def _profile_phases(args, recorder, analysis_for_rle: str) -> None:
+    with recorder.span("profile", target=args.target):
+        with recorder.span("load"):
+            program = _load_profile_target(args.target)
+        with recorder.span("base"):
+            base = program.base()
+        for name in ANALYSIS_NAMES:
+            with recorder.span("analysis", analysis=name):
+                analysis = program.analysis(name, open_world=args.open_world)
+                AliasPairCounter(
+                    base.program, analysis, engine=args.engine
+                ).count()
+        with recorder.span("optimize", analysis=analysis_for_rle):
+            result = program.pipeline.build(analysis=analysis_for_rle)
+        if args.run:
+            with recorder.span("execute"):
+                program.run(result)
+
+
 # ----------------------------------------------------------------------
 # Argument parsing
 
@@ -312,6 +402,16 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_ENGINE,
         help="alias-pair counting engine: the partition-based fast path, "
         "the per-pair reference loop, or differential (both + agreement check)",
+    )
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="enable the span recorder and write a schema-pinned JSONL "
+        "trace (one object per span/metric) on exit",
     )
 
 
@@ -337,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Type-Based Alias Analysis (PLDI 1998) reproduction toolkit",
     )
+    parser.add_argument("-q", "--quiet", dest="log_quiet", action="store_true",
+                        help="only print errors to stderr")
+    parser.add_argument("-v", "--verbose", dest="log_verbose",
+                        action="store_true",
+                        help="also print debug diagnostics to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="parse and type-check a MiniM3 file")
@@ -358,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--open-world", action="store_true")
     _add_engine_flag(p)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_alias)
 
     p = sub.add_parser("limit", help="dynamic redundancy limit study")
@@ -368,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run registered paper benchmarks")
     p.add_argument("name", nargs="?", default=None)
     p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("tables", help="regenerate the paper's tables/figures")
@@ -377,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="generate the tables over every .m3 file in DIR "
                    "instead of the registered benchmarks")
     _add_engine_flag(p)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_tables)
 
     p = sub.add_parser(
@@ -407,7 +515,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="statement bound for generated programs")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print one line per seed")
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "profile",
+        help="phase-time tree and top metric counts for one program",
+        description="Compile TARGET (a .m3 file or a registered benchmark "
+        "name), build every analysis level, run the Table 5 alias-pair "
+        "count and the RLE pipeline under the span recorder, then print "
+        "a phase-time tree (span times, share of total) and the top-N "
+        "counter table.  --trace additionally writes the JSONL trace.",
+    )
+    p.add_argument("target",
+                   help="path to a .m3 file, or a registered benchmark name")
+    p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None,
+                   help="TBAA level for the optimize phase")
+    p.add_argument("--open-world", action="store_true")
+    p.add_argument("--run", action="store_true",
+                   help="also execute the optimized program (adds an "
+                   "'execute' phase)")
+    p.add_argument("--top", type=int, default=20,
+                   help="rows in the counter table (default 20)")
+    p.add_argument("--check", action="store_true",
+                   help="assert children sum to parents within tolerance "
+                   "(used by 'make profile-smoke')")
+    _add_engine_flag(p)
+    _add_trace_flag(p)
+    p.set_defaults(func=cmd_profile)
 
     return parser
 
@@ -415,21 +550,31 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # ``fuzz -v`` shares the short flag with the root parser; the root
+    # flags use distinct dests so the subparser default cannot clobber
+    # them.
+    log.set_verbosity(quiet=getattr(args, "log_quiet", False),
+                      verbose=getattr(args, "log_verbose", False))
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        from repro.obs import metrics
+        obs.reset()
+        metrics.registry().reset()
+        obs.enable()
     try:
-        return args.func(args)
+        return _dispatch(args, trace_path)
     except CompileError as err:
-        print("error: {}".format(err), file=sys.stderr)
+        log.error("error: {}".format(err))
         return 1
     except FileNotFoundError as err:
-        print("error: {}".format(err), file=sys.stderr)
+        log.error("error: {}".format(err))
         return 1
     except ResourceLimitError as err:
-        print("error: resource limit exceeded ({}): {}".format(err.kind, err),
-              file=sys.stderr)
+        log.error("error: resource limit exceeded ({}): {}".format(err.kind, err))
         return 1
     except KeyboardInterrupt:
         # Conventional 128+SIGINT, without a traceback.
-        print("interrupted", file=sys.stderr)
+        log.error("interrupted")
         return 130
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly.  Redirect
@@ -442,6 +587,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+
+
+def _dispatch(args, trace_path: Optional[str]) -> int:
+    """Run the subcommand; flush the JSONL trace even when it fails."""
+    if trace_path is None:
+        return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        from repro.obs.trace import write_trace
+
+        obs.disable()
+        lines = write_trace(trace_path)
+        log.info("trace: wrote {} ({} lines)".format(trace_path, lines))
 
 
 if __name__ == "__main__":  # pragma: no cover

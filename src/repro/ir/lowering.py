@@ -45,10 +45,13 @@ class LoweringError(CompileError):
 
 def lower_module(checked: CheckedModule) -> ProgramIR:
     """Lower every procedure (incl. the module body) of *checked*."""
-    program = ProgramIR(checked)
-    for proc in checked.user_procs():
-        program.add_proc(_ProcLowerer(checked, proc).lower())
-    return program
+    from repro.obs import core as obs
+
+    with obs.span("ir.lower", module=checked.name):
+        program = ProgramIR(checked)
+        for proc in checked.user_procs():
+            program.add_proc(_ProcLowerer(checked, proc).lower())
+        return program
 
 
 def lower_program(source: str, unit: str = "<input>") -> ProgramIR:

@@ -643,9 +643,12 @@ def parse_module(source: str, unit: str = "<input>") -> ast.Module:
     cap; the interpreter stack limit is raised for the duration so the
     cap always fires before Python's own ``RecursionError`` would.
     """
+    from repro.obs import core as obs
+
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 30 * MAX_NESTING_DEPTH))
     try:
-        return Parser(tokenize(source, unit)).parse_module()
+        with obs.span("lang.parse", unit=unit, bytes=len(source)):
+            return Parser(tokenize(source, unit)).parse_module()
     finally:
         sys.setrecursionlimit(old_limit)

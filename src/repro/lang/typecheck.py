@@ -1049,10 +1049,12 @@ def check_module(module: ast.Module) -> CheckedModule:
     import sys
 
     from repro.lang.parser import MAX_NESTING_DEPTH
+    from repro.obs import core as obs
 
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 30 * MAX_NESTING_DEPTH))
     try:
-        return TypeChecker(module).run()
+        with obs.span("lang.typecheck", module=module.name):
+            return TypeChecker(module).run()
     finally:
         sys.setrecursionlimit(old_limit)

@@ -1,0 +1,66 @@
+"""repro.obs — zero-dependency tracing, metrics and logging.
+
+The observability layer of the reproduction (DESIGN.md §6e):
+
+* :mod:`repro.obs.core` — :class:`Span` context managers with monotonic
+  timings and hierarchical nesting, and the process-wide
+  :class:`Recorder` (a no-op unless enabled);
+* :mod:`repro.obs.metrics` — thread-safe :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` registries, the single source of
+  truth for every count the system reports (including the alias-cache
+  statistics behind :meth:`AliasAnalysis.cache_stats`);
+* :mod:`repro.obs.trace` — schema-pinned JSONL trace writer/validator
+  (the ``--trace FILE.jsonl`` CLI flag);
+* :mod:`repro.obs.promtext` — Prometheus text exposition of the registry
+  (``BENCH_obs.prom``);
+* :mod:`repro.obs.log` — leveled stderr logging behind the CLI's
+  ``-q``/``-v``;
+* :mod:`repro.obs.profile` — phase-tree and counter-table rendering for
+  ``repro profile``.
+
+Instrumented code imports the conveniences re-exported here::
+
+    from repro import obs
+
+    with obs.span("analysis.build", analysis=name):
+        ...
+    obs.registry().counter("alias.queries").inc()
+"""
+
+from repro.obs.core import (
+    NULL_SPAN,
+    NullSpan,
+    Recorder,
+    Span,
+    disable,
+    enable,
+    enabled,
+    recorder,
+    reset,
+    span,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "Recorder",
+    "Span",
+    "span",
+    "enable",
+    "disable",
+    "enabled",
+    "recorder",
+    "reset",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+]

@@ -1,0 +1,212 @@
+"""Phase spans and the process-wide recorder.
+
+A :class:`Span` is a context manager around one phase of work (parse,
+typecheck, lower, one analysis build, one benchmark run).  Spans nest:
+each thread keeps a stack, so entering a span inside another records the
+parent/child edge, and the finished record carries monotonic start and
+duration taken from :func:`time.perf_counter`.
+
+The process-wide :class:`Recorder` is **off by default** and free when
+off: :func:`span` then returns one shared identity no-op object, so the
+instrumented code paths cost a single predicate per phase (never per
+query — per-query costs live in :mod:`repro.obs.metrics` counters).
+``repro profile`` and the ``--trace`` CLI flag enable it.
+"""
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Recorder", "recorder",
+           "span", "enable", "disable", "enabled", "reset"]
+
+
+class NullSpan:
+    """Shared do-nothing span used whenever the recorder is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        """Accept and drop attributes (mirrors :meth:`Span.annotate`)."""
+
+
+#: The identity no-op: every disabled ``span()`` call returns this object.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed, named phase; records itself into its recorder on exit."""
+
+    __slots__ = ("recorder", "name", "attrs", "span_id", "parent_id",
+                 "depth", "start", "duration", "thread", "error")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, object]):
+        self.recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start = 0.0
+        self.duration = 0.0
+        self.thread = ""
+        self.error: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        self.span_id = self.recorder._next_id()
+        stack = self.recorder._stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+            self.depth = len(stack)
+        stack.append(self)
+        self.thread = threading.current_thread().name
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = self.recorder._stack()
+        # Defensive: only pop ourselves (mismatched exits must not corrupt
+        # sibling bookkeeping).
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.recorder._record(self)
+        return False
+
+    def annotate(self, **attrs) -> None:
+        """Attach extra attributes to a live span."""
+        self.attrs.update(attrs)
+
+    def to_json(self, epoch: float) -> dict:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "start_ms": round((self.start - epoch) * 1000.0, 3),
+            "duration_ms": round(self.duration * 1000.0, 6),
+            "thread": self.thread,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        return "<Span {} {:.3f}ms>".format(self.name, self.duration * 1000.0)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Recorder:
+    """Collects finished spans; a no-op unless :meth:`enable`\\ d."""
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self.epoch = time.perf_counter()
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def is_enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop recorded spans and restart the clock epoch."""
+        with self._lock:
+            self._finished = []
+            self._ids = itertools.count(1)
+            self._local = threading.local()
+            self.epoch = time.perf_counter()
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """A context manager timing one phase (no-op when disabled)."""
+        if not self._enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    # -- reading --------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Finished spans, in start order."""
+        with self._lock:
+            return sorted(self._finished, key=lambda s: s.span_id or 0)
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans() if s.parent_id is None]
+
+    def children_of(self) -> Dict[Optional[int], List[Span]]:
+        """``parent_id -> [children in start order]`` for tree walks."""
+        out: Dict[Optional[int], List[Span]] = {}
+        for s in self.spans():
+            out.setdefault(s.parent_id, []).append(s)
+        return out
+
+
+#: The process-wide recorder all instrumentation records into.
+RECORDER = Recorder()
+
+
+def recorder() -> Recorder:
+    """The process-wide :class:`Recorder`."""
+    return RECORDER
+
+
+def span(name: str, **attrs):
+    """Module-level shorthand for ``recorder().span(...)``."""
+    if not RECORDER._enabled:
+        return NULL_SPAN
+    return Span(RECORDER, name, attrs)
+
+
+def enable() -> None:
+    RECORDER.enable()
+
+
+def disable() -> None:
+    RECORDER.disable()
+
+
+def enabled() -> bool:
+    return RECORDER._enabled
+
+
+def reset() -> None:
+    RECORDER.reset()

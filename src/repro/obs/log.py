@@ -1,0 +1,68 @@
+"""Leveled stderr logging for the CLI.
+
+Replaces the scattered bare ``print(..., file=sys.stderr)`` calls with
+four severities and one process-wide threshold:
+
+* :func:`error` — always printed (failure reports, fatal diagnostics);
+* :func:`warn`  — printed unless ``-q``;
+* :func:`info`  — printed unless ``-q`` (default chatter: stats blocks,
+  progress notes);
+* :func:`debug` — printed only with ``-v``.
+
+``repro -q ...`` maps to :data:`QUIET`, ``repro -v ...`` to
+:data:`DEBUG`; plain output stays on stdout, diagnostics on stderr, so
+pipelines keep working regardless of verbosity.
+"""
+
+import sys
+from typing import Optional, TextIO
+
+QUIET = 0   #: errors only
+NORMAL = 1  #: errors + warnings + info (the default)
+DEBUG = 2   #: everything
+
+_level = NORMAL
+
+
+def set_level(level: int) -> None:
+    global _level
+    _level = level
+
+
+def get_level() -> int:
+    return _level
+
+
+def set_verbosity(quiet: bool = False, verbose: bool = False) -> None:
+    """Map the CLI's ``-q``/``-v`` flags onto a level (``-q`` wins)."""
+    if quiet:
+        set_level(QUIET)
+    elif verbose:
+        set_level(DEBUG)
+    else:
+        set_level(NORMAL)
+
+
+def _emit(prefix: str, message: str, stream: Optional[TextIO]) -> None:
+    print(prefix + message if prefix else message,
+          file=stream or sys.stderr)
+
+
+def error(message: str, stream: Optional[TextIO] = None) -> None:
+    """Always printed, whatever the level."""
+    _emit("", message, stream)
+
+
+def warn(message: str, stream: Optional[TextIO] = None) -> None:
+    if _level >= NORMAL:
+        _emit("warning: ", message, stream)
+
+
+def info(message: str, stream: Optional[TextIO] = None) -> None:
+    if _level >= NORMAL:
+        _emit("", message, stream)
+
+
+def debug(message: str, stream: Optional[TextIO] = None) -> None:
+    if _level >= DEBUG:
+        _emit("debug: ", message, stream)

@@ -1,0 +1,293 @@
+"""Thread-safe metric primitives and the process-wide registry.
+
+The paper's evaluation is a counting exercise (Tables 5-6 and Figures
+8-10 all count events inside the compiler); this module gives every
+layer of the reproduction one place to put those counts.  Three metric
+kinds, deliberately Prometheus-shaped so :mod:`repro.obs.promtext` can
+export them verbatim:
+
+* :class:`Counter` — monotone event count (alias queries, cache hits,
+  union-find merges).  ``inc()`` is thread-safe; hot paths that are
+  single-threaded by construction may mutate ``.value`` directly.
+* :class:`Gauge` — last-written value (partition class counts, group
+  counts).
+* :class:`Histogram` — fixed-bucket distribution (Steensgaard group
+  sizes, span durations).
+
+Metrics live in a :class:`MetricsRegistry`.  Two registration styles:
+
+* :meth:`MetricsRegistry.counter` (and ``gauge``/``histogram``) —
+  get-or-create one shared instance per ``(name, labels)``, for
+  process-wide totals;
+* :meth:`MetricsRegistry.new_counter` (and friends) — always allocate a
+  fresh *child* instance under the same ``(name, labels)`` series.
+  Per-object state (each :class:`~repro.analysis.alias_base.AliasAnalysis`
+  owns its query cache) keeps its own child; :meth:`snapshot` aggregates
+  children per series (counters/histograms sum, gauges take the last
+  write), so the per-instance numbers and the global export come from
+  the same objects — one source of truth.
+
+Everything here is dependency-free and importable from any layer.
+"""
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotone counter.  ``inc`` locks; ``.value`` is for hot paths."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0
+
+    def __repr__(self) -> str:
+        return "<Counter {}{} {}>".format(self.name, dict(self.labels), self.value)
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+    def __repr__(self) -> str:
+        return "<Gauge {}{} {}>".format(self.name, dict(self.labels), self.value)
+
+
+#: Default histogram bucket upper bounds (events are small-integer sized
+#: things like group sizes; durations are recorded in milliseconds).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
+                 "sum", "min", "max", "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = (),
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = None
+            self.max = None
+
+    def __repr__(self) -> str:
+        return "<Histogram {}{} n={}>".format(
+            self.name, dict(self.labels), self.count)
+
+
+class MetricsRegistry:
+    """Process-wide metric store, aggregating child metrics per series."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> kind; name -> {labelkey -> [children]}
+        self._kinds: Dict[str, str] = {}
+        self._series: Dict[str, Dict[LabelKey, List[object]]] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def _family(self, name: str, kind: str) -> Dict[LabelKey, List[object]]:
+        known = self._kinds.get(name)
+        if known is None:
+            self._kinds[name] = kind
+            self._series[name] = {}
+        elif known != kind:
+            raise ValueError(
+                "metric {!r} already registered as {} (got {})".format(
+                    name, known, kind))
+        return self._series[name]
+
+    def _get_or_create(self, name: str, kind: str, factory, labels):
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, kind).setdefault(key, [])
+            if not children:
+                children.append(factory(name, key))
+            return children[0]
+
+    def _new_child(self, name: str, kind: str, factory, labels):
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, kind).setdefault(key, [])
+            child = factory(name, key)
+            children.append(child)
+            return child
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get-or-create the shared counter for ``(name, labels)``."""
+        return self._get_or_create(name, "counter", Counter, labels)
+
+    def new_counter(self, name: str, **labels) -> Counter:
+        """A fresh per-owner child counter under ``(name, labels)``."""
+        return self._new_child(name, "counter", Counter, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(name, "gauge", Gauge, labels)
+
+    def new_gauge(self, name: str, **labels) -> Gauge:
+        return self._new_child(name, "gauge", Gauge, labels)
+
+    def histogram(self, name: str, buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, "histogram").setdefault(key, [])
+            if not children:
+                children.append(Histogram(name, key, buckets))
+            return children[0]  # type: ignore[return-value]
+
+    def new_histogram(self, name: str,
+                      buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                      **labels) -> Histogram:
+        key = _label_key(labels)
+        with self._lock:
+            children = self._family(name, "histogram").setdefault(key, [])
+            child = Histogram(name, key, buckets)
+            children.append(child)
+            return child
+
+    # -- reading --------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """Aggregate every series into one plain dict per series.
+
+        Counters and histograms sum their children; gauges report the
+        most recently allocated child's value (children are appended in
+        creation order and shared gauges have exactly one).
+        """
+        out: List[dict] = []
+        with self._lock:
+            for name in sorted(self._series):
+                kind = self._kinds[name]
+                for key in sorted(self._series[name]):
+                    children = self._series[name][key]
+                    if not children:
+                        continue
+                    entry = {"kind": kind, "name": name, "labels": dict(key)}
+                    if kind == "counter":
+                        entry["value"] = sum(c.value for c in children)
+                    elif kind == "gauge":
+                        entry["value"] = children[-1].value
+                    else:
+                        entry.update(_merge_histograms(children))
+                    out.append(entry)
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric in place (owners keep their references)."""
+        with self._lock:
+            for series in self._series.values():
+                for children in series.values():
+                    for child in children:
+                        child.reset()
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+
+def _merge_histograms(children: Iterable[Histogram]) -> dict:
+    children = list(children)
+    buckets = children[0].buckets
+    counts = [0] * (len(buckets) + 1)
+    total, acc = 0, 0.0
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    for child in children:
+        assert child.buckets == buckets, "histogram bucket mismatch"
+        for i, n in enumerate(child.bucket_counts):
+            counts[i] += n
+        total += child.count
+        acc += child.sum
+        if child.min is not None and (lo is None or child.min < lo):
+            lo = child.min
+        if child.max is not None and (hi is None or child.max > hi):
+            hi = child.max
+    return {
+        "buckets": list(buckets),
+        "bucket_counts": counts,
+        "count": total,
+        "sum": acc,
+        "min": lo,
+        "max": hi,
+    }
+
+
+#: The process-wide registry every layer records into.
+REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return REGISTRY

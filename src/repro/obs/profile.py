@@ -1,0 +1,109 @@
+"""Rendering for ``repro profile``: phase-time tree + counter table.
+
+The tree is built from the recorder's parent/child span edges; each line
+shows wall time, the share of the root span, and the span's attributes.
+An ``(unaccounted)`` line is shown for any parent whose children leave a
+visible gap, so the tree's times always explain the root within the gap
+it prints — the profile-smoke check asserts that top-level phases sum to
+the root within tolerance.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.obs import core, metrics
+from repro.util.tables import render_table
+
+#: Gaps below this share of the root are not worth a line of output.
+_GAP_FRACTION = 0.02
+
+
+def render_phase_tree(recorder: Optional[core.Recorder] = None) -> str:
+    """The recorded spans as an indented phase-time tree."""
+    recorder = recorder or core.recorder()
+    children = recorder.children_of()
+    roots = children.get(None, [])
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    total = sum(s.duration for s in roots) or 1e-12
+
+    def attr_text(span: core.Span) -> str:
+        if not span.attrs:
+            return ""
+        inner = ", ".join(
+            "{}={}".format(k, v) for k, v in sorted(span.attrs.items()))
+        return "  [{}]".format(inner)
+
+    def walk(span: core.Span, prefix: str) -> None:
+        lines.append("{}{:<{}} {:>9.3f} ms  {:>5.1f}%{}".format(
+            prefix, span.name, max(1, 36 - len(prefix)),
+            span.duration * 1000.0, 100.0 * span.duration / total,
+            attr_text(span)))
+        kids = children.get(span.span_id, [])
+        for kid in kids:
+            walk(kid, prefix + "  ")
+        if kids:
+            gap = span.duration - sum(k.duration for k in kids)
+            if gap > _GAP_FRACTION * total:
+                lines.append("{}{:<{}} {:>9.3f} ms  {:>5.1f}%".format(
+                    prefix + "  ", "(unaccounted)",
+                    max(1, 36 - len(prefix) - 2),
+                    gap * 1000.0, 100.0 * gap / total))
+
+    for root in roots:
+        walk(root, "")
+    return "\n".join(lines)
+
+
+def tree_check(recorder: Optional[core.Recorder] = None,
+               tolerance: float = 0.25) -> None:
+    """Assert every parent's children sum to at most parent + tolerance.
+
+    ``tolerance`` is a fraction of the parent span's duration plus a
+    small absolute epsilon for sub-millisecond phases.  Used by the
+    profile tests and ``make profile-smoke``.
+    """
+    recorder = recorder or core.recorder()
+    children = recorder.children_of()
+    for span in recorder.spans():
+        kids = children.get(span.span_id, [])
+        if not kids:
+            continue
+        kid_sum = sum(k.duration for k in kids)
+        bound = span.duration * (1.0 + tolerance) + 1e-3
+        if kid_sum > bound:
+            raise AssertionError(
+                "children of span {!r} sum to {:.6f}s > parent "
+                "{:.6f}s (+{:.0%} tolerance)".format(
+                    span.name, kid_sum, span.duration, tolerance))
+
+
+def render_counter_table(registry: Optional[metrics.MetricsRegistry] = None,
+                         top: int = 20) -> str:
+    """The top-*top* counters/gauges by value, as an aligned table."""
+    registry = registry if registry is not None else metrics.registry()
+    rows = []
+    for entry in registry.snapshot():
+        if entry["kind"] == "histogram":
+            value = entry["count"]
+            detail = "n={} sum={}".format(entry["count"], round(entry["sum"], 3))
+        else:
+            value = entry["value"]
+            detail = ""
+        labels = ",".join(
+            "{}={}".format(k, v) for k, v in sorted(entry["labels"].items()))
+        rows.append((value, entry["name"], labels, entry["kind"], detail))
+    rows.sort(key=lambda r: (-r[0], r[1], r[2]))
+    shown = [[name, labels, kind, _fmt_value(value) or detail]
+             for value, name, labels, kind, detail in rows[:top]]
+    if not shown:
+        return "(no metrics recorded)"
+    return render_table(
+        ["Metric", "Labels", "Kind", "Value"], shown,
+        title="Top {} metrics".format(min(top, len(rows))))
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and value != int(value):
+        return "{:.3f}".format(value)
+    return str(int(value))

@@ -1,0 +1,91 @@
+"""Prometheus text-format export of the metrics registry.
+
+Renders the registry snapshot in the Prometheus exposition format
+(version 0.0.4): ``# TYPE`` headers, ``name{label="v"} value`` samples,
+histogram ``_bucket``/``_sum``/``_count`` series with cumulative ``le``
+buckets.  Metric names are prefixed ``repro_`` and sanitised to the
+legal charset; gauges additionally export ``_min``/``_max`` where
+observed.
+
+``make bench-quick`` dumps a snapshot to ``BENCH_obs.prom`` next to
+``BENCH_alias.json`` so perf PRs can diff analysis behaviour, not just
+wall time.
+"""
+
+import re
+from typing import List, Optional
+
+from repro.obs import metrics
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """``alias.cache.hits`` -> ``repro_alias_cache_hits``."""
+    sanitised = _NAME_RE.sub("_", name)
+    if not sanitised.startswith("repro_"):
+        sanitised = "repro_" + sanitised
+    return sanitised
+
+
+def _label_str(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key in sorted(merged):
+        name = _LABEL_RE.sub("_", str(key))
+        value = str(merged[key]).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append('{}="{}"'.format(name, value))
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def render(registry: Optional[metrics.MetricsRegistry] = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    registry = registry if registry is not None else metrics.registry()
+    lines: List[str] = []
+    typed = set()
+    for entry in registry.snapshot():
+        name = metric_name(entry["name"])
+        kind = entry["kind"]
+        if name not in typed:
+            lines.append("# TYPE {} {}".format(name, kind))
+            typed.add(name)
+        labels = entry["labels"]
+        if kind in ("counter", "gauge"):
+            lines.append("{}{} {}".format(
+                name, _label_str(labels), _fmt(entry["value"])))
+        else:
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["bucket_counts"]):
+                cumulative += count
+                lines.append("{}_bucket{} {}".format(
+                    name, _label_str(labels, {"le": _fmt(bound)}), cumulative))
+            cumulative += entry["bucket_counts"][-1]
+            lines.append("{}_bucket{} {}".format(
+                name, _label_str(labels, {"le": "+Inf"}), cumulative))
+            lines.append("{}_sum{} {}".format(
+                name, _label_str(labels), _fmt(entry["sum"])))
+            lines.append("{}_count{} {}".format(
+                name, _label_str(labels), _fmt(entry["count"])))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prom(path: str,
+               registry: Optional[metrics.MetricsRegistry] = None) -> int:
+    """Write the snapshot to *path*; returns the number of lines."""
+    text = render(registry)
+    with open(path, "w") as f:
+        f.write(text)
+    return text.count("\n")

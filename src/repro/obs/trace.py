@@ -1,0 +1,172 @@
+"""JSONL trace output: schema, writer and validator.
+
+A trace file holds one JSON object per line:
+
+* exactly one ``meta`` line (first), pinning the schema version;
+* one ``span`` line per finished :class:`~repro.obs.core.Span`;
+* one ``counter``/``gauge``/``histogram`` line per metric series from
+  the registry snapshot taken at flush time.
+
+The schema is pinned the same way ``BENCH_alias.json`` is: the golden
+test and ``make profile-smoke`` (via ``python -m repro.obs.trace``)
+validate every line against :func:`validate_line`, so downstream
+consumers can rely on the layout and any change must bump
+:data:`TRACE_SCHEMA_VERSION`.
+"""
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.obs import core, metrics
+
+#: Bumped whenever the JSONL layout changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Every line kind a trace may contain.
+LINE_KINDS = ("meta", "span", "counter", "gauge", "histogram")
+
+#: Required keys per line kind (beyond "schema" and "kind").
+_REQUIRED: Dict[str, tuple] = {
+    "meta": ("tool", "trace_schema"),
+    "span": ("name", "id", "parent", "depth", "start_ms", "duration_ms",
+             "thread", "attrs", "error"),
+    "counter": ("name", "labels", "value"),
+    "gauge": ("name", "labels", "value"),
+    "histogram": ("name", "labels", "buckets", "bucket_counts", "count",
+                  "sum", "min", "max"),
+}
+
+
+def trace_lines(recorder: Optional[core.Recorder] = None,
+                registry: Optional[metrics.MetricsRegistry] = None) -> Iterator[dict]:
+    """Every line of a trace flush, meta first, as plain dicts."""
+    recorder = recorder or core.recorder()
+    registry = registry if registry is not None else metrics.registry()
+    yield {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "meta",
+        "tool": "repro",
+        "trace_schema": TRACE_SCHEMA_VERSION,
+    }
+    for span in recorder.spans():
+        line = span.to_json(recorder.epoch)
+        line["schema"] = TRACE_SCHEMA_VERSION
+        yield line
+    for entry in registry.snapshot():
+        line = dict(entry)
+        line["schema"] = TRACE_SCHEMA_VERSION
+        yield line
+
+
+def write_trace(path: str, recorder: Optional[core.Recorder] = None,
+                registry: Optional[metrics.MetricsRegistry] = None) -> int:
+    """Write the trace to *path*; returns the number of lines written."""
+    n = 0
+    with open(path, "w") as f:
+        for line in trace_lines(recorder, registry):
+            f.write(json.dumps(line, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+# ----------------------------------------------------------------------
+# Validation
+
+
+def validate_line(obj: dict) -> None:
+    """Raise ``ValueError`` unless *obj* is a well-formed trace line."""
+    if not isinstance(obj, dict):
+        raise ValueError("trace line is not an object: {!r}".format(obj))
+    if obj.get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError("bad schema version: {!r}".format(obj.get("schema")))
+    kind = obj.get("kind")
+    if kind not in LINE_KINDS:
+        raise ValueError("unknown line kind: {!r}".format(kind))
+    for key in _REQUIRED[kind]:
+        if key not in obj:
+            raise ValueError("{} line missing key {!r}".format(kind, key))
+    if kind == "span":
+        if not isinstance(obj["name"], str) or not obj["name"]:
+            raise ValueError("span name must be a non-empty string")
+        if not isinstance(obj["duration_ms"], (int, float)) or obj["duration_ms"] < 0:
+            raise ValueError("span duration_ms must be non-negative")
+        if not isinstance(obj["attrs"], dict):
+            raise ValueError("span attrs must be an object")
+    elif kind in ("counter", "gauge"):
+        if not isinstance(obj["value"], (int, float)):
+            raise ValueError("{} value must be numeric".format(kind))
+    elif kind == "histogram":
+        if len(obj["bucket_counts"]) != len(obj["buckets"]) + 1:
+            raise ValueError("histogram bucket_counts must have one more "
+                             "entry than buckets (+Inf)")
+
+
+def validate_lines(lines: Iterable[dict]) -> int:
+    """Validate a full trace; returns the line count.
+
+    Beyond per-line shape: the first line must be ``meta``, and every
+    span's ``parent`` must reference an earlier-emitted span id.
+    """
+    count = 0
+    seen_ids = set()
+    for i, obj in enumerate(lines):
+        validate_line(obj)
+        if i == 0 and obj["kind"] != "meta":
+            raise ValueError("first trace line must be kind 'meta'")
+        if i > 0 and obj["kind"] == "meta":
+            raise ValueError("duplicate meta line at {}".format(i))
+        if obj["kind"] == "span":
+            seen_ids.add(obj["id"])
+            parent = obj["parent"]
+            if parent is not None and parent not in seen_ids:
+                raise ValueError(
+                    "span {} references unknown parent {}".format(
+                        obj["id"], parent))
+        count += 1
+    if count == 0:
+        raise ValueError("empty trace")
+    return count
+
+
+def validate_file(path: str) -> int:
+    """Validate the JSONL trace at *path*; returns the line count."""
+
+    def parsed() -> Iterator[dict]:
+        with open(path) as f:
+            for lineno, raw in enumerate(f, 1):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    yield json.loads(raw)
+                except json.JSONDecodeError as err:
+                    raise ValueError(
+                        "{}:{}: not JSON: {}".format(path, lineno, err))
+
+    return validate_lines(parsed())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.trace FILE...`` — validate trace files."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="validate repro JSONL trace files against the pinned schema")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.files:
+        try:
+            count = validate_file(path)
+        except (OSError, ValueError) as err:
+            print("{}: INVALID: {}".format(path, err), file=sys.stderr)
+            status = 1
+        else:
+            print("{}: ok ({} lines, schema {})".format(
+                path, count, TRACE_SCHEMA_VERSION))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

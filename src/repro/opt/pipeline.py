@@ -24,6 +24,7 @@ from repro.analysis.trivial import AlwaysAliasAnalysis
 from repro.ir.cfg import ProgramIR
 from repro.ir.lowering import lower_module
 from repro.lang.typecheck import CheckedModule
+from repro.obs import core as obs
 from repro.opt.copyprop import CopyPropagation, CopyPropagationStats
 from repro.opt.inline import Inliner, InlineStats
 from repro.opt.methodres import MethodResolution, MethodResolutionStats
@@ -76,10 +77,11 @@ class OptimizationPipeline:
         analysis (everything aliases, calls kill all) over *all* loads,
         dope vectors included (the back end sees machine code).
         """
-        program = lower_module(self.checked)
-        result = PipelineResult(program, "base")
-        _backend_local_cse(program)
-        return result
+        with obs.span("pipeline.base", module=self.checked.name):
+            program = lower_module(self.checked)
+            result = PipelineResult(program, "base")
+            _backend_local_cse(program)
+            return result
 
     def build(
         self,
@@ -100,45 +102,55 @@ class OptimizationPipeline:
         loads for the Conditional category).
         """
         label_parts = []
-        program = lower_module(self.checked)
-        ctx = self.context(open_world)
+        pipeline_span = obs.span("pipeline.build", module=self.checked.name,
+                                 analysis=analysis if rle else None,
+                                 open_world=open_world)
+        with pipeline_span:
+            program = lower_module(self.checked)
+            ctx = self.context(open_world)
 
-        result = PipelineResult(program, "base")
-        if minv_inline:
-            type_refs = SMTypeRefsOracle(
-                self.checked, ctx.subtypes, ctx.assignments, open_world=open_world
-            )
-            resolver = MethodResolution(program, type_refs)
-            result.methodres = resolver.run()
-            inliner = Inliner(program, max_callee_size=max_callee_size)
-            result.inline = inliner.run()
-            label_parts.append("minv+inline")
+            result = PipelineResult(program, "base")
+            if minv_inline:
+                with obs.span("opt.methodres"):
+                    type_refs = SMTypeRefsOracle(
+                        self.checked, ctx.subtypes, ctx.assignments,
+                        open_world=open_world
+                    )
+                    resolver = MethodResolution(program, type_refs)
+                    result.methodres = resolver.run()
+                with obs.span("opt.inline"):
+                    inliner = Inliner(program, max_callee_size=max_callee_size)
+                    result.inline = inliner.run()
+                label_parts.append("minv+inline")
 
-        if copyprop:
-            result.copyprop = CopyPropagation(program).run()
-            label_parts.append("copyprop")
+            if copyprop:
+                with obs.span("opt.copyprop"):
+                    result.copyprop = CopyPropagation(program).run()
+                label_parts.append("copyprop")
 
-        if rle:
-            assert analysis is not None
-            alias = ctx.build(analysis)
-            modref = ModRefAnalysis(program)
-            rle_pass = RedundantLoadElimination(
-                program,
-                alias,
-                modref,
-                hoist=hoist,
-                see_dope_loads=see_dope_loads,
-                pre=pre,
-            )
-            result.rle = rle_pass.run()
-            label_parts.append("rle[{}]".format(analysis))
-            if pre:
-                label_parts.append("pre")
+            if rle:
+                assert analysis is not None
+                alias = ctx.build(analysis)
+                with obs.span("opt.rle", analysis=analysis):
+                    modref = ModRefAnalysis(program)
+                    rle_pass = RedundantLoadElimination(
+                        program,
+                        alias,
+                        modref,
+                        hoist=hoist,
+                        see_dope_loads=see_dope_loads,
+                        pre=pre,
+                    )
+                    result.rle = rle_pass.run()
+                label_parts.append("rle[{}]".format(analysis))
+                if pre:
+                    label_parts.append("pre")
 
-        # The back end runs last in every configuration (as GCC did for
-        # the paper): it mops up block-local redundancy RLE also covers,
-        # so it only matters when RLE is off or weaker.
-        _backend_local_cse(program)
+            # The back end runs last in every configuration (as GCC did
+            # for the paper): it mops up block-local redundancy RLE also
+            # covers, so it only matters when RLE is off or weaker.
+            with obs.span("opt.backend_cse"):
+                _backend_local_cse(program)
 
         if open_world:
             label_parts.append("open-world")

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional
 
+from repro.obs import core as obs
 from repro.qa.generator import GenConfig, GeneratedProgram, generate_program
 from repro.qa.guards import guarded
 from repro.qa.oracles import OracleReport, check_program
@@ -127,14 +128,17 @@ def run_fuzz(
     """Fuzz *count* seeded programs; never aborts on a single failure."""
     report = FuzzReport(base_seed=base_seed, count=count)
     started = time.monotonic()
-    for i in range(count):
-        seed = base_seed + i
-        record = _check_one(
-            seed, out_dir, per_program_seconds, max_steps, reduce, config, report,
-            progress,
-        )
-        if record is not None:
-            report.failures.append(record)
+    with obs.span("fuzz.batch", base_seed=base_seed, count=count):
+        for i in range(count):
+            seed = base_seed + i
+            with obs.span("fuzz.seed", seed=seed) as seed_span:
+                record = _check_one(
+                    seed, out_dir, per_program_seconds, max_steps, reduce,
+                    config, report, progress,
+                )
+                if record is not None:
+                    seed_span.annotate(failure=record.kind)
+                    report.failures.append(record)
     report.duration = time.monotonic() - started
     if out_dir is not None:
         out_dir = Path(out_dir)

@@ -32,6 +32,10 @@ class UnionFind:
         self._parent: Dict[Hashable, Hashable] = {}
         self._size: Dict[Hashable, int] = {}
         self._n_classes = 0
+        # Operation counts, read by the observability layer after a
+        # build (plain ints: incrementing them must stay negligible).
+        self.finds = 0
+        self.merges = 0
         for element in elements:
             self.add(element)
 
@@ -60,6 +64,7 @@ class UnionFind:
         Unseen elements are registered as singletons on the fly.
         """
         self.add(element)
+        self.finds += 1
         root = element
         while self._parent[root] != root:
             root = self._parent[root]
@@ -82,6 +87,7 @@ class UnionFind:
         self._parent[rb] = ra
         self._size[ra] += self._size[rb]
         self._n_classes -= 1
+        self.merges += 1
         return True
 
     def connected(self, a: Hashable, b: Hashable) -> bool:

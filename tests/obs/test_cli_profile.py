@@ -1,0 +1,79 @@
+"""End-to-end `repro profile` / `--trace` through the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import core, log
+from repro.obs.trace import validate_file
+
+SOURCE = """
+MODULE Tiny;
+TYPE T = OBJECT f: T; END;
+VAR t: T;
+BEGIN
+  t := NEW (T, f := NEW (T));
+  IF t.f # NIL THEN t.f := NIL; END;
+END Tiny.
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    yield
+    core.disable()
+    core.reset()
+    log.set_level(log.NORMAL)
+
+
+@pytest.fixture
+def tiny(tmp_path):
+    path = tmp_path / "tiny.m3"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_profile_prints_tree_and_counters(tiny, capsys):
+    assert main(["profile", tiny, "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "profile" in out.splitlines()[0]
+    assert "load" in out and "optimize" in out
+    assert "lang.parse" in out
+    assert "alias.cache" in out
+    assert "100.0%" in out
+    # The recorder must be switched off again afterwards.
+    assert not core.enabled()
+
+
+def test_profile_accepts_registry_benchmark_name(capsys):
+    assert main(["profile", "slisp", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: slisp" in out
+    assert "Top 3 metrics" in out
+
+
+def test_profile_run_flag_adds_execute_phase(tiny, capsys):
+    assert main(["profile", tiny, "--run"]) == 0
+    assert "execute" in capsys.readouterr().out
+
+
+def test_trace_flag_writes_valid_jsonl(tiny, tmp_path, capsys):
+    trace = str(tmp_path / "out.jsonl")
+    assert main(["alias", tiny, "--trace", trace]) == 0
+    assert validate_file(trace) > 1
+    assert "trace: wrote" in capsys.readouterr().err
+    assert not core.enabled()
+
+
+def test_trace_flag_flushes_even_on_failure(tmp_path, capsys):
+    trace = str(tmp_path / "out.jsonl")
+    missing = str(tmp_path / "missing.m3")
+    assert main(["alias", missing, "--trace", trace]) == 1
+    # The bulkhead still flushed a (meta-only) trace.
+    assert validate_file(trace) >= 1
+
+
+def test_quiet_flag_suppresses_trace_note(tiny, tmp_path, capsys):
+    trace = str(tmp_path / "out.jsonl")
+    assert main(["-q", "alias", tiny, "--trace", trace]) == 0
+    assert "trace: wrote" not in capsys.readouterr().err
+    assert validate_file(trace) > 1

@@ -1,0 +1,143 @@
+"""Recorder and span semantics: nesting, no-op mode, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import core
+
+
+@pytest.fixture
+def recorder():
+    """A private recorder (the process-wide one stays untouched)."""
+    return core.Recorder()
+
+
+def test_disabled_recorder_returns_the_shared_null_span(recorder):
+    assert not recorder.is_enabled
+    a = recorder.span("parse", unit="x")
+    b = recorder.span("typecheck")
+    # Identity, not just equality: disabled tracing allocates nothing.
+    assert a is core.NULL_SPAN
+    assert b is core.NULL_SPAN
+    with a as entered:
+        assert entered is core.NULL_SPAN
+        entered.annotate(ignored=True)  # must be accepted and dropped
+    assert recorder.spans() == []
+
+
+def test_module_level_span_is_null_when_disabled():
+    assert not core.enabled()
+    assert core.span("anything") is core.NULL_SPAN
+
+
+def test_nesting_records_parent_child_edges(recorder):
+    recorder.enable()
+    with recorder.span("root"):
+        with recorder.span("child_a"):
+            with recorder.span("grandchild"):
+                pass
+        with recorder.span("child_b"):
+            pass
+    spans = {s.name: s for s in recorder.spans()}
+    assert len(spans) == 4
+    root = spans["root"]
+    assert root.parent_id is None and root.depth == 0
+    assert spans["child_a"].parent_id == root.span_id
+    assert spans["child_b"].parent_id == root.span_id
+    assert spans["child_a"].depth == spans["child_b"].depth == 1
+    assert spans["grandchild"].parent_id == spans["child_a"].span_id
+    assert spans["grandchild"].depth == 2
+    children = recorder.children_of()
+    assert [s.name for s in children[root.span_id]] == ["child_a", "child_b"]
+    assert recorder.roots() == [root]
+
+
+def test_child_durations_are_bounded_by_parent(recorder):
+    recorder.enable()
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            pass
+    spans = {s.name: s for s in recorder.spans()}
+    assert 0 <= spans["inner"].duration <= spans["outer"].duration
+
+
+def test_exception_is_recorded_and_propagated(recorder):
+    recorder.enable()
+    with pytest.raises(ValueError):
+        with recorder.span("boom"):
+            raise ValueError("no")
+    (span,) = recorder.spans()
+    assert span.error == "ValueError"
+    # The stack must be clean for the next span.
+    with recorder.span("after"):
+        pass
+    assert recorder.spans()[-1].parent_id is None
+
+
+def test_annotate_attaches_attributes(recorder):
+    recorder.enable()
+    with recorder.span("fuzz.seed", seed=3) as s:
+        s.annotate(failure="TrapMismatch")
+    (span,) = recorder.spans()
+    assert span.attrs == {"seed": 3, "failure": "TrapMismatch"}
+
+
+def test_reset_drops_spans_and_restarts_ids(recorder):
+    recorder.enable()
+    with recorder.span("one"):
+        pass
+    recorder.reset()
+    assert recorder.spans() == []
+    with recorder.span("two"):
+        pass
+    assert recorder.spans()[0].span_id == 1
+
+
+def test_threaded_spans_nest_per_thread(recorder):
+    """Each thread gets its own stack: no cross-thread parent edges."""
+    recorder.enable()
+    errors = []
+
+    def work(tag):
+        try:
+            for _ in range(50):
+                with recorder.span("outer", tag=tag):
+                    with recorder.span("inner", tag=tag):
+                        pass
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    spans = recorder.spans()
+    assert len(spans) == 4 * 50 * 2
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        if s.name == "inner":
+            parent = by_id[s.parent_id]
+            assert parent.name == "outer"
+            # The parent must come from the same thread's stack.
+            assert parent.attrs["tag"] == s.attrs["tag"]
+            assert parent.thread == s.thread
+
+
+def test_span_ids_are_unique_under_concurrency(recorder):
+    recorder.enable()
+
+    def work():
+        for _ in range(100):
+            with recorder.span("s"):
+                pass
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    ids = [s.span_id for s in recorder.spans()]
+    assert len(ids) == len(set(ids)) == 400

@@ -1,0 +1,54 @@
+"""Leveled stderr logging behind -q/-v."""
+
+import io
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def restore_level():
+    level = log.get_level()
+    yield
+    log.set_level(level)
+
+
+def capture(fn, *args):
+    stream = io.StringIO()
+    fn(*args, stream=stream)
+    return stream.getvalue()
+
+
+def test_default_level_prints_info_not_debug():
+    log.set_verbosity()
+    assert capture(log.info, "hello") == "hello\n"
+    assert capture(log.warn, "careful") == "warning: careful\n"
+    assert capture(log.debug, "detail") == ""
+    assert capture(log.error, "bad") == "bad\n"
+
+
+def test_quiet_suppresses_everything_but_errors():
+    log.set_verbosity(quiet=True)
+    assert capture(log.info, "hello") == ""
+    assert capture(log.warn, "careful") == ""
+    assert capture(log.debug, "detail") == ""
+    assert capture(log.error, "bad") == "bad\n"
+
+
+def test_verbose_enables_debug():
+    log.set_verbosity(verbose=True)
+    assert capture(log.debug, "detail") == "debug: detail\n"
+
+
+def test_quiet_wins_over_verbose():
+    log.set_verbosity(quiet=True, verbose=True)
+    assert log.get_level() == log.QUIET
+
+
+def test_defaults_to_stderr(capsys):
+    log.set_verbosity()
+    log.info("to-stderr")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == "to-stderr\n"

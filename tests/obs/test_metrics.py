@@ -1,0 +1,114 @@
+"""Metric primitives and registry aggregation semantics."""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture
+def registry():
+    """A private registry (the process-wide one stays untouched)."""
+    return metrics.MetricsRegistry()
+
+
+def test_counter_inc_and_reset(registry):
+    c = registry.counter("q.total")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    c.reset()
+    assert c.value == 0
+
+
+def test_shared_counter_is_get_or_create(registry):
+    a = registry.counter("hits", analysis="TypeDecl")
+    b = registry.counter("hits", analysis="TypeDecl")
+    c = registry.counter("hits", analysis="FieldTypeDecl")
+    assert a is b
+    assert a is not c
+
+
+def test_child_counters_aggregate_in_snapshot(registry):
+    a = registry.new_counter("hits", analysis="TypeDecl")
+    b = registry.new_counter("hits", analysis="TypeDecl")
+    a.inc(3)
+    b.inc(4)
+    (entry,) = registry.snapshot()
+    assert entry["kind"] == "counter"
+    assert entry["name"] == "hits"
+    assert entry["labels"] == {"analysis": "TypeDecl"}
+    assert entry["value"] == 7
+
+
+def test_kind_conflict_is_rejected(registry):
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_gauge_set_and_last_write_wins(registry):
+    old = registry.new_gauge("groups")
+    new = registry.new_gauge("groups")
+    old.set(10)
+    new.set(3)
+    (entry,) = registry.snapshot()
+    assert entry["value"] == 3  # most recently allocated child wins
+
+
+def test_histogram_buckets_and_merge(registry):
+    h1 = registry.new_histogram("sizes", buckets=(1.0, 10.0))
+    h2 = registry.new_histogram("sizes", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 100.0):
+        h1.observe(v)
+    h2.observe(1.0)  # boundary lands in the first bucket (le semantics)
+    (entry,) = registry.snapshot()
+    assert entry["buckets"] == [1.0, 10.0]
+    assert entry["bucket_counts"] == [2, 1, 1]
+    assert entry["count"] == 4
+    assert entry["sum"] == pytest.approx(106.5)
+    assert entry["min"] == 0.5 and entry["max"] == 100.0
+
+
+def test_registry_reset_zeroes_in_place(registry):
+    c = registry.new_counter("hits")
+    c.inc(9)
+    registry.reset()
+    # Owners keep their reference; the object itself is zeroed.
+    assert c.value == 0
+    c.inc()
+    (entry,) = registry.snapshot()
+    assert entry["value"] == 1
+
+
+def test_snapshot_is_sorted_and_lists_names(registry):
+    registry.counter("b.second")
+    registry.counter("a.first", k="2")
+    registry.counter("a.first", k="1")
+    names = [(e["name"], e["labels"]) for e in registry.snapshot()]
+    assert names == [("a.first", {"k": "1"}), ("a.first", {"k": "2"}),
+                     ("b.second", {})]
+    assert registry.names() == ["a.first", "b.second"]
+
+
+def test_counter_inc_is_thread_safe(registry):
+    c = registry.counter("contended")
+
+    def work():
+        for _ in range(10_000):
+            c.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 40_000
+
+
+def test_label_values_are_stringified(registry):
+    c = registry.counter("labelled", open_world=False, n=3)
+    (entry,) = registry.snapshot()
+    assert entry["labels"] == {"open_world": "False", "n": "3"}
+    assert c.labels == (("n", "3"), ("open_world", "False"))

@@ -1,0 +1,77 @@
+"""Phase-tree rendering, the tree-sum check, and the counter table."""
+
+import pytest
+
+from repro.obs import core, metrics
+from repro.obs.profile import render_counter_table, render_phase_tree, tree_check
+
+
+def build_recorder(durations):
+    """A recorder holding root->children spans with fixed durations.
+
+    ``durations`` maps ``root`` and child names to seconds; durations
+    are overwritten after recording so the assertions are deterministic.
+    """
+    recorder = core.Recorder()
+    recorder.enable()
+    with recorder.span("root", target="t"):
+        for name in durations:
+            if name == "root":
+                continue
+            with recorder.span(name):
+                pass
+    for span in recorder.spans():
+        span.duration = durations[span.name]
+    return recorder
+
+
+def test_empty_recorder_renders_placeholder():
+    assert render_phase_tree(core.Recorder()) == "(no spans recorded)"
+
+
+def test_tree_lines_show_time_share_and_attrs():
+    recorder = build_recorder({"root": 0.100, "parse": 0.060, "lower": 0.039})
+    text = render_phase_tree(recorder)
+    lines = text.splitlines()
+    assert lines[0].startswith("root")
+    assert "100.0%" in lines[0]
+    assert "[target=t]" in lines[0]
+    assert lines[1].strip().startswith("parse")
+    assert "60.0%" in lines[1]
+    # Children cover 99% of the root: no (unaccounted) line.
+    assert "(unaccounted)" not in text
+
+
+def test_unaccounted_gap_gets_a_line():
+    recorder = build_recorder({"root": 0.100, "parse": 0.050})
+    text = render_phase_tree(recorder)
+    assert "(unaccounted)" in text
+    assert "50.0%" in text
+
+
+def test_tree_check_passes_when_children_fit():
+    recorder = build_recorder({"root": 0.100, "parse": 0.060, "lower": 0.039})
+    tree_check(recorder)  # must not raise
+
+
+def test_tree_check_fails_on_impossible_children():
+    recorder = build_recorder({"root": 0.010, "parse": 0.900})
+    with pytest.raises(AssertionError, match="children of span 'root'"):
+        tree_check(recorder, tolerance=0.25)
+
+
+def test_counter_table_sorts_by_value_and_respects_top():
+    registry = metrics.MetricsRegistry()
+    registry.counter("small").inc(1)
+    registry.counter("big", analysis="TypeDecl").inc(100)
+    registry.gauge("middle").set(50)
+    text = render_counter_table(registry, top=2)
+    assert "big" in text and "middle" in text
+    assert "small" not in text
+    assert text.index("big") < text.index("middle")
+    assert "analysis=TypeDecl" in text
+
+
+def test_counter_table_empty_registry():
+    assert render_counter_table(metrics.MetricsRegistry()) == \
+        "(no metrics recorded)"

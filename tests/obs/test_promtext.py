@@ -1,0 +1,54 @@
+"""Prometheus text-format export."""
+
+from repro.obs import metrics
+from repro.obs.promtext import metric_name, render, write_prom
+
+
+def test_metric_name_sanitisation():
+    assert metric_name("alias.cache.hits") == "repro_alias_cache_hits"
+    assert metric_name("repro_already") == "repro_already"
+    assert metric_name("weird-name!") == "repro_weird_name_"
+
+
+def test_counter_and_gauge_render():
+    registry = metrics.MetricsRegistry()
+    registry.counter("alias.cache.hits", analysis="TypeDecl").inc(7)
+    registry.gauge("smtyperefs.groups").set(4)
+    text = render(registry)
+    assert "# TYPE repro_alias_cache_hits counter" in text
+    assert 'repro_alias_cache_hits{analysis="TypeDecl"} 7' in text
+    assert "# TYPE repro_smtyperefs_groups gauge" in text
+    assert "repro_smtyperefs_groups 4" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_renders_cumulative_buckets():
+    registry = metrics.MetricsRegistry()
+    h = registry.histogram("group.size", buckets=(1.0, 5.0))
+    for v in (1, 1, 3, 100):
+        h.observe(v)
+    text = render(registry)
+    assert 'repro_group_size_bucket{le="1"} 2' in text
+    assert 'repro_group_size_bucket{le="5"} 3' in text
+    assert 'repro_group_size_bucket{le="+Inf"} 4' in text
+    assert "repro_group_size_sum 105" in text
+    assert "repro_group_size_count 4" in text
+
+
+def test_label_escaping():
+    registry = metrics.MetricsRegistry()
+    registry.counter("c", cfg='say "hi"').inc()
+    assert 'cfg="say \\"hi\\""' in render(registry)
+
+
+def test_empty_registry_renders_empty():
+    assert render(metrics.MetricsRegistry()) == ""
+
+
+def test_write_prom_counts_lines(tmp_path):
+    registry = metrics.MetricsRegistry()
+    registry.counter("one").inc()
+    path = str(tmp_path / "obs.prom")
+    assert write_prom(path, registry) == 2  # TYPE header + sample
+    with open(path) as f:
+        assert f.read() == "# TYPE repro_one counter\nrepro_one 1\n"

@@ -1,0 +1,122 @@
+"""JSONL trace schema: golden layout, writer/validator round trip."""
+
+import json
+
+import pytest
+
+from repro.obs import core, metrics
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    trace_lines,
+    validate_file,
+    validate_line,
+    validate_lines,
+    write_trace,
+)
+
+
+@pytest.fixture
+def recorded():
+    """A private recorder+registry holding one tiny recorded run."""
+    recorder = core.Recorder()
+    registry = metrics.MetricsRegistry()
+    recorder.enable()
+    with recorder.span("compile", unit="t.m3"):
+        with recorder.span("lang.parse", bytes=12):
+            pass
+    registry.counter("alias.cache.hits", analysis="TypeDecl").inc(5)
+    registry.gauge("smtyperefs.groups").set(3)
+    registry.histogram("steensgaard.group.size", buckets=(1.0, 2.0)).observe(2)
+    return recorder, registry
+
+
+def test_golden_line_layout(recorded):
+    """Pin the exact key sets; a layout change must bump the schema."""
+    recorder, registry = recorded
+    lines = list(trace_lines(recorder, registry))
+    assert [l["kind"] for l in lines] == [
+        "meta", "span", "span", "counter", "gauge", "histogram"]
+    meta, root, child, counter, gauge, histogram = lines
+    assert meta == {"schema": 1, "kind": "meta", "tool": "repro",
+                    "trace_schema": 1}
+    assert set(root) == {"schema", "kind", "name", "id", "parent", "depth",
+                         "start_ms", "duration_ms", "thread", "attrs",
+                         "error"}
+    assert root["name"] == "compile" and root["parent"] is None
+    assert child["name"] == "lang.parse" and child["parent"] == root["id"]
+    assert child["attrs"] == {"bytes": 12}
+    assert set(counter) == {"schema", "kind", "name", "labels", "value"}
+    assert counter["value"] == 5
+    assert gauge["value"] == 3
+    assert set(histogram) == {"schema", "kind", "name", "labels", "buckets",
+                              "bucket_counts", "count", "sum", "min", "max"}
+    assert histogram["bucket_counts"] == [0, 1, 0]
+
+
+def test_every_line_is_json_serialisable(recorded):
+    recorder, registry = recorded
+    for line in trace_lines(recorder, registry):
+        validate_line(json.loads(json.dumps(line)))
+
+
+def test_write_and_validate_file_round_trip(recorded, tmp_path):
+    recorder, registry = recorded
+    path = str(tmp_path / "trace.jsonl")
+    n = write_trace(path, recorder, registry)
+    assert n == 6
+    assert validate_file(path) == 6
+
+
+def test_validator_rejects_bad_schema_version():
+    with pytest.raises(ValueError, match="schema"):
+        validate_line({"schema": 99, "kind": "meta", "tool": "repro",
+                       "trace_schema": 99})
+
+
+def test_validator_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="kind"):
+        validate_line({"schema": TRACE_SCHEMA_VERSION, "kind": "event"})
+
+
+def test_validator_rejects_missing_keys():
+    with pytest.raises(ValueError, match="missing key"):
+        validate_line({"schema": TRACE_SCHEMA_VERSION, "kind": "counter",
+                       "name": "x", "labels": {}})
+
+
+def test_validator_requires_meta_first(recorded):
+    recorder, registry = recorded
+    lines = list(trace_lines(recorder, registry))
+    with pytest.raises(ValueError, match="meta"):
+        validate_lines(lines[1:])
+    with pytest.raises(ValueError, match="duplicate meta"):
+        validate_lines([lines[0], lines[0]])
+
+
+def test_validator_requires_parent_before_child(recorded):
+    recorder, registry = recorded
+    lines = list(trace_lines(recorder, registry))
+    swapped = [lines[0], lines[2], lines[1]]  # child before its parent
+    with pytest.raises(ValueError, match="unknown parent"):
+        validate_lines(swapped)
+
+
+def test_validator_rejects_empty_trace():
+    with pytest.raises(ValueError, match="empty"):
+        validate_lines([])
+
+
+def test_trace_cli_main(recorded, tmp_path, capsys):
+    from repro.obs import trace as trace_mod
+
+    recorder, registry = recorded
+    good = str(tmp_path / "good.jsonl")
+    write_trace(good, recorder, registry)
+    bad = str(tmp_path / "bad.jsonl")
+    with open(bad, "w") as f:
+        f.write("{not json\n")
+    assert trace_mod.main([good]) == 0
+    assert "ok (6 lines" in capsys.readouterr().out
+    assert trace_mod.main([good, bad]) == 1
+    captured = capsys.readouterr()
+    assert "INVALID" in captured.err
