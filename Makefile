@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick tables examples fuzz fuzz-smoke \
-	profile-smoke clean
+.PHONY: install test bench bench-quick bench-gate tables examples fuzz \
+	fuzz-smoke profile-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,16 +12,29 @@ test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
 	$(MAKE) profile-smoke
+	$(MAKE) bench-gate
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Machine-readable alias-engine numbers: analysis construction time,
 # may-alias query throughput, and Table 5 wall time under both the
-# reference and the partition-based counting engines.
+# reference and the partition-based counting engines.  Every run also
+# appends a ledger record to BENCH_history.jsonl so successive runs
+# stay comparable (see `repro bench compare` / DESIGN.md §6f).
 bench-quick:
 	$(PYTHON) -m pytest benchmarks/bench_analysis_cost.py benchmarks/bench_table5_alias_pairs.py --benchmark-only
-	$(PYTHON) -m repro.bench.perfjson -o BENCH_alias.json --prom BENCH_obs.prom
+	$(PYTHON) -m repro.bench.perfjson -o BENCH_alias.json --prom BENCH_obs.prom \
+		--history BENCH_history.jsonl
+
+# Perf-regression gate: measure the benchmark suite twice (min-of-k)
+# and compare against the committed baseline ledger inside a median+MAD
+# noise band.  Exits nonzero on a regression beyond the tolerance; the
+# generous --tol absorbs cross-host and CI-load variance (tighten it
+# for same-host comparisons).
+bench-gate:
+	PYTHONPATH=src $(PYTHON) -m repro -q bench gate \
+		--baseline BENCH_baseline.jsonl --repeats 2 --no-history --tol 2.0
 
 tables:
 	$(PYTHON) -m repro tables

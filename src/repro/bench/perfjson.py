@@ -14,6 +14,12 @@ the engineering numbers this reproduction adds on top:
 * ``table5`` — full-suite Table 5 wall time under the per-pair
   ``reference`` engine and the partition-based ``fast`` engine, and the
   resulting speedup.
+
+``BENCH_alias.json`` is overwritten in place; ``--history FILE.jsonl``
+additionally *appends* a :mod:`repro.obs.history` ledger record (git
+sha, host fingerprint, the report's numbers as phase series, counters)
+so successive runs stay comparable — ``repro bench compare``/``gate``
+consume that ledger.
 """
 
 import json
@@ -24,6 +30,8 @@ from repro.analysis import ANALYSIS_NAMES, AliasPairCounter, collect_heap_refere
 from repro.analysis.openworld import AnalysisContext
 from repro.bench import registry
 from repro.bench.suite import BASE, BenchmarkSuite
+from repro.obs import core as obs
+from repro.obs import history
 
 #: Bumped whenever the JSON layout changes.
 SCHEMA_VERSION = 1
@@ -48,10 +56,11 @@ def measure_construction(suite: BenchmarkSuite, name: str,
     """Per-analysis build time (ms) from an already-checked module."""
     program = suite.program(name)
     out: Dict[str, float] = {}
-    for analysis_name in ANALYSIS_NAMES:
-        def build() -> None:
-            AnalysisContext(program.checked).build(analysis_name)
-        out[analysis_name] = round(_best(build, rounds) * 1000, 3)
+    with obs.span("quick.construction", program=name):
+        for analysis_name in ANALYSIS_NAMES:
+            def build() -> None:
+                AnalysisContext(program.checked).build(analysis_name)
+            out[analysis_name] = round(_best(build, rounds) * 1000, 3)
     return out
 
 
@@ -69,23 +78,24 @@ def measure_query_throughput(suite: BenchmarkSuite, name: str,
     queries = len(refs) * (len(refs) - 1) // 2
     ctx = AnalysisContext(program.checked)
     out: Dict[str, dict] = {}
-    for analysis_name in ANALYSIS_NAMES:
-        analysis = ctx.build(analysis_name)
+    with obs.span("quick.query", program=name):
+        for analysis_name in ANALYSIS_NAMES:
+            analysis = ctx.build(analysis_name)
 
-        def sweep() -> None:
-            analysis.cache_clear()
-            may_alias = analysis.may_alias
-            for i in range(len(refs)):
-                for j in range(i + 1, len(refs)):
-                    may_alias(refs[i], refs[j])
+            def sweep() -> None:
+                analysis.cache_clear()
+                may_alias = analysis.may_alias
+                for i in range(len(refs)):
+                    for j in range(i + 1, len(refs)):
+                        may_alias(refs[i], refs[j])
 
-        elapsed = _best(sweep, rounds)
-        out[analysis_name] = {
-            "queries": queries,
-            "ms": round(elapsed * 1000, 3),
-            "kqps": round(queries / max(elapsed, 1e-9) / 1000, 1),
-            "cache": analysis.cache_stats(),
-        }
+            elapsed = _best(sweep, rounds)
+            out[analysis_name] = {
+                "queries": queries,
+                "ms": round(elapsed * 1000, 3),
+                "kqps": round(queries / max(elapsed, 1e-9) / 1000, 1),
+                "cache": analysis.cache_stats(),
+            }
     return out
 
 
@@ -115,8 +125,9 @@ def measure_table5_engines(suite: BenchmarkSuite,
             entry[0].cache_clear()
             entry[index].count()
 
-    reference = _best(lambda: run(1), rounds)
-    fast = _best(lambda: run(2), rounds)
+    with obs.span("quick.table5"):
+        reference = _best(lambda: run(1), rounds)
+        fast = _best(lambda: run(2), rounds)
     return {
         "programs": list(names),
         "analyses": list(ANALYSIS_NAMES),
@@ -138,6 +149,47 @@ def run_quick_bench(query_benchmark: str = "m3cg",
         "query_throughput": measure_query_throughput(suite, query_benchmark, rounds),
         "table5": measure_table5_engines(suite, table5_names, rounds),
     }
+
+
+def normalize_report(obj):
+    """Round every float to 3 decimals, recursively.
+
+    ``BENCH_alias.json`` is committed, so repeated ``make bench-quick``
+    runs should produce the smallest possible diffs: keys are emitted
+    sorted and every float is pinned to a fixed rounding, leaving wall
+    time itself as the only source of churn.
+    """
+    if isinstance(obj, float):
+        return round(obj, 3)
+    if isinstance(obj, dict):
+        return {key: normalize_report(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [normalize_report(value) for value in obj]
+    return obj
+
+
+def report_phases(report: Dict[str, object]) -> Dict[str, Dict[str, float]]:
+    """The report's own numbers as history phase series (in seconds).
+
+    These ride along with the span-derived phases in the ledger record,
+    so ``repro bench compare`` can track the engine numbers the quick
+    bench exists to measure — construction, query sweep and the Table 5
+    engines — not just the suite driver's wall clock.
+    """
+    benchmark = str(report["query_benchmark"])
+    phases: Dict[str, Dict[str, float]] = {benchmark: {}, history.SUITE_BUCKET: {}}
+    for analysis_name, ms in report["construction_ms"].items():
+        phases[benchmark]["quick.construction." + analysis_name] = \
+            round(ms / 1000.0, 6)
+    for analysis_name, entry in report["query_throughput"].items():
+        phases[benchmark]["quick.query." + analysis_name] = \
+            round(entry["ms"] / 1000.0, 6)
+    table5 = report["table5"]
+    phases[history.SUITE_BUCKET]["quick.table5.reference"] = \
+        round(table5["reference_ms"] / 1000.0, 6)
+    phases[history.SUITE_BUCKET]["quick.table5.fast"] = \
+        round(table5["fast_ms"] / 1000.0, 6)
+    return phases
 
 
 def validate_report(report: Dict[str, object]) -> None:
@@ -169,12 +221,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--prom", metavar="FILE", default=None,
                         help="also dump the observability metric registry "
                         "in Prometheus text format (e.g. BENCH_obs.prom)")
+    parser.add_argument("--history", metavar="FILE.jsonl", default=None,
+                        help="append a schema-versioned run record (git "
+                        "sha, host, per-phase seconds, counters) to this "
+                        "benchmark ledger (e.g. BENCH_history.jsonl)")
     args = parser.parse_args(argv)
-    if args.prom is not None:
+    if args.prom is not None or args.history is not None:
         from repro.obs import metrics
         metrics.registry().reset()
-    report = run_quick_bench(rounds=args.rounds)
+    if args.history is not None:
+        obs.reset()
+        obs.enable()
+    try:
+        report = run_quick_bench(rounds=args.rounds)
+    finally:
+        obs.disable()
     validate_report(report)
+    report = normalize_report(report)
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -187,6 +250,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         lines = write_prom(args.prom)
         print("wrote {}: {} lines".format(args.prom, lines))
+    if args.history is not None:
+        record = history.collect_record(
+            "bench-quick", extra_phases=report_phases(report))
+        history.append_record(args.history, record)
+        print("appended {} record to {} (sha {})".format(
+            record["label"], args.history,
+            (record["git_sha"] or "unknown")[:12]))
     return 0
 
 

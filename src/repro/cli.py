@@ -7,7 +7,10 @@ Commands:
 * ``run FILE``     — execute on the simulated machine, print output/stats;
 * ``alias FILE``   — static alias-pair report under each analysis;
 * ``limit FILE``   — dynamic redundancy limit study (Figures 9/10 style);
-* ``bench NAME``   — run one registered paper benchmark;
+* ``bench [NAME]`` — run registered paper benchmarks, appending a ledger
+  record to ``BENCH_history.jsonl``; ``bench compare OLD NEW`` and
+  ``bench gate --baseline REF`` run the perf-regression workflow over
+  that ledger (see DESIGN.md §6f);
 * ``tables``       — regenerate the paper's tables/figures (slow);
 * ``fuzz``         — generate seeded programs and cross-check the
   analyses against the soundness oracles (see DESIGN.md §6d);
@@ -174,11 +177,81 @@ def cmd_limit(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    """Dispatch ``repro bench [NAME] | compare OLD NEW | gate``."""
+    positional = list(args.name or [])
+    if positional and positional[0] == "compare":
+        return _cmd_bench_compare(args, positional[1:])
+    if positional and positional[0] == "gate":
+        return _cmd_bench_gate(args, positional[1:])
+    if len(positional) > 1:
+        log.error("bench takes at most one benchmark name "
+                  "(or a 'compare'/'gate' subcommand); got {!r}".format(
+                      positional))
+        return 2
+    name = positional[0] if positional else None
+    recording = _HistoryRecording(enabled=not args.no_history)
+    with recording:
+        status = _run_bench_suite(args, name)
+    recording.append(args.history, label="bench")
+    return status
+
+
+class _HistoryRecording:
+    """Span/metric recording scoped to one ledger-producing bench run.
+
+    If ``--trace`` already enabled the recorder in :func:`main`, reuse
+    its state (the trace and the ledger record then describe the same
+    run); otherwise enable a fresh recorder/registry for the duration
+    and restore the disabled state afterwards.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._owns_recorder = False
+
+    def __enter__(self) -> "_HistoryRecording":
+        if self.enabled and not obs.enabled():
+            from repro.obs import metrics
+
+            obs.reset()
+            metrics.registry().reset()
+            obs.enable()
+            self._owns_recorder = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._owns_recorder:
+            obs.disable()
+        return False
+
+    def append(self, path: str, label: str) -> Optional[dict]:
+        """Collect a ledger record from the recorded run and append it."""
+        if not self.enabled:
+            return None
+        from repro.obs import history
+
+        record = history.collect_record(label)
+        history.append_record(path, record)
+        log.info("history: appended {} record to {} (sha {})".format(
+            label, path, (record["git_sha"] or "unknown")[:12]))
+        return record
+
+
+def _bench_names(args, name: Optional[str]) -> List[str]:
     from repro.bench import registry
+
+    if name:
+        return [name]
+    if getattr(args, "only", None):
+        return [n for n in args.only.split(",") if n]
+    return registry.benchmark_names()
+
+
+def _run_bench_suite(args, name: Optional[str]) -> int:
     from repro.bench.suite import BenchmarkSuite, RunConfig
 
     suite = BenchmarkSuite()
-    names = [args.name] if args.name else registry.benchmark_names()
+    names = _bench_names(args, name)
     rows = []
     failures: List[dict] = []
     for name in names:
@@ -219,6 +292,103 @@ def cmd_bench(args) -> int:
         )
     _emit_failures(failures)
     return 1 if failures else 0
+
+
+def _write_comparison(args, report) -> None:
+    print(report.render_text())
+    if getattr(args, "md", None):
+        with open(args.md, "w") as f:
+            f.write(report.render_markdown())
+        log.info("wrote markdown report: {}".format(args.md))
+
+
+def _cmd_bench_compare(args, rest: List[str]) -> int:
+    """``repro bench compare OLD NEW`` — compare two ledger selections."""
+    from repro.obs import history, regress
+
+    if len(rest) != 2:
+        log.error("usage: repro bench compare OLD NEW "
+                  "(each a ledger file, a git sha/ref, or 'latest')")
+        return 2
+    try:
+        old = history.resolve_selection(rest[0], args.history)
+        new = history.resolve_selection(rest[1], args.history)
+    except (OSError, ValueError) as err:
+        log.error("bench compare: {}".format(err))
+        return 2
+    report = regress.compare_records(old, new, **_thresholds(args))
+    _write_comparison(args, report)
+    return 1 if report.has_regressions else 0
+
+
+def _thresholds(args) -> dict:
+    """CLI comparison thresholds, defaulting to the regress constants."""
+    from repro.obs import regress
+
+    return {
+        "tolerance": (regress.DEFAULT_TOLERANCE if args.tolerance is None
+                      else args.tolerance),
+        "mad_k": regress.DEFAULT_MAD_K if args.mad_k is None else args.mad_k,
+        "min_seconds": (regress.DEFAULT_MIN_SECONDS if args.min_seconds is None
+                        else args.min_seconds),
+    }
+
+
+def _cmd_bench_gate(args, rest: List[str]) -> int:
+    """``repro bench gate --baseline REF`` — measure HEAD, compare, exit
+    nonzero on a noise-banded regression (or on a failed benchmark)."""
+    from repro.obs import history, regress
+
+    if rest:
+        log.error("bench gate takes no positional arguments; got {!r}"
+                  .format(rest))
+        return 2
+    if args.baseline is None:
+        log.error("bench gate requires --baseline "
+                  "(a ledger file, a git sha/ref, or 'latest')")
+        return 2
+    try:
+        baseline = history.resolve_selection(args.baseline, args.history)
+    except (OSError, ValueError) as err:
+        log.error("bench gate: {}".format(err))
+        return 2
+    from repro.obs import metrics
+
+    repeats = max(1, args.repeats)
+    new_records: List[dict] = []
+    bench_failed = False
+    trace_active = obs.enabled()
+    for repeat in range(repeats):
+        log.info("gate: measuring repeat {}/{}".format(repeat + 1, repeats))
+        # Each repeat needs a fresh recorder segment *and* a fresh suite
+        # (the suite memoises runs, which would turn repeat 2 into a
+        # zero-cost replay); _run_bench_suite builds its own suite.
+        obs.reset()
+        metrics.registry().reset()
+        obs.enable()
+        try:
+            if _run_bench_suite(args, None) != 0:
+                bench_failed = True
+        finally:
+            if not trace_active:
+                obs.disable()
+        record = history.collect_record("gate")
+        new_records.append(record)
+        if not args.no_history:
+            history.append_record(args.history, record)
+    thresholds = _thresholds(args)
+    report = regress.compare_records(baseline, new_records, **thresholds)
+    _write_comparison(args, report)
+    if bench_failed:
+        log.error("gate: benchmark failures (see above)")
+        return 1
+    if report.has_regressions:
+        log.error("gate: {} regression(s) beyond tolerance {:.0%}".format(
+            len(report.regressions), thresholds["tolerance"]))
+        return 1
+    print("gate: ok ({} series within tolerance {:.0%})".format(
+        len(report.comparisons), thresholds["tolerance"]))
+    return 0
 
 
 def cmd_tables(args) -> int:
@@ -364,9 +534,10 @@ def cmd_profile(args) -> int:
     print()
     print(render_counter_table(metrics.registry(), top=args.top))
     if args.check:
-        tree_check(recorder)
+        tree_check(recorder, tolerance=args.check_tol)
         log.info("profile: tree check ok "
-                 "(children sum to parents within tolerance)")
+                 "(children sum to parents within {:.0%})".format(
+                     args.check_tol))
     return 0
 
 
@@ -387,6 +558,9 @@ def _profile_phases(args, recorder, analysis_for_rle: str) -> None:
         if args.run:
             with recorder.span("execute"):
                 program.run(result)
+        if args.limit:
+            with recorder.span("limit"):
+                program.limit_study(result)
 
 
 # ----------------------------------------------------------------------
@@ -457,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--stats", action="store_true", help="print counters to stderr")
     _add_opt_flags(p)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("alias", help="static alias-pair report")
@@ -469,11 +644,53 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("limit", help="dynamic redundancy limit study")
     p.add_argument("file")
     p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None)
+    _add_trace_flag(p)
     p.set_defaults(func=cmd_limit)
 
-    p = sub.add_parser("bench", help="run registered paper benchmarks")
-    p.add_argument("name", nargs="?", default=None)
+    p = sub.add_parser(
+        "bench",
+        help="run registered paper benchmarks; 'compare'/'gate' work "
+        "the regression ledger",
+        description="repro bench [NAME] runs the registered benchmarks "
+        "and appends a schema-versioned record (git sha, host, per-phase "
+        "wall seconds, counters) to the benchmark ledger.  "
+        "'repro bench compare OLD NEW' compares two ledger selections "
+        "(files, git shas/refs, or 'latest') with min-of-k best times "
+        "inside a median+MAD noise band; 'repro bench gate --baseline "
+        "REF' measures HEAD --repeats times, compares against the "
+        "baseline, and exits nonzero on regression beyond --tol.",
+    )
+    p.add_argument("name", nargs="*", default=None, metavar="NAME",
+                   help="one benchmark name, or a subcommand: "
+                   "compare OLD NEW | gate")
     p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None)
+    p.add_argument("--history", metavar="FILE.jsonl",
+                   default="BENCH_history.jsonl",
+                   help="benchmark ledger to append to / compare from "
+                   "(default BENCH_history.jsonl)")
+    p.add_argument("--no-history", action="store_true",
+                   help="do not append a run record to the ledger")
+    p.add_argument("--only", metavar="NAME[,NAME...]", default=None,
+                   help="restrict a suite run (or gate measurement) to "
+                   "these benchmarks")
+    p.add_argument("--baseline", metavar="REF", default=None,
+                   help="gate: baseline records — a ledger file, a git "
+                   "sha/ref, or 'latest'")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="gate: fresh measurement repeats (min-of-k, "
+                   "default 1)")
+    p.add_argument("--tol", "--tolerance", dest="tolerance", type=float,
+                   default=None,
+                   help="relative slowdown that counts as a regression "
+                   "(default 0.25 = 25%%)")
+    p.add_argument("--mad-k", type=float, default=None,
+                   help="noise band: new best must also exceed the old "
+                   "median by this many MADs (default 3.0)")
+    p.add_argument("--min-seconds", type=float, default=None,
+                   help="phases whose best is below this never gate "
+                   "(default 0.005)")
+    p.add_argument("--md", metavar="FILE", default=None,
+                   help="compare/gate: also write the report as markdown")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_bench)
 
@@ -534,12 +751,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--open-world", action="store_true")
     p.add_argument("--run", action="store_true",
                    help="also execute the optimized program (adds an "
-                   "'execute' phase)")
+                   "'execute' phase with run.interp/run.cachesim "
+                   "children)")
+    p.add_argument("--limit", action="store_true",
+                   help="also run the dynamic limit study (adds a "
+                   "'limit' phase with limit.replay/limit.classify "
+                   "children)")
     p.add_argument("--top", type=int, default=20,
                    help="rows in the counter table (default 20)")
     p.add_argument("--check", action="store_true",
                    help="assert children sum to parents within tolerance "
                    "(used by 'make profile-smoke')")
+    p.add_argument("--check-tol", type=float, default=0.25,
+                   help="--check tolerance as a fraction of each parent "
+                   "span (default 0.25; raise on loaded CI hosts)")
     _add_engine_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=cmd_profile)

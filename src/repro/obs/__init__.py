@@ -11,6 +11,12 @@ The observability layer of the reproduction (DESIGN.md §6e):
   statistics behind :meth:`AliasAnalysis.cache_stats`);
 * :mod:`repro.obs.trace` — schema-pinned JSONL trace writer/validator
   (the ``--trace FILE.jsonl`` CLI flag);
+* :mod:`repro.obs.history` — the benchmark run ledger
+  (``BENCH_history.jsonl``): schema-pinned records of git sha, host
+  fingerprint, per-phase wall seconds and counters, with its own
+  validator CLI (DESIGN.md §6f);
+* :mod:`repro.obs.regress` — noise-banded regression detection over
+  ledger records (``repro bench compare`` / ``repro bench gate``);
 * :mod:`repro.obs.promtext` — Prometheus text exposition of the registry
   (``BENCH_obs.prom``);
 * :mod:`repro.obs.log` — leveled stderr logging behind the CLI's

@@ -13,6 +13,14 @@ conventions (Table 4 of the paper):
 ``tracer`` (when given) observes every *heap* load and store with its
 simulated address, loaded/stored value, instruction and activation id —
 the information ATOM recorded for the limit study.
+
+Cache simulation is *deferred*: during execution every counted memory
+access appends its address to a log, and the machine model replays the
+log once the program finishes.  A direct-mapped cache depends only on
+the access order, which the log preserves, so hits/misses/cycles are
+bit-identical to eager simulation — but interpretation and cache
+simulation become two separately-timed phases (``run.interp`` and
+``run.cachesim`` spans) and the per-access cost drops to a list append.
 """
 
 import sys
@@ -22,6 +30,8 @@ from repro.ir import instructions as ins
 from repro.ir.cfg import ProgramIR, ProcIR
 from repro.lang import types as ty
 from repro.lang.errors import ResourceLimitError
+from repro.obs import core as obs
+from repro.obs import metrics
 from repro.qa import guards
 from repro.lang.symtab import Symbol
 from repro.lang.typecheck import MAIN_PROC
@@ -129,6 +139,10 @@ class Interpreter:
         self.globals = _Store()
         self._global_addrs: Dict[Symbol, int] = {}
         self._activations = 0
+        # Deferred cache simulation: loads append ``addr``, stores append
+        # ``~addr`` (addresses are non-negative, so the complement is an
+        # unambiguous store marker).  Replayed by ``run()``.
+        self._mem_log: List[int] = []
         self._init_globals()
 
     # ------------------------------------------------------------------
@@ -144,14 +158,47 @@ class Interpreter:
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, 100_000))
         try:
-            self.call_proc(MAIN_PROC, [])
+            with obs.span("run.interp", module=self.program.checked.name):
+                self.call_proc(MAIN_PROC, [])
         finally:
             sys.setrecursionlimit(old_limit)
+            # Replay (and export counters) even when execution dies on a
+            # trap or resource limit, so partial runs stay accounted for.
+            if self.machine is not None and self._mem_log:
+                with obs.span("run.cachesim", accesses=len(self._mem_log)):
+                    self._replay_machine()
+            self._export_metrics()
         self.stats.allocations = self.heap.allocations
         self.stats.cycles = self.stats.instructions + (
             self.machine.cycles if self.machine else 0
         )
         return self.stats
+
+    def _replay_machine(self) -> None:
+        """Feed the buffered access log through the machine model."""
+        load = self.machine.load
+        store = self.machine.store
+        for entry in self._mem_log:
+            if entry >= 0:
+                load(entry)
+            else:
+                store(~entry)
+        self._mem_log = []
+
+    def _export_metrics(self) -> None:
+        """Bulk-increment the registry counters for this run (one call
+        per series, never per event, so the hot loop stays untouched)."""
+        registry = metrics.registry()
+        stats = self.stats
+        registry.counter("run.interp.instructions").inc(stats.instructions)
+        registry.counter("run.interp.heap_loads").inc(stats.heap_loads)
+        registry.counter("run.interp.heap_stores").inc(stats.heap_stores)
+        registry.counter("run.interp.other_loads").inc(stats.other_loads)
+        registry.counter("run.interp.calls").inc(stats.calls)
+        if self.machine is not None:
+            cache = self.machine.cache
+            registry.counter("run.cachesim.hits").inc(cache.hits)
+            registry.counter("run.cachesim.misses").inc(cache.misses)
 
     # ------------------------------------------------------------------
     # Procedure execution
@@ -241,7 +288,7 @@ class Interpreter:
             value = self.globals.vars[symbol]
             self.stats.other_loads += 1
             if self.machine:
-                self.machine.load(self._global_addrs[symbol])
+                self._mem_log.append(self._global_addrs[symbol])
         else:
             value = frame.vars[symbol]
         frame.temps[instr.dest.index] = value
@@ -253,7 +300,7 @@ class Interpreter:
             self.globals.vars[symbol] = value
             self.stats.other_stores += 1
             if self.machine:
-                self.machine.store(self._global_addrs[symbol])
+                self._mem_log.append(~self._global_addrs[symbol])
         else:
             frame.vars[symbol] = value
 
@@ -271,14 +318,14 @@ class Interpreter:
     def _heap_load(self, instr: ins.Instr, addr: int, value: object, frame: Frame) -> None:
         self.stats.heap_loads += 1
         if self.machine:
-            self.machine.load(addr)
+            self._mem_log.append(addr)
         if self.tracer:
             self.tracer.on_load(instr, addr, value, frame.activation_id)
 
     def _heap_store(self, instr: ins.Instr, addr: int, value: object, frame: Frame) -> None:
         self.stats.heap_stores += 1
         if self.machine:
-            self.machine.store(addr)
+            self._mem_log.append(~addr)
         if self.tracer:
             self.tracer.on_store(instr, addr, value, frame.activation_id)
 
@@ -365,7 +412,7 @@ class Interpreter:
             value = handle.store.vars[handle.symbol]
             self.stats.other_loads += 1
             if self.machine:
-                self.machine.load(handle.addr)
+                self._mem_log.append(handle.addr)
         elif isinstance(handle, FieldLoc):
             value = handle.ref.slots[handle.field]
             self._heap_load(instr, handle.ref.field_addr(handle.field), value, frame)
@@ -391,7 +438,7 @@ class Interpreter:
             handle.store.vars[handle.symbol] = value
             self.stats.other_stores += 1
             if self.machine:
-                self.machine.store(handle.addr)
+                self._mem_log.append(~handle.addr)
         elif isinstance(handle, FieldLoc):
             handle.ref.slots[handle.field] = value
             self._heap_store(instr, handle.ref.field_addr(handle.field), value, frame)

@@ -21,10 +21,12 @@ whether a store to the address actually intervened at run time.
 """
 
 import enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ir import instructions as ins
 from repro.ir.cfg import ProgramIR
+from repro.obs import core as obs
+from repro.obs import metrics
 from repro.runtime.interp import ExecutionStats, Interpreter
 from repro.runtime.machine import MachineModel
 from repro.runtime.tracing import LoadStoreTracer
@@ -97,13 +99,36 @@ class LimitStudy:
         self.report = RedundancyReport()
 
     def run(self) -> RedundancyReport:
-        tracer = LoadStoreTracer(on_redundant=self._classify)
+        # Two separately-timed phases: ``limit.replay`` re-executes the
+        # program under the tracer, buffering every redundant-load event;
+        # ``limit.classify`` then joins the static/dynamic facts per
+        # event.  Deferring classification does not change any count —
+        # the category function only looks at per-event arguments.
+        events: List[Tuple[ins.Instr, ins.Instr, bool]] = []
+        tracer = LoadStoreTracer(
+            on_redundant=lambda instr, prev, stored: events.append(
+                (instr, prev, stored)))
         interp = Interpreter(self.program, machine=self.machine, tracer=tracer)
-        stats = interp.run()
+        with obs.span("limit.replay", module=self.program.checked.name):
+            stats = interp.run()
         self.report.stats = stats
         self.report.total_heap_loads = tracer.total_loads
         self.report.redundant_loads = tracer.redundant_loads
+        with obs.span("limit.classify", events=len(events)):
+            for instr, prev, store_intervened in events:
+                self._classify(instr, prev, store_intervened)
+        self._export_metrics()
         return self.report
+
+    def _export_metrics(self) -> None:
+        """Figure 9/10 numbers as registry counters (bulk, per run)."""
+        registry = metrics.registry()
+        registry.counter("limit.loads.total").inc(self.report.total_heap_loads)
+        registry.counter("limit.loads.redundant").inc(
+            self.report.redundant_loads)
+        for category, count in self.report.by_category.items():
+            registry.counter(
+                "limit.category", category=category.value).inc(count)
 
     # ------------------------------------------------------------------
 

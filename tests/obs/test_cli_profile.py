@@ -77,3 +77,19 @@ def test_quiet_flag_suppresses_trace_note(tiny, tmp_path, capsys):
     assert main(["-q", "alias", tiny, "--trace", trace]) == 0
     assert "trace: wrote" not in capsys.readouterr().err
     assert validate_file(trace) > 1
+
+
+def test_profile_limit_flag_adds_limit_phases(tiny, capsys):
+    assert main(["profile", tiny, "--run", "--limit", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "execute" in out and "run.interp" in out
+    assert "limit.replay" in out and "limit.classify" in out
+
+
+def test_profile_check_tol_is_configurable(tiny, capsys):
+    # An absurdly generous tolerance must always pass ...
+    assert main(["profile", tiny, "--check", "--check-tol", "10.0"]) == 0
+    # ... and the flag reaches tree_check: a *negative* tolerance makes
+    # every parent/child sum violate the bound.
+    with pytest.raises(AssertionError):
+        main(["profile", tiny, "--check", "--check-tol", "-1.0"])

@@ -1,0 +1,145 @@
+"""Noise-banded regression detection over ledger records."""
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_MAD_K,
+    DEFAULT_TOLERANCE,
+    compare_records,
+    mad,
+    median,
+)
+
+
+def record(phases, counters=None, sha="a" * 40):
+    """A minimal well-formed ledger record for comparison tests."""
+    return {
+        "schema": 1, "kind": "bench_run", "tool": "repro", "label": "bench",
+        "git_sha": sha, "timestamp_utc": "2026-08-05T00:00:00Z",
+        "host": {"python": "3", "platform": "linux", "machine": "x86_64",
+                 "cpu_count": 4},
+        "phases": phases,
+        "counters": counters or {},
+    }
+
+
+def one_series(*values):
+    """Records each holding one observation of write-pickle/bench.run."""
+    return [record({"write-pickle": {"bench.run": v}}) for v in values]
+
+
+# ----------------------------------------------------------------------
+# Statistics
+
+
+def test_median_odd_and_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+def test_mad():
+    assert mad([1.0, 1.0, 5.0]) == 0.0
+    assert mad([1.0, 2.0, 4.0]) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Judgments
+
+
+def test_clear_regression_detected():
+    report = compare_records(one_series(0.010, 0.011), one_series(0.050))
+    assert report.has_regressions
+    (c,) = report.regressions
+    assert (c.benchmark, c.phase) == ("write-pickle", "bench.run")
+    assert c.status == "regression"
+    assert c.ratio == pytest.approx(5.0)
+    assert "write-pickle/bench.run" in c.describe()
+
+
+def test_within_tolerance_is_ok():
+    report = compare_records(one_series(0.100), one_series(0.110))
+    assert not report.has_regressions
+    assert report.comparisons[0].status == "ok"
+
+
+def test_min_of_k_uses_best_observation():
+    # One noisy new repeat does not gate when another repeat was fine.
+    report = compare_records(one_series(0.100), one_series(0.500, 0.101))
+    assert not report.has_regressions
+
+
+def test_mad_band_absorbs_one_lucky_old_observation():
+    # Old best 0.01 is an outlier; the old median+MAD band keeps a new
+    # best inside ordinary jitter from gating.
+    old = one_series(0.010, 0.100, 0.100, 0.102, 0.098)
+    report = compare_records(old, one_series(0.099), mad_k=DEFAULT_MAD_K)
+    assert not report.has_regressions
+
+
+def test_min_seconds_floor_never_gates_microsecond_phases():
+    report = compare_records(one_series(0.0001), one_series(0.004))
+    assert not report.has_regressions
+    # The same ratio above the floor does gate.
+    report = compare_records(one_series(0.010), one_series(0.400))
+    assert report.has_regressions
+
+
+def test_min_delta_floor_suppresses_tiny_absolute_moves():
+    report = compare_records(one_series(0.005), one_series(0.0065),
+                             min_delta_seconds=0.002)
+    assert not report.has_regressions
+
+
+def test_improvement_reported_symmetrically():
+    report = compare_records(one_series(0.100), one_series(0.050))
+    assert not report.has_regressions
+    assert [c.status for c in report.improvements] == ["improved"]
+
+
+def test_new_and_missing_series_do_not_gate():
+    old = [record({"write-pickle": {"bench.run": 0.1}})]
+    new = [record({"write-pickle": {"run.interp": 0.2}})]
+    report = compare_records(old, new)
+    statuses = {(c.phase): c.status for c in report.comparisons}
+    assert statuses == {"bench.run": "missing", "run.interp": "new"}
+    assert not report.has_regressions
+
+
+def test_default_thresholds_recorded_on_report():
+    report = compare_records(one_series(0.1), one_series(0.1))
+    assert report.tolerance == DEFAULT_TOLERANCE
+    assert report.mad_k == DEFAULT_MAD_K
+    assert "1 series compared" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# Rendering
+
+
+def regressing_report():
+    old = [record({"write-pickle": {"bench.run": 0.010}},
+                  counters={"run.interp.instructions": 100})]
+    new = [record({"write-pickle": {"bench.run": 0.050}},
+                  counters={"run.interp.instructions": 120}, sha="b" * 40)]
+    return compare_records(old, new)
+
+
+def test_render_text_names_the_regression():
+    text = regressing_report().render_text()
+    assert "REGRESSION" in text
+    assert "REGRESSION: write-pickle/bench.run" in text
+    assert "counter drift (informational):" in text
+    assert "run.interp.instructions: 100 -> 120" in text
+
+
+def test_render_markdown_bolds_regressions():
+    md = regressing_report().render_markdown()
+    assert "| Benchmark | Phase |" in md
+    assert "**REGRESSION**" in md
+    assert "`run.interp.instructions`: 100 -> 120" in md
+
+
+def test_render_handles_empty_comparison():
+    report = compare_records([record({})], [record({})])
+    assert "(no comparable series)" in report.render_text()
+    assert "_No comparable series._" in report.render_markdown()

@@ -120,3 +120,54 @@ def test_trace_cli_main(recorded, tmp_path, capsys):
     assert trace_mod.main([good, bad]) == 1
     captured = capsys.readouterr()
     assert "INVALID" in captured.err
+
+
+# ----------------------------------------------------------------------
+# Malformed trace *files* through the validator entry points
+
+
+def written_trace(recorded, tmp_path):
+    recorder, registry = recorded
+    path = tmp_path / "trace.jsonl"
+    write_trace(str(path), recorder, registry)
+    return path
+
+
+def test_validate_file_rejects_truncated_jsonl(recorded, tmp_path):
+    path = written_trace(recorded, tmp_path)
+    lines = path.read_text().splitlines()
+    # Chop the last line mid-object, as a killed writer would leave it.
+    path.write_text("\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]))
+    with pytest.raises(ValueError, match=r"trace\.jsonl:6: not JSON"):
+        validate_file(str(path))
+
+
+def test_validate_file_rejects_missing_meta_line(recorded, tmp_path):
+    path = written_trace(recorded, tmp_path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[1:]) + "\n")
+    with pytest.raises(ValueError, match="meta"):
+        validate_file(str(path))
+
+
+def test_validate_file_rejects_unknown_schema_version(recorded, tmp_path):
+    path = written_trace(recorded, tmp_path)
+    lines = path.read_text().splitlines()
+    meta = json.loads(lines[0])
+    meta["schema"] = meta["trace_schema"] = TRACE_SCHEMA_VERSION + 1
+    path.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+    with pytest.raises(ValueError, match="schema"):
+        validate_file(str(path))
+
+
+def test_trace_cli_reports_malformed_files(recorded, tmp_path, capsys):
+    from repro.obs import trace as trace_mod
+
+    truncated = written_trace(recorded, tmp_path)
+    text = truncated.read_text()
+    truncated.write_text(text[: len(text) - 10])
+    no_meta = tmp_path / "no_meta.jsonl"
+    no_meta.write_text(text.split("\n", 1)[1])
+    assert trace_mod.main([str(truncated), str(no_meta)]) == 1
+    err = capsys.readouterr().err
+    assert err.count("INVALID") == 2

@@ -1,0 +1,183 @@
+"""Runtime instrumentation: spans, counters, and the do-not-perturb pin.
+
+The interpreter and limit study gained span/counter instrumentation (and
+the interpreter defers its cache simulation to a post-run replay).  The
+differential tests here pin the acceptance criterion: enabling the
+recorder changes **no** Figure 8 number (instructions, loads, stores,
+cycles, cache hits/misses) and no Figure 9/10 number (redundancy counts,
+category tallies).
+"""
+
+import pytest
+
+from repro import compile_program
+from repro.obs import core, metrics
+from repro.runtime.limit import Category
+from repro.runtime.machine import MachineModel
+
+SOURCE = """
+MODULE RtObs;
+TYPE
+  T = OBJECT f, g: T; n: INTEGER; END;
+VAR t: T; x, i: INTEGER;
+
+PROCEDURE Touch () =
+BEGIN
+  t.f := t.g;
+  IF t.f # NIL THEN x := t.f.n; END;
+  x := t.f.n + t.g.n;
+END Touch;
+
+BEGIN
+  t := NEW (T, f := NEW (T, n := 2), g := NEW (T, n := 5));
+  t.g := t.f;
+  FOR i := 1 TO 8 DO
+    Touch ();
+  END;
+  PutInt (x);
+END RtObs.
+"""
+
+
+@pytest.fixture
+def program():
+    return compile_program(SOURCE, "rtobs.m3")
+
+
+@pytest.fixture
+def traced():
+    """Enable the process recorder + a clean registry for one test."""
+    core.reset()
+    metrics.registry().reset()
+    core.enable()
+    yield core.recorder()
+    core.disable()
+    core.reset()
+    metrics.registry().reset()
+
+
+def figure8_numbers(program):
+    machine = MachineModel()
+    stats = program.run(program.base(), machine=machine)
+    return {
+        "instructions": stats.instructions,
+        "heap_loads": stats.heap_loads,
+        "other_loads": stats.other_loads,
+        "heap_stores": stats.heap_stores,
+        "calls": stats.calls,
+        "cycles": stats.cycles,
+        "output": stats.output_text(),
+        "cache_hits": machine.cache.hits,
+        "cache_misses": machine.cache.misses,
+    }
+
+
+def figure9_10_numbers(program):
+    report = program.limit_study()
+    return (report.total_heap_loads, report.redundant_loads,
+            {c: report.by_category[c] for c in Category})
+
+
+# ----------------------------------------------------------------------
+# Differential: instrumentation must observe, never perturb
+
+
+def test_recorder_does_not_change_figure8(program):
+    core.disable()
+    baseline = figure8_numbers(program)
+    core.reset()
+    metrics.registry().reset()
+    core.enable()
+    try:
+        traced = figure8_numbers(program)
+    finally:
+        core.disable()
+        core.reset()
+        metrics.registry().reset()
+    assert traced == baseline
+
+
+def test_recorder_does_not_change_figures9_10(program):
+    core.disable()
+    baseline = figure9_10_numbers(program)
+    core.reset()
+    metrics.registry().reset()
+    core.enable()
+    try:
+        traced = figure9_10_numbers(program)
+    finally:
+        core.disable()
+        core.reset()
+        metrics.registry().reset()
+    assert traced == baseline
+
+
+# ----------------------------------------------------------------------
+# Spans
+
+
+def test_run_emits_interp_and_cachesim_spans(program, traced):
+    figure8_numbers(program)
+    spans = {s.name: s for s in traced.spans()}
+    assert "run.interp" in spans
+    assert spans["run.interp"].attrs == {"module": "RtObs"}
+    assert "run.cachesim" in spans
+    assert spans["run.cachesim"].attrs["accesses"] > 0
+
+
+def test_limit_emits_replay_and_classify_spans(program, traced):
+    program.limit_study()
+    names = [s.name for s in traced.spans()]
+    assert "limit.replay" in names
+    assert "limit.classify" in names
+    # The replay drives the interpreter, so its span nests run.interp.
+    spans = {s.name: s for s in traced.spans()}
+    assert spans["run.interp"].parent_id == spans["limit.replay"].span_id
+
+
+def test_cachesim_span_absent_without_machine(program, traced):
+    # The limit study runs without a machine model: no replay to time.
+    program.limit_study()
+    assert "run.cachesim" not in [s.name for s in traced.spans()]
+
+
+# ----------------------------------------------------------------------
+# Counters (exported in bulk at end of run)
+
+
+def counter(name, **labels):
+    for entry in metrics.registry().snapshot():
+        if entry["name"] == name and entry["labels"] == labels:
+            return entry["value"]
+    return None
+
+
+def test_run_counters_match_execution_stats(program, traced):
+    numbers = figure8_numbers(program)
+    assert counter("run.interp.instructions") == numbers["instructions"]
+    assert counter("run.interp.heap_loads") == numbers["heap_loads"]
+    assert counter("run.interp.heap_stores") == numbers["heap_stores"]
+    assert counter("run.interp.calls") == numbers["calls"]
+    assert counter("run.cachesim.hits") == numbers["cache_hits"]
+    assert counter("run.cachesim.misses") == numbers["cache_misses"]
+
+
+def test_limit_counters_match_report(program, traced):
+    report = program.limit_study()
+    assert counter("limit.loads.total") == report.total_heap_loads
+    assert counter("limit.loads.redundant") == report.redundant_loads
+    for category in Category:
+        value = counter("limit.category", category=category.value)
+        assert value == report.by_category[category]
+
+
+def test_counters_export_even_when_recorder_disabled(program):
+    # The registry is always live (like alias.cache); only spans are
+    # gated on the recorder.  Bulk export costs one call per run.
+    core.disable()
+    metrics.registry().reset()
+    try:
+        numbers = figure8_numbers(program)
+        assert counter("run.interp.instructions") == numbers["instructions"]
+    finally:
+        metrics.registry().reset()

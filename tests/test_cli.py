@@ -105,9 +105,154 @@ def test_limit_report(demo_file, capsys):
 
 
 def test_bench_single(capsys):
-    assert main(["bench", "write-pickle"]) == 0
+    assert main(["bench", "write-pickle", "--no-history"]) == 0
     out = capsys.readouterr().out
     assert "write-pickle" in out
+
+
+# ----------------------------------------------------------------------
+# --trace on the dynamic commands
+
+
+def _trace_names(path):
+    import json
+
+    with open(path) as f:
+        return [json.loads(line).get("name") for line in f]
+
+
+def test_run_trace_writes_runtime_spans(demo_file, tmp_path):
+    from repro.obs.trace import validate_file
+
+    trace = str(tmp_path / "run.jsonl")
+    assert main(["-q", "run", demo_file, "--trace", trace]) == 0
+    assert validate_file(trace) > 1
+    names = _trace_names(trace)
+    assert "run.interp" in names and "run.cachesim" in names
+    assert "run.interp.instructions" in names
+
+
+def test_limit_trace_writes_study_spans(demo_file, tmp_path):
+    from repro.obs.trace import validate_file
+
+    trace = str(tmp_path / "limit.jsonl")
+    assert main(["-q", "limit", demo_file, "--trace", trace]) == 0
+    assert validate_file(trace) > 1
+    names = _trace_names(trace)
+    assert "limit.replay" in names and "limit.classify" in names
+    assert "limit.loads.total" in names
+
+
+def test_run_trace_flushes_on_failure(tmp_path):
+    from repro.obs.trace import validate_file
+
+    trace = str(tmp_path / "run.jsonl")
+    broken = tmp_path / "broken.m3"
+    broken.write_text(BROKEN)
+    assert main(["-q", "run", str(broken), "--trace", trace]) == 1
+    # The bulkhead still flushed a schema-valid (partial) trace.
+    assert validate_file(trace) >= 1
+
+
+# ----------------------------------------------------------------------
+# Benchmark ledger, compare and gate
+
+
+def _ledger_record(seconds, sha):
+    """A minimal, schema-valid record for one write-pickle observation."""
+    return {
+        "schema": 1, "kind": "bench_run", "tool": "repro", "label": "bench",
+        "git_sha": sha, "timestamp_utc": "2026-08-05T00:00:00Z",
+        "host": {"python": "3", "platform": "linux", "machine": "x86_64",
+                 "cpu_count": 4},
+        "phases": {"write-pickle": {"bench.run": seconds}},
+        "counters": {},
+    }
+
+
+def _write_ledger(path, seconds, sha="a" * 40):
+    from repro.obs import history
+
+    history.append_record(str(path), _ledger_record(seconds, sha))
+    return str(path)
+
+
+def test_bench_appends_history_record(tmp_path, capsys):
+    from repro.obs import history
+
+    hist = str(tmp_path / "hist.jsonl")
+    assert main(["bench", "write-pickle", "--history", hist]) == 0
+    [record] = history.read_history(hist)
+    assert record["label"] == "bench"
+    # Span-derived phases carry both the driver and the runtime spans,
+    # bucketed under the benchmark's name.
+    phases = record["phases"]["write-pickle"]
+    assert "bench.run" in phases and "run.interp" in phases
+    assert record["counters"]["run.interp.instructions"] > 0
+    assert "history: appended" in capsys.readouterr().err
+    # The ledger validator accepts what the CLI wrote.
+    assert history.main([hist]) == 0
+
+
+def test_bench_compare_detects_doctored_regression(tmp_path, capsys):
+    old = _write_ledger(tmp_path / "old.jsonl", 0.010)
+    new = _write_ledger(tmp_path / "new.jsonl", 0.050, sha="b" * 40)
+    md = tmp_path / "report.md"
+    assert main(["bench", "compare", old, new, "--md", str(md)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION: write-pickle/bench.run" in out
+    assert "**REGRESSION**" in md.read_text()
+
+
+def test_bench_compare_identical_passes(tmp_path, capsys):
+    old = _write_ledger(tmp_path / "old.jsonl", 0.010)
+    new = _write_ledger(tmp_path / "new.jsonl", 0.011, sha="b" * 40)
+    assert main(["bench", "compare", old, new]) == 0
+    assert "0 regressed" in capsys.readouterr().out
+
+
+def test_bench_compare_usage_errors(tmp_path, capsys):
+    assert main(["bench", "compare", "only-one"]) == 2
+    missing = str(tmp_path / "no-such.jsonl")
+    old = _write_ledger(tmp_path / "old.jsonl", 0.010)
+    assert main(["bench", "compare", old, missing,
+                 "--history", missing]) == 2
+    assert "bench compare:" in capsys.readouterr().err
+
+
+def test_bench_gate_fires_on_doctored_baseline(tmp_path, capsys):
+    # A baseline claiming write-pickle ran in 1ms: any honest
+    # measurement regresses far beyond tolerance, so the gate must
+    # exit nonzero and name the series.
+    baseline = _write_ledger(tmp_path / "base.jsonl", 0.001)
+    exit_code = main(["bench", "gate", "--baseline", baseline,
+                      "--only", "write-pickle", "--no-history"])
+    assert exit_code == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION: write-pickle/bench.run" in captured.out
+    assert "regression(s) beyond tolerance" in captured.err
+
+
+def test_bench_gate_clean_run_passes(tmp_path, capsys):
+    # Measure HEAD once to produce the baseline, then gate a second
+    # measurement against it with a generous tolerance: back-to-back
+    # runs of the same code must pass.
+    hist = str(tmp_path / "hist.jsonl")
+    assert main(["bench", "write-pickle", "--history", hist]) == 0
+    exit_code = main(["bench", "gate", "--baseline", "latest",
+                      "--history", hist, "--only", "write-pickle",
+                      "--no-history", "--tol", "20.0"])
+    assert exit_code == 0
+    assert "gate: ok" in capsys.readouterr().out
+
+
+def test_bench_gate_requires_baseline(capsys):
+    assert main(["bench", "gate"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_bench_rejects_extra_positionals(capsys):
+    assert main(["bench", "write-pickle", "slisp"]) == 2
 
 
 def test_tables_selected(capsys):
