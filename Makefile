@@ -3,7 +3,10 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-quick bench-gate tables examples fuzz \
-	fuzz-smoke profile-smoke clean
+	fuzz-smoke profile-smoke corpus-gen corpus-smoke clean
+
+# Seeded smoke corpus shared by corpus-smoke and the bench gate.
+CORPUS_SMOKE_DIR ?= benchmarks/results/corpus-smoke
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,6 +14,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
+	$(MAKE) corpus-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) bench-gate
 
@@ -32,9 +36,10 @@ bench-quick:
 # noise band.  Exits nonzero on a regression beyond the tolerance; the
 # generous --tol absorbs cross-host and CI-load variance (tighten it
 # for same-host comparisons).
-bench-gate:
+bench-gate: corpus-gen
 	PYTHONPATH=src $(PYTHON) -m repro -q bench gate \
-		--baseline BENCH_baseline.jsonl --repeats 2 --no-history --tol 2.0
+		--baseline BENCH_baseline.jsonl --repeats 2 --no-history --tol 2.0 \
+		--corpus $(CORPUS_SMOKE_DIR)
 
 tables:
 	$(PYTHON) -m repro tables
@@ -55,6 +60,24 @@ fuzz:
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --count 200 \
 		--out benchmarks/results/fuzz-smoke
+
+# Regenerate the seeded smoke corpus (content-hashed shards; the fixed
+# seed makes this idempotent, so it is safe as a gate prerequisite).
+corpus-gen:
+	PYTHONPATH=src $(PYTHON) -m repro -q corpus gen $(CORPUS_SMOKE_DIR) \
+		--count 60 --shard-size 20
+	PYTHONPATH=src $(PYTHON) -m repro -q corpus verify $(CORPUS_SMOKE_DIR)
+
+# Corpus pipeline smoke: generate + verify the sharded corpus, sweep it
+# with the differential engine (bulk == fast == reference on every
+# program) across 2 worker processes, then time the fast engine against
+# the bulk kernels.  No history records: the committed ledger only
+# carries deliberate runs.
+corpus-smoke: corpus-gen
+	PYTHONPATH=src $(PYTHON) -m repro -q corpus run $(CORPUS_SMOKE_DIR) \
+		--jobs 2 --engine differential --no-history
+	PYTHONPATH=src $(PYTHON) -m repro -q corpus bench $(CORPUS_SMOKE_DIR) \
+		--repeats 2 --no-history
 
 # Observability smoke: `repro profile` over two bundled benchmarks with
 # the tree-sum check on, JSONL traces written and validated against the

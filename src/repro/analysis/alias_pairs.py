@@ -26,14 +26,20 @@ Two counting engines produce these numbers:
   identically.  Same-class pairs always alias and are counted
   combinatorially with no query at all; each cross-class pair costs one
   representative query (zero cases are skipped outright).
+* ``bulk`` — the bitset-matrix engine (:mod:`repro.analysis.bulk`):
+  the same partition idea lowered to packed bitvector kernels.  A
+  class-adjacency matrix is materialised once; the count itself is pure
+  AND/popcount (or numpy) arithmetic, and the matrix is picklable for
+  reuse across processes.
 
-``engine='differential'`` runs both and asserts they agree — the
-regression harness for the fast path.
+``engine='differential'`` runs all engines and asserts they agree — the
+regression harness for the optimised paths.
 """
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.alias_base import AliasAnalysis
+from repro.analysis.bulk import BulkAliasMatrix
 from repro.analysis.fieldtypedecl import FieldTypeDeclAnalysis
 from repro.analysis.typedecl import TypeDeclAnalysis
 from repro.ir.access_path import AccessPath, Deref, Qualify, Subscript, VarRoot, strip_index
@@ -41,9 +47,10 @@ from repro.ir.cfg import ProgramIR
 from repro.obs import core as obs
 from repro.obs import metrics
 from repro.qa import guards
+from repro.util.bits import iter_bits, popcount
 
 #: Valid values for the ``engine`` argument of :class:`AliasPairCounter`.
-ENGINES = ("reference", "fast", "differential")
+ENGINES = ("reference", "fast", "bulk", "differential")
 
 #: Engine used when callers do not choose one.  The fast engine is the
 #: default; the differential test suite pins it to the reference loop.
@@ -130,19 +137,11 @@ class _RefGroup:
         self.count = 0
 
 
-def _bits(mask: int) -> Iterator[int]:
-    """Indices of the set bits of *mask*, ascending."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
-
-
 def _proc_counts(groups: List[_RefGroup]) -> Dict[int, int]:
     """procedure index -> number of groups occupying that procedure."""
     counts: Dict[int, int] = {}
     for g in groups:
-        for p in _bits(g.proc_mask):
+        for p in iter_bits(g.proc_mask):
             counts[p] = counts.get(p, 0) + 1
     return counts
 
@@ -157,7 +156,7 @@ class _PairAccumulator:
     def add_pair(self, a: _RefGroup, b: _RefGroup) -> None:
         """All cross-procedure-or-not pairs between two distinct paths."""
         self.global_ += a.count * b.count
-        self.local += (a.proc_mask & b.proc_mask).bit_count()
+        self.local += popcount(a.proc_mask & b.proc_mask)
 
     def add_bucket_within(self, groups: List[_RefGroup]) -> None:
         """All pairs of *distinct* paths inside one all-alias bucket."""
@@ -208,15 +207,29 @@ class AliasPairCounter:
             return self._count_reference()
         if self.engine == "fast":
             return self._count_fast()
+        if self.engine == "bulk":
+            return self._count_bulk()
         reference = self._count_reference()
         fast = self._count_fast()
-        if reference.counts() != fast.counts():
+        bulk = self._count_bulk()
+        if reference.counts() != fast.counts() or reference.counts() != bulk.counts():
             raise AssertionError(
-                "alias-pair engines disagree for {}: reference={} fast={}".format(
-                    self.analysis.name, reference, fast
-                )
+                "alias-pair engines disagree for {}: reference={} fast={} "
+                "bulk={}".format(self.analysis.name, reference, fast, bulk)
             )
         return fast
+
+    # ------------------------------------------------------------------
+    # Bulk engine: build the bitset matrix, count with pure kernels.
+
+    def _count_bulk(self) -> AliasPairReport:
+        matrix = BulkAliasMatrix.from_references(self.references, self.analysis)
+        counts = matrix.count_pairs()
+        report = AliasPairReport(self.analysis.name)
+        report.references = counts.references
+        report.local_pairs = counts.local_pairs
+        report.global_pairs = counts.global_pairs
+        return report
 
     # ------------------------------------------------------------------
     # Reference engine: one query per unordered reference pair.
@@ -255,7 +268,7 @@ class AliasPairCounter:
                 g.proc_mask |= 1 << proc_index
         distinct = list(groups.values())
         for g in distinct:
-            g.count = g.proc_mask.bit_count()
+            g.count = popcount(g.proc_mask)
         report.references = sum(g.count for g in distinct)
 
         acc = _PairAccumulator()

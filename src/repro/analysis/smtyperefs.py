@@ -50,6 +50,7 @@ from repro.lang.types import (
     is_subtype,
 )
 from repro.obs import metrics
+from repro.util.bits import popcount
 from repro.util.unionfind import UnionFind
 
 
@@ -223,7 +224,7 @@ class SMTypeRefsOracle(TypeOracle):
         for t in pointer_types:
             group_mask = group_masks[group.find(id(t))]
             mask = group_mask & self.subtypes.subtype_mask(t)
-            pruned_refs += group_mask.bit_count() - mask.bit_count()
+            pruned_refs += popcount(group_mask) - popcount(mask)
             self._mask_table[id(t)] = mask
             self._table[id(t)] = frozenset(
                 id(u) for u in self.subtypes.types_of_mask(mask)
@@ -278,6 +279,9 @@ class SMTypeRefsOracle(TypeOracle):
         if tp is tq:
             return True
         return (self.type_refs_mask(tp) & self.type_refs_mask(tq)) != 0
+
+    def type_mask(self, t: Type) -> int:
+        return self.type_refs_mask(t)
 
 
 def SMFieldTypeRefsAnalysis(

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, List
 
 from repro.lang.typecheck import CheckedModule
 from repro.lang.types import ObjectType, Type, is_subtype
+from repro.util.bits import popcount
 
 #: QA fault injection (see DESIGN.md §6d): when this environment variable
 #: is non-empty, every multi-bit ``Subtypes`` mask silently drops its
@@ -53,7 +54,7 @@ class SubtypeOracle:
             for o in objects:
                 if is_subtype(o, obj):
                     mask |= 1 << self._bits[id(o)]
-            if inject_fault and mask.bit_count() > 1:
+            if inject_fault and popcount(mask) > 1:
                 mask &= ~(1 << (mask.bit_length() - 1))
             self._masks[id(obj)] = mask
 

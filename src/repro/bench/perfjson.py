@@ -12,8 +12,10 @@ the engineering numbers this reproduction adds on top:
   pairs of one benchmark, in thousands of queries per second, with the
   memo-cache statistics;
 * ``table5`` — full-suite Table 5 wall time under the per-pair
-  ``reference`` engine and the partition-based ``fast`` engine, and the
-  resulting speedup.
+  ``reference`` engine, the partition-based ``fast`` engine and the
+  bitset-matrix ``bulk`` kernels (build time and pure re-count time
+  reported separately, plus the active backend), with the resulting
+  speedups.
 
 ``BENCH_alias.json`` is overwritten in place; ``--history FILE.jsonl``
 additionally *appends* a :mod:`repro.obs.history` ledger record (git
@@ -27,6 +29,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.analysis import ANALYSIS_NAMES, AliasPairCounter, collect_heap_references
+from repro.analysis.bulk import BACKENDS, BulkAliasMatrix, default_backend
 from repro.analysis.openworld import AnalysisContext
 from repro.bench import registry
 from repro.bench.suite import BASE, BenchmarkSuite
@@ -34,7 +37,9 @@ from repro.obs import core as obs
 from repro.obs import history
 
 #: Bumped whenever the JSON layout changes.
-SCHEMA_VERSION = 1
+#: v2: ``table5`` gained the bulk-kernel rows (``bulk_build_ms``,
+#: ``bulk_ms``, ``bulk_backend``, ``speedup_bulk``).
+SCHEMA_VERSION = 2
 
 #: Keys every report must carry (the smoke test checks these).
 REPORT_KEYS = ("schema", "query_benchmark", "construction_ms",
@@ -125,15 +130,34 @@ def measure_table5_engines(suite: BenchmarkSuite,
             entry[0].cache_clear()
             entry[index].count()
 
+    matrices: List[BulkAliasMatrix] = []
+
+    def build_bulk() -> None:
+        matrices.clear()
+        for analysis, reference_counter, _ in counters:
+            analysis.cache_clear()
+            matrices.append(BulkAliasMatrix.from_references(
+                reference_counter.references, analysis))
+
+    def run_bulk() -> None:
+        for matrix in matrices:
+            matrix.count_pairs()
+
     with obs.span("quick.table5"):
         reference = _best(lambda: run(1), rounds)
         fast = _best(lambda: run(2), rounds)
+        bulk_build = _best(build_bulk, rounds)
+        bulk = _best(run_bulk, rounds)
     return {
         "programs": list(names),
         "analyses": list(ANALYSIS_NAMES),
         "reference_ms": round(reference * 1000, 3),
         "fast_ms": round(fast * 1000, 3),
+        "bulk_build_ms": round(bulk_build * 1000, 3),
+        "bulk_ms": round(bulk * 1000, 3),
+        "bulk_backend": default_backend(),
         "speedup": round(reference / max(fast, 1e-9), 2),
+        "speedup_bulk": round(fast / max(bulk, 1e-9), 2),
     }
 
 
@@ -189,6 +213,10 @@ def report_phases(report: Dict[str, object]) -> Dict[str, Dict[str, float]]:
         round(table5["reference_ms"] / 1000.0, 6)
     phases[history.SUITE_BUCKET]["quick.table5.fast"] = \
         round(table5["fast_ms"] / 1000.0, 6)
+    phases[history.SUITE_BUCKET]["quick.table5.bulk_build"] = \
+        round(table5["bulk_build_ms"] / 1000.0, 6)
+    phases[history.SUITE_BUCKET]["quick.table5.bulk"] = \
+        round(table5["bulk_ms"] / 1000.0, 6)
     return phases
 
 
@@ -208,7 +236,9 @@ def validate_report(report: Dict[str, object]) -> None:
         assert cache["misses"] == cache["size"] > 0
     table5 = report["table5"]
     assert table5["reference_ms"] > 0 and table5["fast_ms"] > 0
-    assert table5["speedup"] > 0
+    assert table5["bulk_build_ms"] > 0 and table5["bulk_ms"] > 0
+    assert table5["bulk_backend"] in BACKENDS
+    assert table5["speedup"] > 0 and table5["speedup_bulk"] > 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -13,7 +13,10 @@ Commands:
   that ledger (see DESIGN.md §6f);
 * ``tables``       — regenerate the paper's tables/figures (slow);
 * ``fuzz``         — generate seeded programs and cross-check the
-  analyses against the soundness oracles (see DESIGN.md §6d);
+  analyses against the soundness oracles (see DESIGN.md §6d); the seed
+  range fans out over ``--jobs`` worker processes;
+* ``corpus``       — ``gen``/``verify``/``run``/``bench`` over sharded,
+  content-hashed corpora of generated programs (see DESIGN.md §6g);
 * ``profile``      — phase-time tree + top metric counts for one program
   (a file or a registered benchmark; see DESIGN.md §6e).
 
@@ -224,13 +227,14 @@ class _HistoryRecording:
             obs.disable()
         return False
 
-    def append(self, path: str, label: str) -> Optional[dict]:
+    def append(self, path: str, label: str,
+               extra_phases: Optional[dict] = None) -> Optional[dict]:
         """Collect a ledger record from the recorded run and append it."""
         if not self.enabled:
             return None
         from repro.obs import history
 
-        record = history.collect_record(label)
+        record = history.collect_record(label, extra_phases=extra_phases)
         history.append_record(path, record)
         log.info("history: appended {} record to {} (sha {})".format(
             label, path, (record["git_sha"] or "unknown")[:12]))
@@ -369,6 +373,20 @@ def _cmd_bench_gate(args, rest: List[str]) -> int:
         try:
             if _run_bench_suite(args, None) != 0:
                 bench_failed = True
+            if args.corpus is not None:
+                # The corpus engine benchmark runs inside the measured
+                # segment so its corpus.table5.* phases land in the gate
+                # record and regress like any benchmark phase.
+                from repro.qa.corpus import bench_corpus
+
+                try:
+                    bench_corpus(args.corpus, repeats=1,
+                                 max_shards=args.corpus_shards)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    log.error("gate: corpus bench failed: {}".format(exc))
+                    bench_failed = True
         finally:
             if not trace_active:
                 obs.disable()
@@ -470,6 +488,7 @@ def cmd_fuzz(args) -> int:
         reduce=not args.no_reduce,
         config=config,
         progress=progress,
+        jobs=args.jobs,
     )
     print(
         "fuzz: {} programs (seeds {}..{}), {} ran clean, {} trapped, "
@@ -496,6 +515,132 @@ def cmd_fuzz(args) -> int:
     if out_dir is not None:
         print("report: {}/fuzz-report.json".format(out_dir))
     return 1 if report.failures else 0
+
+
+def cmd_corpus_gen(args) -> int:
+    from pathlib import Path
+
+    from repro.qa.corpus import CorpusSpec, generate_corpus
+
+    try:
+        spec = CorpusSpec(
+            seed=args.seed,
+            count=args.count,
+            shard_size=args.shard_size,
+            max_object_types=args.max_object_types,
+            max_ref_vars=args.max_ref_vars,
+            max_int_vars=args.max_int_vars,
+            max_procs=args.max_procs,
+            max_stmts=args.max_stmts,
+            max_depth=args.max_depth,
+            allow_methods=not args.no_methods,
+            allow_nil=not args.no_nil,
+        )
+    except ValueError as err:
+        log.error("corpus gen: {}".format(err))
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if args.verbose:
+            print("shard {}/{}".format(done, total))
+
+    started = time.perf_counter()
+    manifest = generate_corpus(spec, Path(args.dir), progress=progress)
+    print("corpus: {} programs in {} shards -> {} ({:.1f}s)".format(
+        manifest.n_programs, len(manifest.shards), args.dir,
+        time.perf_counter() - started))
+    return 0
+
+
+def cmd_corpus_verify(args) -> int:
+    from repro.qa.corpus import verify_corpus
+
+    try:
+        manifest = verify_corpus(args.dir)
+    except (OSError, ValueError) as err:
+        log.error("corpus verify: {}".format(err))
+        return 1
+    print("corpus: ok ({} programs, {} shards, all hashes match)".format(
+        manifest.n_programs, len(manifest.shards)))
+    return 0
+
+
+def cmd_corpus_run(args) -> int:
+    from repro.obs import metrics
+    from repro.qa.corpus import run_corpus
+
+    analyses = [a for a in (args.analyses or "").split(",") if a] or None
+
+    def progress(outcome) -> None:
+        if args.verbose:
+            print("shard {:4d}: {} programs, {} failures, {:.2f}s".format(
+                outcome.index, outcome.programs, len(outcome.failures),
+                outcome.seconds))
+
+    recording = _HistoryRecording(enabled=not args.no_history)
+    with recording:
+        try:
+            report = run_corpus(
+                args.dir,
+                jobs=args.jobs,
+                analyses=analyses,
+                engine=args.engine,
+                oracles=args.oracles,
+                per_program_seconds=args.per_program_seconds,
+                max_steps=args.max_steps,
+                max_shards=args.max_shards,
+                progress=progress,
+            )
+        except (OSError, ValueError) as err:
+            log.error("corpus run: {}".format(err))
+            return 2
+        metrics.registry().gauge("corpus.run.programs_per_second").set(
+            round(report.throughput(), 3))
+    recording.append(args.history, label="corpus")
+    print(
+        "corpus run: {} programs / {} shards (jobs={}, engine={}), "
+        "{} refs, {} local + {} global pairs, {} failures, "
+        "{:.1f}s ({:.1f} programs/s)".format(
+            report.programs, len(report.shards), report.jobs, report.engine,
+            report.references, report.local_pairs, report.global_pairs,
+            len(report.failures), report.duration, report.throughput()))
+    _emit_failures(report.failures)
+    return 1 if report.failures else 0
+
+
+def cmd_corpus_bench(args) -> int:
+    from repro.qa.corpus import bench_corpus
+
+    recording = _HistoryRecording(enabled=not args.no_history)
+    with recording:
+        try:
+            phases = bench_corpus(
+                args.dir, repeats=args.repeats, max_shards=args.max_shards)
+        except (OSError, ValueError) as err:
+            log.error("corpus bench: {}".format(err))
+            return 2
+    recording.append(args.history, label="corpus-bench")
+    fast = phases["corpus.table5.fast"]
+    build = phases["corpus.bulk.build"]
+    bulk = phases["corpus.table5.bulk"]
+    speedup = (fast / bulk) if bulk > 0 else float("inf")
+    print("corpus bench: {} (program, analysis) counts, repeats={}".format(
+        int(phases["corpus.bench.programs"]), args.repeats))
+    print("  corpus.table5.fast : {:8.3f}s".format(fast))
+    print("  corpus.bulk.build  : {:8.3f}s (one-time, reusable matrices)"
+          .format(build))
+    print("  corpus.table5.bulk : {:8.3f}s".format(bulk))
+    print("  count speedup (fast/bulk): {:.1f}x".format(speedup))
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        log.error("corpus bench: bulk speedup {:.1f}x below required {:.1f}x"
+                  .format(speedup, args.min_speedup))
+        return 1
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    """Dispatch ``repro corpus gen|verify|run|bench``."""
+    return args.corpus_func(args)
 
 
 def _load_profile_target(target: str):
@@ -575,7 +720,8 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         choices=ENGINES,
         default=DEFAULT_ENGINE,
         help="alias-pair counting engine: the partition-based fast path, "
-        "the per-pair reference loop, or differential (both + agreement check)",
+        "the per-pair reference loop, the bitset-matrix bulk kernels, or "
+        "differential (all + agreement check)",
     )
 
 
@@ -691,6 +837,12 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default 0.005)")
     p.add_argument("--md", metavar="FILE", default=None,
                    help="compare/gate: also write the report as markdown")
+    p.add_argument("--corpus", metavar="DIR", default=None,
+                   help="gate: also time the corpus engine benchmark over "
+                   "this corpus each repeat, so corpus.table5.* phases "
+                   "are gated alongside the benchmarks")
+    p.add_argument("--corpus-shards", type=int, default=None, metavar="N",
+                   help="gate: limit --corpus to its first N shards")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_bench)
 
@@ -730,10 +882,102 @@ def build_parser() -> argparse.ArgumentParser:
                    help="interpreter step budget per traced run")
     p.add_argument("--max-stmts", type=int, default=22,
                    help="statement bound for generated programs")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes; seeds fan out in contiguous "
+                   "chunks with per-seed fault isolation and merge "
+                   "deterministically by seed (default: cpu count; "
+                   "--verbose per-seed lines need --jobs 1)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print one line per seed")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "corpus",
+        help="generate and drive sharded program corpora",
+        description="repro corpus gen renders a seeded, content-hashed "
+        "corpus of generated MiniM3 programs into sharded JSON files; "
+        "verify re-checks every shard hash; run drives the Table 5 count "
+        "(and optionally the soundness oracles) over the shards with a "
+        "multiprocessing pool and per-shard fault bulkheads, appending a "
+        "throughput record to the benchmark ledger; bench times the fast "
+        "engine against the bulk bitset kernels over the whole corpus.",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_cmd", required=True,
+                                  metavar="{gen,verify,run,bench}")
+
+    cg = corpus_sub.add_parser("gen", help="render a corpus to disk")
+    cg.add_argument("dir", help="output directory for shards + manifest")
+    cg.add_argument("--count", type=int, default=1000,
+                    help="number of programs (default 1000)")
+    cg.add_argument("--seed", type=int, default=0,
+                    help="base seed; program i uses seed+i (default 0)")
+    cg.add_argument("--shard-size", type=int, default=100,
+                    help="programs per shard file (default 100)")
+    cg.add_argument("--max-object-types", type=int, default=4)
+    cg.add_argument("--max-ref-vars", type=int, default=4)
+    cg.add_argument("--max-int-vars", type=int, default=3)
+    cg.add_argument("--max-procs", type=int, default=3)
+    cg.add_argument("--max-stmts", type=int, default=22,
+                    help="statement bound per program (default 22)")
+    cg.add_argument("--max-depth", type=int, default=2)
+    cg.add_argument("--no-methods", action="store_true")
+    cg.add_argument("--no-nil", action="store_true")
+    cg.add_argument("-v", "--verbose", action="store_true",
+                    help="print one line per shard")
+    cg.set_defaults(func=cmd_corpus, corpus_func=cmd_corpus_gen)
+
+    cv = corpus_sub.add_parser("verify", help="hash-check every shard")
+    cv.add_argument("dir")
+    cv.set_defaults(func=cmd_corpus, corpus_func=cmd_corpus_verify)
+
+    cr = corpus_sub.add_parser(
+        "run", help="sharded Table 5 / oracle driver")
+    cr.add_argument("dir")
+    cr.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="shard worker processes (default: cpu count)")
+    cr.add_argument("--engine", choices=("reference", "fast", "bulk",
+                                         "differential"), default="bulk",
+                    help="alias-pair engine for the count (default bulk)")
+    cr.add_argument("--analyses", metavar="NAME[,NAME...]", default=None,
+                    help="comma-separated analyses (default: all three)")
+    cr.add_argument("--oracles", action="store_true",
+                    help="also run the soundness oracle battery per "
+                    "program (regenerates each seed and cross-checks the "
+                    "stored hash first)")
+    cr.add_argument("--per-program-seconds", type=float, default=10.0,
+                    help="wall-clock bulkhead per program (default 10)")
+    cr.add_argument("--max-steps", type=int, default=400_000,
+                    help="interpreter step budget for --oracles runs")
+    cr.add_argument("--max-shards", type=int, default=None, metavar="N",
+                    help="only process the first N shards")
+    cr.add_argument("--history", metavar="FILE.jsonl",
+                    default="BENCH_history.jsonl",
+                    help="ledger to append the throughput record to")
+    cr.add_argument("--no-history", action="store_true",
+                    help="do not append a ledger record")
+    cr.add_argument("-v", "--verbose", action="store_true",
+                    help="print one line per shard")
+    _add_trace_flag(cr)
+    cr.set_defaults(func=cmd_corpus, corpus_func=cmd_corpus_run)
+
+    cb = corpus_sub.add_parser(
+        "bench", help="fast vs bulk engine timing over a corpus")
+    cb.add_argument("dir")
+    cb.add_argument("--repeats", type=int, default=3,
+                    help="timed count repetitions per engine (default 3; "
+                    "the bulk matrices build once and re-count)")
+    cb.add_argument("--max-shards", type=int, default=None, metavar="N")
+    cb.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                    help="exit nonzero unless fast/bulk count speedup "
+                    "reaches X")
+    cb.add_argument("--history", metavar="FILE.jsonl",
+                    default="BENCH_history.jsonl",
+                    help="ledger to append the phase record to")
+    cb.add_argument("--no-history", action="store_true",
+                    help="do not append a ledger record")
+    _add_trace_flag(cb)
+    cb.set_defaults(func=cmd_corpus, corpus_func=cmd_corpus_bench)
 
     p = sub.add_parser(
         "profile",

@@ -1,0 +1,664 @@
+"""Sharded corpus pipeline: ``repro corpus gen / verify / run / bench``.
+
+``repro fuzz`` exercises the oracles one seeded program at a time; the
+corpus pipeline scales the same deterministic generator to 10³–10⁵
+MiniM3 programs materialised on disk and drives batch work over them:
+
+* :func:`generate_corpus` renders programs for seeds ``seed ..
+  seed+count-1`` (size/shape dials come from :class:`CorpusSpec`, a
+  superset of :class:`~repro.qa.generator.GenConfig`) and writes them in
+  **content-hashed shards**: each shard file name embeds the SHA-256 of
+  its program payload and ``manifest.json`` pins every shard's hash, so
+  corruption or hand-editing is detected before any batch consumes it
+  (:func:`verify_corpus`).
+* :func:`run_corpus` is the sharded driver: shards fan out over a
+  ``multiprocessing`` pool (``jobs=1`` stays in-process and exactly
+  deterministic), each shard runs inside its own **fault bulkhead** —
+  one broken shard or program is reported without sinking the batch —
+  and per-shard results merge deterministically by shard index.  Worker
+  registries are snapshotted and folded back into the parent's
+  :mod:`repro.obs.metrics` registry, so ``aliaspairs.*`` / cache
+  counters aggregate across processes, and every shard contributes to
+  the ``corpus.shard.programs`` / ``corpus.shard.pairs`` /
+  ``corpus.shard.seconds`` counter family.
+* :func:`bench_corpus` times the Table 5 count over the corpus once per
+  engine — the fast engine re-partitions on every count, while the bulk
+  engine builds its bitset matrix once and then re-counts with pure
+  kernels — reporting per-phase seconds (``corpus.table5.fast``,
+  ``corpus.bulk.build``, ``corpus.table5.bulk``) that the CLI folds into
+  ``BENCH_history.jsonl`` so ``repro bench gate`` guards the hot path.
+
+Every program entry in a shard carries its generating seed *and* its
+rendered source hash; because generation is deterministic, workers can
+cross-check the stored source against a regeneration of the seed, which
+the ``--oracles`` mode uses before trusting a program.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import core as obs
+from repro.obs import metrics
+from repro.qa.generator import GenConfig, generate_program
+from repro.qa.guards import guarded
+
+__all__ = [
+    "CorpusSpec",
+    "CorpusManifest",
+    "ShardInfo",
+    "ShardOutcome",
+    "CorpusRunReport",
+    "generate_corpus",
+    "load_manifest",
+    "load_shard",
+    "verify_corpus",
+    "run_corpus",
+    "bench_corpus",
+]
+
+#: Bumped whenever the manifest/shard layout changes.
+CORPUS_SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Default per-program wall-clock bulkhead, seconds.
+PER_PROGRAM_SECONDS = 10.0
+
+
+# ----------------------------------------------------------------------
+# Spec and manifest
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Seeded recipe for one corpus: how many programs, what shapes.
+
+    The shape dials mirror :class:`~repro.qa.generator.GenConfig`; the
+    pipeline dials (``seed``, ``count``, ``shard_size``) are its own.
+    A spec fully determines the corpus bytes — same spec, same shards,
+    same hashes.
+    """
+
+    seed: int = 0
+    count: int = 1000
+    shard_size: int = 100
+    max_object_types: int = 4
+    max_ref_vars: int = 4
+    max_int_vars: int = 3
+    max_procs: int = 3
+    max_stmts: int = 22
+    max_depth: int = 2
+    allow_methods: bool = True
+    allow_nil: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("corpus count must be >= 1")
+        if self.shard_size < 1:
+            raise ValueError("corpus shard_size must be >= 1")
+
+    def gen_config(self) -> GenConfig:
+        return GenConfig(
+            max_object_types=self.max_object_types,
+            max_ref_vars=self.max_ref_vars,
+            max_int_vars=self.max_int_vars,
+            max_procs=self.max_procs,
+            max_stmts=self.max_stmts,
+            max_depth=self.max_depth,
+            allow_methods=self.allow_methods,
+            allow_nil=self.allow_nil,
+        )
+
+    def n_shards(self) -> int:
+        return (self.count + self.shard_size - 1) // self.shard_size
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CorpusSpec":
+        known = {f: obj[f] for f in cls.__dataclass_fields__ if f in obj}
+        return cls(**known)
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard as the manifest records it."""
+
+    index: int
+    file: str
+    programs: int
+    sha256: str
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CorpusManifest:
+    """The validated content of ``manifest.json``."""
+
+    spec: CorpusSpec
+    shards: Tuple[ShardInfo, ...]
+
+    @property
+    def n_programs(self) -> int:
+        return sum(s.programs for s in self.shards)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": CORPUS_SCHEMA_VERSION,
+            "kind": "corpus_manifest",
+            "spec": self.spec.to_json(),
+            "programs": self.n_programs,
+            "n_shards": len(self.shards),
+            "shards": [s.to_json() for s in self.shards],
+        }
+
+
+def _payload_hash(programs: List[dict]) -> str:
+    blob = json.dumps(programs, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Generation
+
+
+def generate_corpus(
+    spec: CorpusSpec,
+    out_dir: Path,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CorpusManifest:
+    """Render the corpus *spec* describes into ``out_dir``.
+
+    Writes one ``shard-NNNN-<hash12>.json`` per :attr:`CorpusSpec.
+    shard_size` programs plus ``manifest.json``; returns the manifest.
+    ``progress`` (if given) is called with ``(shards_done, n_shards)``.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    config = spec.gen_config()
+    shards: List[ShardInfo] = []
+    n_shards = spec.n_shards()
+    with obs.span("corpus.gen", count=spec.count, shards=n_shards):
+        for shard_index in range(n_shards):
+            lo = shard_index * spec.shard_size
+            hi = min(lo + spec.shard_size, spec.count)
+            programs: List[dict] = []
+            for i in range(lo, hi):
+                seed = spec.seed + i
+                generated = generate_program(seed, config)
+                source = generated.render()
+                programs.append({
+                    "seed": seed,
+                    "name": generated.name,
+                    "sha256": hashlib.sha256(source.encode()).hexdigest(),
+                    "source": source,
+                })
+            digest = _payload_hash(programs)
+            file_name = "shard-{:04d}-{}.json".format(shard_index, digest[:12])
+            shard_obj = {
+                "schema": CORPUS_SCHEMA_VERSION,
+                "kind": "corpus_shard",
+                "index": shard_index,
+                "sha256": digest,
+                "programs": programs,
+            }
+            (out_dir / file_name).write_text(
+                json.dumps(shard_obj, sort_keys=True) + "\n")
+            shards.append(ShardInfo(
+                index=shard_index, file=file_name,
+                programs=len(programs), sha256=digest,
+            ))
+            if progress is not None:
+                progress(shard_index + 1, n_shards)
+    manifest = CorpusManifest(spec=spec, shards=tuple(shards))
+    (out_dir / MANIFEST_NAME).write_text(
+        json.dumps(manifest.to_json(), indent=2, sort_keys=True) + "\n")
+    metrics.registry().new_counter("corpus.gen.programs").inc(spec.count)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Loading and verification
+
+
+def load_manifest(corpus_dir: Path) -> CorpusManifest:
+    """Parse and structurally validate ``manifest.json``."""
+    path = Path(corpus_dir) / MANIFEST_NAME
+    try:
+        obj = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        raise ValueError("{}: not JSON: {}".format(path, err))
+    if not isinstance(obj, dict) or obj.get("kind") != "corpus_manifest":
+        raise ValueError("{}: not a corpus manifest".format(path))
+    if obj.get("schema") != CORPUS_SCHEMA_VERSION:
+        raise ValueError("{}: unknown schema version {!r}".format(
+            path, obj.get("schema")))
+    spec = CorpusSpec.from_json(obj["spec"])
+    shards = tuple(
+        ShardInfo(index=s["index"], file=s["file"],
+                  programs=s["programs"], sha256=s["sha256"])
+        for s in obj["shards"]
+    )
+    if [s.index for s in shards] != list(range(len(shards))):
+        raise ValueError("{}: shard indices are not dense".format(path))
+    return CorpusManifest(spec=spec, shards=shards)
+
+
+def load_shard(corpus_dir: Path, info: ShardInfo,
+               verify: bool = True) -> List[dict]:
+    """The program entries of one shard, hash-checked against the
+    manifest unless ``verify=False``."""
+    path = Path(corpus_dir) / info.file
+    obj = json.loads(path.read_text())
+    programs = obj.get("programs")
+    if not isinstance(programs, list):
+        raise ValueError("{}: malformed shard (no programs)".format(path))
+    if verify:
+        digest = _payload_hash(programs)
+        if digest != info.sha256 or digest != obj.get("sha256"):
+            raise ValueError(
+                "{}: content hash mismatch (manifest {}, got {})".format(
+                    path, info.sha256[:12], digest[:12]))
+    return programs
+
+
+def verify_corpus(corpus_dir: Path) -> CorpusManifest:
+    """Hash-check every shard against the manifest; returns it when ok."""
+    manifest = load_manifest(corpus_dir)
+    for info in manifest.shards:
+        load_shard(corpus_dir, info, verify=True)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Sharded run driver
+
+
+@dataclass
+class _RunOptions:
+    """Everything a shard worker needs (must stay picklable)."""
+
+    corpus_dir: str
+    analyses: Tuple[str, ...]
+    engine: str
+    oracles: bool
+    per_program_seconds: Optional[float]
+    max_steps: int
+    in_process: bool  # jobs=1: keep parent registry/recorder untouched
+    spec: Optional[dict] = None  # generator dials, for the oracle mode
+
+
+@dataclass
+class ShardOutcome:
+    """Result of one shard's bulkhead (always produced, even on crash)."""
+
+    index: int
+    file: str
+    programs: int = 0
+    compiled: int = 0
+    oracle_checked: int = 0
+    references: int = 0
+    local_pairs: int = 0
+    global_pairs: int = 0
+    seconds: float = 0.0
+    failures: List[dict] = field(default_factory=list)
+    counters: Optional[List[dict]] = None  # worker registry snapshot
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "file": self.file,
+            "programs": self.programs,
+            "compiled": self.compiled,
+            "oracle_checked": self.oracle_checked,
+            "references": self.references,
+            "local_pairs": self.local_pairs,
+            "global_pairs": self.global_pairs,
+            "seconds": round(self.seconds, 3),
+            "failures": self.failures,
+        }
+
+
+@dataclass
+class CorpusRunReport:
+    """Deterministic merge of every shard outcome, by shard index."""
+
+    corpus_dir: str
+    engine: str
+    jobs: int
+    analyses: Tuple[str, ...]
+    shards: List[ShardOutcome] = field(default_factory=list)
+    duration: float = 0.0
+
+    @property
+    def programs(self) -> int:
+        return sum(s.programs for s in self.shards)
+
+    @property
+    def compiled(self) -> int:
+        return sum(s.compiled for s in self.shards)
+
+    @property
+    def references(self) -> int:
+        return sum(s.references for s in self.shards)
+
+    @property
+    def local_pairs(self) -> int:
+        return sum(s.local_pairs for s in self.shards)
+
+    @property
+    def global_pairs(self) -> int:
+        return sum(s.global_pairs for s in self.shards)
+
+    @property
+    def failures(self) -> List[dict]:
+        out: List[dict] = []
+        for shard in self.shards:
+            out.extend(shard.failures)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def throughput(self) -> float:
+        """Programs per second of wall clock (the ledger's headline)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.programs / self.duration
+
+    def to_json(self) -> dict:
+        return {
+            "corpus_dir": self.corpus_dir,
+            "engine": self.engine,
+            "jobs": self.jobs,
+            "analyses": list(self.analyses),
+            "programs": self.programs,
+            "compiled": self.compiled,
+            "references": self.references,
+            "local_pairs": self.local_pairs,
+            "global_pairs": self.global_pairs,
+            "ok": self.ok,
+            "failures": self.failures,
+            "duration_seconds": round(self.duration, 3),
+            "programs_per_second": round(self.throughput(), 2),
+            "shards": [s.to_json() for s in self.shards],
+        }
+
+
+def _count_program(entry: dict, options: _RunOptions,
+                   outcome: ShardOutcome) -> None:
+    """Table 5 (and optionally the oracle battery) for one program."""
+    from repro import compile_program
+    from repro.analysis.alias_pairs import AliasPairCounter
+
+    program = compile_program(entry["source"], entry["name"])
+    outcome.compiled += 1
+    ir = program.pipeline.base().program
+    for analysis_name in options.analyses:
+        analysis = program.analysis(analysis_name)
+        report = AliasPairCounter(ir, analysis, engine=options.engine).count()
+        outcome.references += report.references
+        outcome.local_pairs += report.local_pairs
+        outcome.global_pairs += report.global_pairs
+    if options.oracles:
+        from repro.qa.oracles import check_program
+
+        # Determinism doubles as integrity: the recorded seed must
+        # regenerate the stored bytes before the oracles vouch for it.
+        if options.spec is not None:
+            config = CorpusSpec.from_json(options.spec).gen_config()
+            regenerated = generate_program(entry["seed"], config).render()
+            digest = hashlib.sha256(regenerated.encode()).hexdigest()
+            if digest != entry["sha256"]:
+                raise ValueError(
+                    "seed {} does not regenerate the stored program {}"
+                    .format(entry["seed"], entry["name"]))
+        oracle = check_program(entry["source"], name=entry["name"],
+                               seed=entry["seed"], max_steps=options.max_steps)
+        outcome.oracle_checked += 1
+        if not oracle.ok:
+            first = oracle.violations[0]
+            outcome.failures.append({
+                "seed": entry["seed"],
+                "name": entry["name"],
+                "phase": first.phase,
+                "error": first.kind,
+                "message": first.message,
+            })
+
+
+def _process_shard(task: Tuple[dict, _RunOptions]) -> ShardOutcome:
+    """Worker entry point: one shard inside its bulkhead.
+
+    Runs in a pool process for ``jobs>1`` (where the inherited registry
+    is reset so the returned snapshot is exactly this shard's counters)
+    or inline for ``jobs=1`` (where counters land in the parent registry
+    directly and no snapshot is shipped).
+    """
+    info_obj, options = task
+    outcome = ShardOutcome(index=info_obj["index"], file=info_obj["file"])
+    started = time.perf_counter()
+    if not options.in_process:
+        metrics.registry().reset()
+    try:
+        info = ShardInfo(**info_obj)
+        programs = load_shard(Path(options.corpus_dir), info, verify=True)
+        for entry in programs:
+            outcome.programs += 1
+            try:
+                with guarded(options.per_program_seconds,
+                             "corpus program {}".format(entry["name"])):
+                    _count_program(entry, options, outcome)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # per-program bulkhead
+                outcome.failures.append({
+                    "seed": entry.get("seed"),
+                    "name": entry.get("name"),
+                    "phase": "program",
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                })
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:  # per-shard bulkhead
+        outcome.failures.append({
+            "seed": None,
+            "name": info_obj["file"],
+            "phase": "shard",
+            "error": type(exc).__name__,
+            "message": str(exc),
+        })
+    outcome.seconds = time.perf_counter() - started
+    if not options.in_process:
+        outcome.counters = metrics.registry().snapshot()
+    return outcome
+
+
+def _merge_worker_counters(snapshot: List[dict]) -> None:
+    """Fold one worker registry snapshot into the parent registry.
+
+    Counters accumulate into the shared child for the same series;
+    gauges adopt the worker's last value; histograms are summarised by
+    their event count under a ``.events`` counter (bucket-level merge is
+    not worth carrying across the pipe).
+    """
+    registry = metrics.registry()
+    for entry in snapshot:
+        labels = entry["labels"]
+        if entry["kind"] == "counter":
+            if entry["value"]:
+                registry.counter(entry["name"], **labels).inc(entry["value"])
+        elif entry["kind"] == "gauge":
+            registry.gauge(entry["name"], **labels).set(entry["value"])
+        elif entry["kind"] == "histogram" and entry.get("count"):
+            registry.counter(entry["name"] + ".events", **labels).inc(
+                entry["count"])
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def run_corpus(
+    corpus_dir: Path,
+    jobs: Optional[int] = None,
+    analyses: Optional[Sequence[str]] = None,
+    engine: str = "bulk",
+    oracles: bool = False,
+    per_program_seconds: Optional[float] = PER_PROGRAM_SECONDS,
+    max_steps: int = 400_000,
+    max_shards: Optional[int] = None,
+    progress: Optional[Callable[[ShardOutcome], None]] = None,
+) -> CorpusRunReport:
+    """Drive Table 5 counting (and optionally the oracle battery) over
+    every shard of a corpus, ``jobs`` shards at a time."""
+    from repro.analysis.openworld import ANALYSIS_NAMES
+
+    corpus_dir = Path(corpus_dir)
+    manifest = load_manifest(corpus_dir)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    analyses = tuple(analyses) if analyses else tuple(ANALYSIS_NAMES)
+    shard_infos = list(manifest.shards)
+    if max_shards is not None:
+        shard_infos = shard_infos[:max_shards]
+    options = _RunOptions(
+        corpus_dir=str(corpus_dir),
+        analyses=analyses,
+        engine=engine,
+        oracles=oracles,
+        per_program_seconds=per_program_seconds,
+        max_steps=max_steps,
+        in_process=(jobs == 1),
+        spec=manifest.spec.to_json(),
+    )
+    tasks = [(info.to_json(), options) for info in shard_infos]
+    report = CorpusRunReport(
+        corpus_dir=str(corpus_dir), engine=engine, jobs=jobs,
+        analyses=analyses)
+    started = time.monotonic()
+    with obs.span("corpus.run", shards=len(tasks), jobs=jobs, engine=engine):
+        if jobs == 1:
+            outcomes = [_process_shard(task) for task in tasks]
+        else:
+            # fork keeps the workers cheap; the registry reset inside
+            # _process_shard makes the inherited state irrelevant.
+            with multiprocessing.Pool(processes=jobs) as pool:
+                outcomes = list(pool.imap_unordered(_process_shard, tasks))
+        outcomes.sort(key=lambda o: o.index)  # deterministic merge order
+        registry = metrics.registry()
+        for outcome in outcomes:
+            if outcome.counters is not None:
+                _merge_worker_counters(outcome.counters)
+                outcome.counters = None
+            registry.new_counter("corpus.shard.programs").inc(outcome.programs)
+            registry.new_counter("corpus.shard.pairs").inc(
+                outcome.local_pairs + outcome.global_pairs)
+            registry.new_counter("corpus.shard.seconds").inc(outcome.seconds)
+            with obs.span("corpus.shard", index=outcome.index,
+                          programs=outcome.programs):
+                pass  # marker span: shard boundaries in the trace timeline
+            report.shards.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    report.duration = time.monotonic() - started
+    registry.new_counter("corpus.run.shards").inc(len(report.shards))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Engine benchmark over a corpus
+
+
+def bench_corpus(
+    corpus_dir: Path,
+    analyses: Optional[Sequence[str]] = None,
+    repeats: int = 1,
+    max_shards: Optional[int] = None,
+) -> Dict[str, float]:
+    """Per-phase seconds of the Table 5 count over a corpus, per engine.
+
+    Compiles every program once, then times three phases ``repeats``
+    times over the same inputs:
+
+    * ``corpus.table5.fast``  — the PR 1 fast engine, which re-runs its
+      partition + representative queries on every count;
+    * ``corpus.bulk.build``   — building each program's bitset matrices
+      (paid once; matrices are reusable and picklable);
+    * ``corpus.table5.bulk``  — re-counting from the prebuilt matrices
+      with pure kernels (the bulk hot path).
+
+    Counts are asserted equal between engines on every program, so the
+    benchmark doubles as a corpus-wide differential test.
+    """
+    from repro import compile_program
+    from repro.analysis.alias_pairs import AliasPairCounter
+    from repro.analysis.bulk import BulkAliasMatrix
+    from repro.analysis.openworld import ANALYSIS_NAMES
+
+    corpus_dir = Path(corpus_dir)
+    manifest = load_manifest(corpus_dir)
+    analyses = tuple(analyses) if analyses else tuple(ANALYSIS_NAMES)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    shard_infos = list(manifest.shards)
+    if max_shards is not None:
+        shard_infos = shard_infos[:max_shards]
+    # One-time setup outside every timed phase: compile, build analyses,
+    # pre-collect the canonical reference maps.
+    counters: List[AliasPairCounter] = []
+    with obs.span("corpus.bench.setup"):
+        for info in shard_infos:
+            for entry in load_shard(corpus_dir, info, verify=True):
+                program = compile_program(entry["source"], entry["name"])
+                ir = program.pipeline.base().program
+                for analysis_name in analyses:
+                    counters.append(AliasPairCounter(
+                        ir, program.analysis(analysis_name), engine="fast"))
+
+    phases = {"corpus.table5.fast": 0.0, "corpus.bulk.build": 0.0,
+              "corpus.table5.bulk": 0.0}
+    fast_counts: List[Tuple[int, int, int]] = []
+    for _ in range(repeats):
+        with obs.span("corpus.table5.fast", programs=len(counters)):
+            started = time.perf_counter()
+            fast_counts = [c._count_fast().counts() for c in counters]
+            phases["corpus.table5.fast"] += time.perf_counter() - started
+
+    with obs.span("corpus.bulk.build", programs=len(counters)):
+        started = time.perf_counter()
+        matrices = [
+            BulkAliasMatrix.from_references(c.references, c.analysis)
+            for c in counters
+        ]
+        phases["corpus.bulk.build"] += time.perf_counter() - started
+
+    bulk_counts: List[Tuple[int, int, int]] = []
+    for _ in range(repeats):
+        with obs.span("corpus.table5.bulk", programs=len(matrices)):
+            started = time.perf_counter()
+            bulk_counts = [m.count_pairs().counts() for m in matrices]
+            phases["corpus.table5.bulk"] += time.perf_counter() - started
+
+    for i, (fast, bulk) in enumerate(zip(fast_counts, bulk_counts)):
+        if fast != bulk:
+            raise AssertionError(
+                "corpus bench: engines disagree on program {} ({}): "
+                "fast={} bulk={}".format(
+                    i, counters[i].analysis.name, fast, bulk))
+    phases["corpus.bench.programs"] = float(len(counters))
+    return phases

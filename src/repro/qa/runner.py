@@ -17,14 +17,25 @@ of the batch: each program runs under a wall-clock guard
 (:func:`~repro.qa.guards.guarded`) and an interpreter step budget, and
 every exception except ``KeyboardInterrupt``/``SystemExit`` is recorded
 and skipped past.
+
+``jobs > 1`` fans the seed range out over a ``multiprocessing`` pool in
+contiguous chunks.  Each chunk keeps the same per-seed bulkheads; crash
+bundles are written by the workers (bundle paths embed the seed, so
+writers never collide) and the merged report is deterministic — chunk
+results are combined in seed order, so the same seeds produce the same
+report regardless of ``jobs`` (only ``duration`` and the progress
+callback, which needs an in-process caller, differ).
 """
 
 import hashlib
 import json
+import math
+import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.obs import core as obs
 from repro.qa.generator import GenConfig, GeneratedProgram, generate_program
@@ -32,7 +43,7 @@ from repro.qa.guards import guarded
 from repro.qa.oracles import OracleReport, check_program
 from repro.qa.reduce import reduce_program, write_crash_bundle
 
-__all__ = ["FailureRecord", "FuzzReport", "run_fuzz"]
+__all__ = ["FailureRecord", "FuzzReport", "run_fuzz", "default_jobs"]
 
 #: Default per-program wall-clock bulkhead, seconds.
 PER_PROGRAM_SECONDS = 10.0
@@ -115,6 +126,11 @@ def failure_digest(phase: str, kind: str, message: str) -> str:
     return hashlib.sha256(blob).hexdigest()[:12]
 
 
+def default_jobs() -> int:
+    """Worker processes used when callers pass ``jobs=None``."""
+    return os.cpu_count() or 1
+
+
 def run_fuzz(
     count: int,
     base_seed: int = 0,
@@ -124,10 +140,51 @@ def run_fuzz(
     reduce: bool = True,
     config: Optional[GenConfig] = None,
     progress: Optional[Callable[[int, OracleReport], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> FuzzReport:
-    """Fuzz *count* seeded programs; never aborts on a single failure."""
-    report = FuzzReport(base_seed=base_seed, count=count)
+    """Fuzz *count* seeded programs; never aborts on a single failure.
+
+    ``jobs=1`` (the default) keeps the exact in-process path (required
+    for the ``progress`` callback); ``jobs=None`` uses
+    :func:`default_jobs`, i.e. ``os.cpu_count()``.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     started = time.monotonic()
+    if jobs == 1 or count <= 1:
+        report = _fuzz_chunk(
+            count, base_seed, out_dir, per_program_seconds, max_steps,
+            reduce, config, progress,
+        )
+    else:
+        report = _fuzz_parallel(
+            count, base_seed, out_dir, per_program_seconds, max_steps,
+            reduce, config, jobs,
+        )
+    report.duration = time.monotonic() - started
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "fuzz-report.json").write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+    return report
+
+
+def _fuzz_chunk(
+    count: int,
+    base_seed: int,
+    out_dir: Optional[Path],
+    per_program_seconds: Optional[float],
+    max_steps: int,
+    reduce: bool,
+    config: Optional[GenConfig],
+    progress: Optional[Callable[[int, OracleReport], None]] = None,
+) -> FuzzReport:
+    """One contiguous seed range, in-process (the pre-``jobs`` body)."""
+    report = FuzzReport(base_seed=base_seed, count=count)
     with obs.span("fuzz.batch", base_seed=base_seed, count=count):
         for i in range(count):
             seed = base_seed + i
@@ -139,13 +196,47 @@ def run_fuzz(
                 if record is not None:
                     seed_span.annotate(failure=record.kind)
                     report.failures.append(record)
-    report.duration = time.monotonic() - started
-    if out_dir is not None:
-        out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / "fuzz-report.json").write_text(
-            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
-        )
+    return report
+
+
+def _fuzz_chunk_task(task: Tuple) -> FuzzReport:
+    """Pool entry point (top-level so it pickles); no progress callback."""
+    count, base_seed, out_dir, per_program_seconds, max_steps, reduce, config = task
+    return _fuzz_chunk(
+        count, base_seed, Path(out_dir) if out_dir else None,
+        per_program_seconds, max_steps, reduce, config,
+    )
+
+
+def _fuzz_parallel(
+    count: int,
+    base_seed: int,
+    out_dir: Optional[Path],
+    per_program_seconds: Optional[float],
+    max_steps: int,
+    reduce: bool,
+    config: Optional[GenConfig],
+    jobs: int,
+) -> FuzzReport:
+    """Fan contiguous seed chunks over a pool and merge by seed order."""
+    chunk = math.ceil(count / jobs)
+    tasks = []
+    lo = 0
+    while lo < count:
+        n = min(chunk, count - lo)
+        tasks.append((n, base_seed + lo, str(out_dir) if out_dir else None,
+                      per_program_seconds, max_steps, reduce, config))
+        lo += n
+    with obs.span("fuzz.batch", base_seed=base_seed, count=count, jobs=jobs):
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            chunks = list(pool.imap_unordered(_fuzz_chunk_task, tasks))
+    report = FuzzReport(base_seed=base_seed, count=count)
+    for part in sorted(chunks, key=lambda r: r.base_seed):
+        report.checked += part.checked
+        report.ran_clean += part.ran_clean
+        report.trapped += part.trapped
+        report.failures.extend(part.failures)
+    report.failures.sort(key=lambda f: f.seed)
     return report
 
 

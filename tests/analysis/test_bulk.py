@@ -1,0 +1,151 @@
+"""The bitset-matrix bulk engine: kernels, backends, pickling, fuzz.
+
+``test_engine_differential.py`` already pins bulk == fast == reference
+on every bundled benchmark (the ``differential`` engine runs all
+three).  This module covers what that sweep cannot: the matrix object
+itself (point queries, schemes, pickling, the python/numpy backends)
+and a wide net of generated programs.
+"""
+
+import pickle
+
+import pytest
+
+from repro import compile_program
+from repro.analysis import (
+    ANALYSIS_NAMES,
+    AliasPairCounter,
+    AlwaysAliasAnalysis,
+    BulkAliasMatrix,
+    build_matrix,
+    collect_heap_references,
+)
+from repro.analysis import bulk as bulk_mod
+from repro.analysis.bulk import BACKEND_ENV, HAVE_NUMPY, default_backend
+from repro.bench.suite import BASE
+from repro.qa.generator import GenConfig, generate_program
+
+FUZZ_SEEDS = 200
+FUZZ_CONFIG = GenConfig(max_object_types=4, max_procs=3, max_stmts=14)
+
+
+def _matrix(suite, bench="slisp", analysis_name="FieldTypeDecl"):
+    base = suite.build(bench, BASE)
+    program = suite.program(bench)
+    analysis = program.analysis(analysis_name)
+    return base.program, analysis, build_matrix(base.program, analysis)
+
+
+def test_fuzz_seeds_all_engines_agree():
+    """bulk == fast == reference over a wide range of generated shapes."""
+    for seed in range(FUZZ_SEEDS):
+        generated = generate_program(seed, FUZZ_CONFIG)
+        program = compile_program(generated.render(), generated.name)
+        ir = program.pipeline.base().program
+        for analysis_name in ANALYSIS_NAMES:
+            analysis = program.analysis(analysis_name)
+            # The differential engine raises AssertionError on any
+            # disagreement between the three engines.
+            AliasPairCounter(ir, analysis, engine="differential").count()
+
+
+def test_point_queries_match_analysis(suite):
+    ir, analysis, matrix = _matrix(suite)
+    refs = collect_heap_references(ir)
+    paths = [ap for aps in refs.values() for ap in aps][:60]
+    for p in paths:
+        for q in paths:
+            assert matrix.may_alias_path(p, q) == analysis.may_alias(p, q)
+
+
+def test_scheme_selection(suite):
+    _, _, typedecl = _matrix(suite, analysis_name="TypeDecl")
+    assert typedecl.scheme == "typedecl"
+    _, _, field = _matrix(suite, analysis_name="FieldTypeDecl")
+    assert field.scheme == "field"
+    base = suite.build("slisp", BASE)
+    generic = build_matrix(base.program, AlwaysAliasAnalysis())
+    assert generic.scheme == "generic"
+    # AlwaysAlias: every class adjacent to every class, itself included.
+    k = generic.n_classes
+    assert generic.adjacent_pairs() == k * (k + 1) // 2
+
+
+def test_backends_agree(suite):
+    _, _, matrix = _matrix(suite)
+    python = matrix.count_pairs(backend="python")
+    assert matrix.count_pairs(backend="python") == python  # deterministic
+    if HAVE_NUMPY:
+        assert matrix.count_pairs(backend="numpy") == python
+    with pytest.raises(ValueError):
+        matrix.count_pairs(backend="cuda")
+
+
+def test_default_backend_env_override(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "python")
+    assert default_backend() == "python"
+    monkeypatch.setenv(BACKEND_ENV, "fortran")
+    with pytest.raises(ValueError):
+        default_backend()
+    monkeypatch.delenv(BACKEND_ENV)
+    assert default_backend() == ("numpy" if HAVE_NUMPY else "python")
+    # Small matrices fall back to the big-int kernel: numpy's per-call
+    # dispatch overhead swamps the O(k^2) work below the threshold.
+    assert default_backend(n_classes=4) == "python"
+    big = bulk_mod.NUMPY_MIN_CLASSES
+    assert default_backend(n_classes=big) == \
+        ("numpy" if HAVE_NUMPY else "python")
+    monkeypatch.setenv(BACKEND_ENV, "numpy")
+    assert default_backend(n_classes=4) == "numpy"  # forced wins
+
+
+def test_numpy_backend_requires_numpy(suite, monkeypatch):
+    _, _, matrix = _matrix(suite)
+    monkeypatch.setattr(bulk_mod, "HAVE_NUMPY", False)
+    with pytest.raises(RuntimeError):
+        matrix.count_pairs(backend="numpy")
+
+
+def test_pickle_round_trip(suite):
+    """Matrices ship between processes: counts and queries survive."""
+    _, analysis, matrix = _matrix(suite)
+    before = matrix.count_pairs(backend="python")
+    clone = pickle.loads(pickle.dumps(matrix))
+    assert clone.analysis_name == matrix.analysis_name
+    assert clone.n_paths == matrix.n_paths
+    assert clone.n_classes == matrix.n_classes
+    assert clone.count_pairs(backend="python") == before
+    if HAVE_NUMPY:
+        assert clone.count_pairs(backend="numpy") == before
+    # Index-level queries survive; the uid -> index map is a transient
+    # tied to the building process's interned paths, so path lookups
+    # fail loudly rather than silently misresolving.
+    for i in range(min(clone.n_paths, 20)):
+        for j in range(min(clone.n_paths, 20)):
+            assert clone.may_alias_index(i, j) == matrix.may_alias_index(i, j)
+    some_path = next(
+        ap
+        for aps in collect_heap_references(suite.build("slisp", BASE).program).values()
+        for ap in aps
+    )
+    with pytest.raises(LookupError):
+        clone.index_of(some_path)
+
+
+def test_from_references_matches_build_matrix(suite):
+    ir, analysis, matrix = _matrix(suite)
+    refs = collect_heap_references(ir)
+    direct = BulkAliasMatrix.from_references(refs, analysis)
+    assert direct.count_pairs() == matrix.count_pairs()
+
+
+def test_adjacent_pairs_counts_unordered(suite):
+    _, _, matrix = _matrix(suite)
+    pairs = matrix.adjacent_pairs()
+    brute = sum(
+        1
+        for i in range(matrix.n_classes)
+        for j in range(i, matrix.n_classes)
+        if (matrix.class_rows[i] >> j) & 1
+    )
+    assert pairs == brute

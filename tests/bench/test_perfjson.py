@@ -46,13 +46,16 @@ def test_report_phases_maps_report_numbers_to_seconds():
         "query_benchmark": "m3cg",
         "construction_ms": {"TypeDecl": 2.5},
         "query_throughput": {"TypeDecl": {"ms": 10.0}},
-        "table5": {"reference_ms": 100.0, "fast_ms": 20.0},
+        "table5": {"reference_ms": 100.0, "fast_ms": 20.0,
+                   "bulk_build_ms": 5.0, "bulk_ms": 2.0},
     }
     phases = perfjson.report_phases(report)
     assert phases["m3cg"]["quick.construction.TypeDecl"] == 0.0025
     assert phases["m3cg"]["quick.query.TypeDecl"] == 0.01
     assert phases[SUITE_BUCKET]["quick.table5.reference"] == 0.1
     assert phases[SUITE_BUCKET]["quick.table5.fast"] == 0.02
+    assert phases[SUITE_BUCKET]["quick.table5.bulk_build"] == 0.005
+    assert phases[SUITE_BUCKET]["quick.table5.bulk"] == 0.002
 
 
 def test_perfjson_main_appends_history(tmp_path, capsys):

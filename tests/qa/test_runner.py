@@ -63,6 +63,33 @@ def test_keyboard_interrupt_propagates(monkeypatch):
         run_fuzz(3, base_seed=0)
 
 
+def test_parallel_jobs_match_serial(monkeypatch):
+    """jobs>1 must reproduce the jobs=1 report, failures included."""
+    monkeypatch.setenv(FAULT_ENV, "1")
+    serial = run_fuzz(6, base_seed=0, reduce=False, jobs=1)
+    pooled = run_fuzz(6, base_seed=0, reduce=False, jobs=3)
+    assert pooled.checked == serial.checked
+    assert pooled.ran_clean == serial.ran_clean
+    assert pooled.trapped == serial.trapped
+    assert [(f.seed, f.phase, f.kind, f.digest) for f in pooled.failures] == \
+        [(f.seed, f.phase, f.kind, f.digest) for f in serial.failures]
+
+
+def test_parallel_report_written(tmp_path):
+    report = run_fuzz(4, base_seed=0, out_dir=tmp_path, reduce=False, jobs=2)
+    assert report.ok
+    data = json.loads((tmp_path / "fuzz-report.json").read_text())
+    assert data["count"] == 4
+    assert data["checked"] == 4
+
+
+def test_jobs_validation():
+    with pytest.raises(ValueError):
+        run_fuzz(2, jobs=0)
+    # jobs=None resolves to os.cpu_count() without blowing up.
+    assert run_fuzz(2, base_seed=0, jobs=None).checked == 2
+
+
 def test_digest_is_stable_and_masks_digits():
     a = failure_digest("dynamic", "dynamic-soundness",
                        "v1.r12.f1 and v3.r2.f1 hit address 0x10088")

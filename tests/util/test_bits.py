@@ -1,0 +1,71 @@
+"""Unit tests for the popcount/bit-iteration compat shim."""
+
+import random
+
+import pytest
+
+from repro.util import bits
+
+
+def test_popcount_small_values():
+    assert bits.popcount(0) == 0
+    assert bits.popcount(1) == 1
+    assert bits.popcount(0b1011) == 3
+    assert bits.popcount((1 << 64) - 1) == 64
+
+
+def test_popcount_huge_mask():
+    mask = (1 << 100_000) | (1 << 3) | 1
+    assert bits.popcount(mask) == 3
+
+
+def test_popcount_matches_bin_count_randomised():
+    rng = random.Random(7)
+    for _ in range(200):
+        mask = rng.getrandbits(rng.randint(1, 300))
+        assert bits.popcount(mask) == bin(mask).count("1")
+
+
+def test_popcount_compat_matches_native():
+    """The 3.9 fallback must agree with the native path bit for bit."""
+    rng = random.Random(11)
+    for _ in range(200):
+        mask = rng.getrandbits(rng.randint(1, 300))
+        assert bits._popcount_compat(mask) == bin(mask).count("1")
+        if bits.HAVE_BIT_COUNT:
+            assert bits._popcount_compat(mask) == bits._popcount_native(mask)
+
+
+def test_popcount_rejects_negative():
+    with pytest.raises(ValueError):
+        bits._popcount_compat(-1)
+
+
+def test_iter_bits_ascending_and_complete():
+    mask = (1 << 0) | (1 << 5) | (1 << 63) | (1 << 200)
+    assert list(bits.iter_bits(mask)) == [0, 5, 63, 200]
+
+
+def test_iter_bits_empty():
+    assert list(bits.iter_bits(0)) == []
+
+
+def test_iter_bits_rejects_negative():
+    with pytest.raises(ValueError):
+        list(bits.iter_bits(-2))
+
+
+def test_bits_of_mask_of_round_trip():
+    rng = random.Random(3)
+    for _ in range(100):
+        mask = rng.getrandbits(rng.randint(1, 200))
+        assert bits.mask_of(bits.bits_of(mask)) == mask
+
+
+def test_mask_of_rejects_negative_index():
+    with pytest.raises(ValueError):
+        bits.mask_of([3, -1])
+
+
+def test_mask_of_accepts_duplicates():
+    assert bits.mask_of([2, 2, 5]) == 0b100100
