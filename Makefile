@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-quick bench-gate tables examples fuzz \
-	fuzz-smoke profile-smoke corpus-gen corpus-smoke clean
+	fuzz-smoke profile-smoke corpus-gen corpus-smoke serve-smoke clean
 
 # Seeded smoke corpus shared by corpus-smoke and the bench gate.
 CORPUS_SMOKE_DIR ?= benchmarks/results/corpus-smoke
@@ -16,6 +16,7 @@ test:
 	$(MAKE) fuzz-smoke
 	$(MAKE) corpus-smoke
 	$(MAKE) profile-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-gate
 
 bench:
@@ -39,7 +40,7 @@ bench-quick:
 bench-gate: corpus-gen
 	PYTHONPATH=src $(PYTHON) -m repro -q bench gate \
 		--baseline BENCH_baseline.jsonl --repeats 2 --no-history --tol 2.0 \
-		--corpus $(CORPUS_SMOKE_DIR)
+		--corpus $(CORPUS_SMOKE_DIR) --serve
 
 tables:
 	$(PYTHON) -m repro tables
@@ -78,6 +79,14 @@ corpus-smoke: corpus-gen
 		--jobs 2 --engine differential --no-history
 	PYTHONPATH=src $(PYTHON) -m repro -q corpus bench $(CORPUS_SMOKE_DIR) \
 		--repeats 2 --no-history
+
+# Analysis-daemon smoke: boot the serve daemon with both transports
+# (JSONL-on-stdio subprocess + localhost HTTP), fire the same batched
+# query set over each, and require identical Table 5 rows, differential
+# agreement with the cold fast/reference engines, warm == cold answers,
+# and a clean shutdown (DESIGN.md §6h).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro -q client --smoke
 
 # Observability smoke: `repro profile` over two bundled benchmarks with
 # the tree-sum check on, JSONL traces written and validated against the

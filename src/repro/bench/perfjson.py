@@ -15,7 +15,10 @@ the engineering numbers this reproduction adds on top:
   ``reference`` engine, the partition-based ``fast`` engine and the
   bitset-matrix ``bulk`` kernels (build time and pure re-count time
   reported separately, plus the active backend), with the resulting
-  speedups.
+  speedups;
+* ``serve`` — the warm-daemon vs cold single-shot row pair
+  (``serve.warm`` / ``serve.cold``, :mod:`repro.serve.bench`): what the
+  analysis-as-a-service layer saves on repeated queries.
 
 ``BENCH_alias.json`` is overwritten in place; ``--history FILE.jsonl``
 additionally *appends* a :mod:`repro.obs.history` ledger record (git
@@ -39,11 +42,13 @@ from repro.obs import history
 #: Bumped whenever the JSON layout changes.
 #: v2: ``table5`` gained the bulk-kernel rows (``bulk_build_ms``,
 #: ``bulk_ms``, ``bulk_backend``, ``speedup_bulk``).
-SCHEMA_VERSION = 2
+#: v3: new top-level ``serve`` section with the warm-daemon vs cold
+#: single-shot row pair (``serve.warm`` / ``serve.cold``).
+SCHEMA_VERSION = 3
 
 #: Keys every report must carry (the smoke test checks these).
 REPORT_KEYS = ("schema", "query_benchmark", "construction_ms",
-               "query_throughput", "table5")
+               "query_throughput", "table5", "serve")
 
 
 def _best(fn, rounds: int) -> float:
@@ -161,6 +166,26 @@ def measure_table5_engines(suite: BenchmarkSuite,
     }
 
 
+def measure_serve(names: Optional[List[str]] = None,
+                  rounds: int = 3) -> Dict[str, object]:
+    """The ``serve.warm`` / ``serve.cold`` row pair (schema v3).
+
+    Delegates to :func:`repro.serve.bench.run_serve_bench` — the same
+    measurement ``repro bench serve`` runs and ``repro bench gate
+    --serve`` enforces — and keeps only the ledger-worthy numbers.
+    """
+    from repro.serve.bench import run_serve_bench
+
+    result = run_serve_bench(names=names, repeats=rounds)
+    return {
+        "benchmarks": result["benchmarks"],
+        "queries": result["queries"],
+        "cold_ms": result["cold_ms"],
+        "warm_ms": result["warm_ms"],
+        "speedup": result["speedup"],
+    }
+
+
 def run_quick_bench(query_benchmark: str = "m3cg",
                     table5_names: Optional[List[str]] = None,
                     rounds: int = 3) -> Dict[str, object]:
@@ -172,6 +197,7 @@ def run_quick_bench(query_benchmark: str = "m3cg",
         "construction_ms": measure_construction(suite, query_benchmark, rounds),
         "query_throughput": measure_query_throughput(suite, query_benchmark, rounds),
         "table5": measure_table5_engines(suite, table5_names, rounds),
+        "serve": measure_serve([query_benchmark], rounds),
     }
 
 
@@ -217,6 +243,11 @@ def report_phases(report: Dict[str, object]) -> Dict[str, Dict[str, float]]:
         round(table5["bulk_build_ms"] / 1000.0, 6)
     phases[history.SUITE_BUCKET]["quick.table5.bulk"] = \
         round(table5["bulk_ms"] / 1000.0, 6)
+    serve = report["serve"]
+    phases[history.SUITE_BUCKET]["serve.cold"] = \
+        round(serve["cold_ms"] / 1000.0, 6)
+    phases[history.SUITE_BUCKET]["serve.warm"] = \
+        round(serve["warm_ms"] / 1000.0, 6)
     return phases
 
 
@@ -239,6 +270,10 @@ def validate_report(report: Dict[str, object]) -> None:
     assert table5["bulk_build_ms"] > 0 and table5["bulk_ms"] > 0
     assert table5["bulk_backend"] in BACKENDS
     assert table5["speedup"] > 0 and table5["speedup_bulk"] > 0
+    serve = report["serve"]
+    assert serve["queries"] > 0 and serve["benchmarks"]
+    assert serve["cold_ms"] > 0 and serve["warm_ms"] > 0
+    assert serve["speedup"] > 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

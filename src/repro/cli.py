@@ -186,10 +186,12 @@ def cmd_bench(args) -> int:
         return _cmd_bench_compare(args, positional[1:])
     if positional and positional[0] == "gate":
         return _cmd_bench_gate(args, positional[1:])
+    if positional and positional[0] == "serve":
+        return _cmd_bench_serve(args, positional[1:])
     if len(positional) > 1:
         log.error("bench takes at most one benchmark name "
-                  "(or a 'compare'/'gate' subcommand); got {!r}".format(
-                      positional))
+                  "(or a 'compare'/'gate'/'serve' subcommand); got {!r}"
+                  .format(positional))
         return 2
     name = positional[0] if positional else None
     recording = _HistoryRecording(enabled=not args.no_history)
@@ -387,6 +389,34 @@ def _cmd_bench_gate(args, rest: List[str]) -> int:
                 except Exception as exc:
                     log.error("gate: corpus bench failed: {}".format(exc))
                     bench_failed = True
+            if args.serve:
+                # Same idea for the serving layer: the serve.cold /
+                # serve.warm phases land in the gate record, and the
+                # warm-vs-cold speedup floor is enforced outright.
+                from repro.serve.bench import (
+                    DEFAULT_MIN_SPEEDUP,
+                    ServeBenchError,
+                    check_speedup,
+                    run_serve_bench,
+                )
+
+                try:
+                    serve_result = run_serve_bench(
+                        names=([n for n in args.only.split(",") if n]
+                               if args.only else None),
+                        repeats=1)
+                    check_speedup(
+                        serve_result,
+                        DEFAULT_MIN_SPEEDUP if args.min_speedup is None
+                        else args.min_speedup)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except ServeBenchError as exc:
+                    log.error("gate: serve bench failed: {}".format(exc))
+                    bench_failed = True
+                except Exception as exc:
+                    log.error("gate: serve bench errored: {}".format(exc))
+                    bench_failed = True
         finally:
             if not trace_active:
                 obs.disable()
@@ -407,6 +437,115 @@ def _cmd_bench_gate(args, rest: List[str]) -> int:
     print("gate: ok ({} series within tolerance {:.0%})".format(
         len(report.comparisons), thresholds["tolerance"]))
     return 0
+
+
+def _cmd_bench_serve(args, rest: List[str]) -> int:
+    """``repro bench serve`` — warm daemon vs cold single-shot CLI."""
+    from repro.serve.bench import (
+        DEFAULT_MIN_SPEEDUP,
+        ServeBenchError,
+        check_speedup,
+        run_serve_bench,
+        serve_phases,
+    )
+
+    if rest:
+        log.error("bench serve takes no positional arguments; got {!r}"
+                  .format(rest))
+        return 2
+    names = [n for n in args.only.split(",") if n] if args.only else None
+    recording = _HistoryRecording(enabled=not args.no_history)
+    with recording:
+        result = run_serve_bench(names=names, repeats=max(args.repeats, 1))
+    recording.append(args.history, label="bench-serve",
+                     extra_phases=serve_phases(result))
+    print(render_table(
+        ["Mode", "Wall ms", "Queries/s"],
+        [
+            ["serve.cold", result["cold_ms"], result["cold_qps"]],
+            ["serve.warm", result["warm_ms"], result["warm_qps"]],
+        ],
+        title="Serve throughput over {} ({} queries, {:.2f}x warm)".format(
+            ", ".join(result["benchmarks"]), result["queries"],
+            result["speedup"]),
+    ))
+    min_speedup = (DEFAULT_MIN_SPEEDUP if args.min_speedup is None
+                   else args.min_speedup)
+    try:
+        check_speedup(result, min_speedup)
+    except ServeBenchError as err:
+        log.error("bench serve: {}".format(err))
+        return 1
+    print("bench serve: ok ({:.2f}x >= {:.1f}x)".format(
+        result["speedup"], min_speedup))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``repro serve`` — the long-running analysis daemon."""
+    from pathlib import Path
+
+    from repro.serve.daemon import Daemon
+    from repro.serve.factcache import FactStore
+    from repro.serve.session import SessionManager
+
+    store = None
+    if not args.no_cache:
+        store = FactStore(Path(args.cache_dir), max_bytes=args.cache_max_bytes)
+    manager = SessionManager(store=store, max_sessions=args.max_sessions,
+                             differential=args.differential)
+    daemon = Daemon(manager)
+    if args.http is not None:
+        port = daemon.start_http(args.http)
+        log.info("serve: http listening on 127.0.0.1:{}".format(port))
+        if not args.stdio:
+            # HTTP-only: print the port on stdout (clients parse it)
+            # and block until a shutdown request arrives.
+            print("PORT {}".format(port), flush=True)
+            daemon.shutdown_event.wait()
+            daemon.stop_http()
+            return 0
+    return daemon.serve_stdio(sys.stdin, sys.stdout)
+
+
+def cmd_client(args) -> int:
+    """``repro client`` — query a daemon (or run the smoke battery)."""
+    import json
+    import tempfile
+
+    from repro.serve import client as serve_client
+
+    if args.smoke:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+            source = (_read_source(args.file) if args.file
+                      else serve_client.SMOKE_SOURCE)
+            report = serve_client.run_smoke(source, cache_dir=tmp)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if not args.file:
+        log.error("client requires FILE (or --smoke)")
+        return 2
+    request = {
+        "op": args.op,
+        "id": "cli",
+        "source": _read_source(args.file),
+        "name": args.file,
+        "open_world": args.open_world,
+    }
+    if args.analysis:
+        request["analysis"] = args.analysis
+    if args.port is not None:
+        response = serve_client.HttpClient(args.port).query(request)
+    else:
+        with serve_client.StdioClient(cache_dir=args.cache_dir) as stdio:
+            response = stdio.query(request)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def _read_source(path: str) -> str:
+    with open(path) as f:
+        return f.read()
 
 
 def cmd_tables(args) -> int:
@@ -615,7 +754,8 @@ def cmd_corpus_bench(args) -> int:
     with recording:
         try:
             phases = bench_corpus(
-                args.dir, repeats=args.repeats, max_shards=args.max_shards)
+                args.dir, repeats=args.repeats, max_shards=args.max_shards,
+                jobs=args.jobs or 1)
         except (OSError, ValueError) as err:
             log.error("corpus bench: {}".format(err))
             return 2
@@ -623,6 +763,7 @@ def cmd_corpus_bench(args) -> int:
     fast = phases["corpus.table5.fast"]
     build = phases["corpus.bulk.build"]
     bulk = phases["corpus.table5.bulk"]
+    shared = phases["corpus.table5.bulk_shared"]
     speedup = (fast / bulk) if bulk > 0 else float("inf")
     print("corpus bench: {} (program, analysis) counts, repeats={}".format(
         int(phases["corpus.bench.programs"]), args.repeats))
@@ -630,6 +771,10 @@ def cmd_corpus_bench(args) -> int:
     print("  corpus.bulk.build  : {:8.3f}s (one-time, reusable matrices)"
           .format(build))
     print("  corpus.table5.bulk : {:8.3f}s".format(bulk))
+    print("  corpus.table5.bulk_shared : {:8.3f}s (mmap arena, {} B, "
+          "jobs={})".format(shared,
+                            int(phases["corpus.bulk.arena_bytes"]),
+                            args.jobs or 1))
     print("  count speedup (fast/bulk): {:.1f}x".format(speedup))
     if args.min_speedup is not None and speedup < args.min_speedup:
         log.error("corpus bench: bulk speedup {:.1f}x below required {:.1f}x"
@@ -808,7 +953,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("name", nargs="*", default=None, metavar="NAME",
                    help="one benchmark name, or a subcommand: "
-                   "compare OLD NEW | gate")
+                   "compare OLD NEW | gate | serve")
     p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None)
     p.add_argument("--history", metavar="FILE.jsonl",
                    default="BENCH_history.jsonl",
@@ -843,6 +988,14 @@ def build_parser() -> argparse.ArgumentParser:
                    "are gated alongside the benchmarks")
     p.add_argument("--corpus-shards", type=int, default=None, metavar="N",
                    help="gate: limit --corpus to its first N shards")
+    p.add_argument("--serve", action="store_true",
+                   help="gate: also run the serve warm-vs-cold benchmark "
+                   "each repeat, gating the serve.cold/serve.warm phases "
+                   "and enforcing --min-speedup outright")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   help="serve/gate --serve: fail unless warm served "
+                   "throughput reaches X times the cold single-shot "
+                   "throughput (default 5.0)")
     _add_trace_flag(p)
     p.set_defaults(func=cmd_bench)
 
@@ -968,6 +1121,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="timed count repetitions per engine (default 3; "
                     "the bulk matrices build once and re-count)")
     cb.add_argument("--max-shards", type=int, default=None, metavar="N")
+    cb.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="worker processes for the shared-arena count "
+                    "phase; the forked pool inherits one read-only mmap "
+                    "arena instead of pickling matrices per worker "
+                    "(default 1 = in-process)")
     cb.add_argument("--min-speedup", type=float, default=None, metavar="X",
                     help="exit nonzero unless fast/bulk count speedup "
                     "reaches X")
@@ -978,6 +1136,69 @@ def build_parser() -> argparse.ArgumentParser:
                     help="do not append a ledger record")
     _add_trace_flag(cb)
     cb.set_defaults(func=cmd_corpus, corpus_func=cmd_corpus_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running analysis daemon (JSONL stdio + localhost HTTP)",
+        description="Keep analyses warm and answer batched alias / "
+        "tables / limit / facts queries without recompiling: each "
+        "request line on stdin (a JSON object, or an array for a batch) "
+        "produces one response line on stdout.  --http additionally "
+        "binds a localhost HTTP shim (POST /v1/query, GET /v1/ping, "
+        "GET /v1/stats).  Derived facts persist in a content-hashed, "
+        "versioned on-disk store, so an edited module only invalidates "
+        "its own partition and a restarted daemon answers warm.",
+    )
+    p.add_argument("--stdio", action="store_true", default=True,
+                   help="serve the JSONL protocol on stdio (default)")
+    p.add_argument("--no-stdio", dest="stdio", action="store_false",
+                   help="HTTP only: print 'PORT n' and block until a "
+                   "shutdown request")
+    p.add_argument("--http", type=int, default=None, metavar="PORT",
+                   nargs="?", const=0,
+                   help="also serve HTTP on 127.0.0.1:PORT (0 or no "
+                   "value = OS-assigned)")
+    p.add_argument("--cache-dir", default=".repro-factcache",
+                   help="on-disk fact store directory "
+                   "(default .repro-factcache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="keep facts in memory only")
+    p.add_argument("--cache-max-bytes", type=int,
+                   default=None, metavar="N",
+                   help="fact store size cap before LRU eviction "
+                   "(default 256 MiB)")
+    p.add_argument("--max-sessions", type=int, default=64, metavar="N",
+                   help="warm in-memory module sessions (default 64)")
+    p.add_argument("--differential", action="store_true",
+                   help="pin every served count against the cold fast "
+                   "and reference engines (slower; for validation)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="query a serve daemon (or run the serve smoke battery)",
+        description="repro client FILE sends one query for FILE's "
+        "source: over HTTP when --port is given, else to a freshly "
+        "spawned stdio daemon.  repro client --smoke boots a daemon "
+        "with both transports, fires a batched query set over each, "
+        "asserts differential equality and clean shutdown, and prints "
+        "a JSON report (this is what 'make serve-smoke' runs).",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="MiniM3 source file to query about")
+    p.add_argument("--op", choices=("alias", "tables", "limit", "facts"),
+                   default="tables", help="query operation (default tables)")
+    p.add_argument("--analysis", choices=ANALYSIS_NAMES, default=None,
+                   help="analysis for --op alias/limit")
+    p.add_argument("--open-world", action="store_true")
+    p.add_argument("--port", type=int, default=None, metavar="PORT",
+                   help="query a running daemon's HTTP shim on this port "
+                   "instead of spawning one")
+    p.add_argument("--cache-dir", default=".repro-factcache",
+                   help="fact store for a spawned stdio daemon")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the two-transport smoke battery and exit")
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser(
         "profile",

@@ -8,12 +8,16 @@ MiniM3 programs materialised on disk and drives batch work over them:
   seed+count-1`` (size/shape dials come from :class:`CorpusSpec`, a
   superset of :class:`~repro.qa.generator.GenConfig`) and writes them in
   **content-hashed shards**: each shard file name embeds the SHA-256 of
-  its program payload and ``manifest.json`` pins every shard's hash, so
+  its program payload and the ``shards.jsonl`` sidecar (one info line
+  per shard, streamed as shards complete) pins every shard's hash, so
   corruption or hand-editing is detected before any batch consumes it
-  (:func:`verify_corpus`).
-* :func:`run_corpus` is the sharded driver: shards fan out over a
-  ``multiprocessing`` pool (``jobs=1`` stays in-process and exactly
-  deterministic), each shard runs inside its own **fault bulkhead** —
+  (:func:`verify_corpus`).  ``manifest.json`` holds only the spec and
+  totals; consumers stream :func:`iter_shards` so the shard list never
+  has to fit in memory (>100k-program corpora stay flat).
+* :func:`run_corpus` is the sharded driver: shard infos stream off disk
+  and fan out lazily over a ``multiprocessing`` pool (``jobs=1`` stays
+  in-process and exactly deterministic), each shard runs inside its own
+  **fault bulkhead** —
   one broken shard or program is reported without sinking the batch —
   and per-shard results merge deterministically by shard index.  Worker
   registries are snapshotted and folded back into the parent's
@@ -25,8 +29,11 @@ MiniM3 programs materialised on disk and drives batch work over them:
   engine — the fast engine re-partitions on every count, while the bulk
   engine builds its bitset matrix once and then re-counts with pure
   kernels — reporting per-phase seconds (``corpus.table5.fast``,
-  ``corpus.bulk.build``, ``corpus.table5.bulk``) that the CLI folds into
-  ``BENCH_history.jsonl`` so ``repro bench gate`` guards the hot path.
+  ``corpus.bulk.build``, ``corpus.table5.bulk``,
+  ``corpus.table5.bulk_shared`` for the mmap-arena count, optionally
+  fanned over forked workers that share one mapping) that the CLI folds
+  into ``BENCH_history.jsonl`` so ``repro bench gate`` guards the hot
+  path.
 
 Every program entry in a shard carries its generating seed *and* its
 rendered source hash; because generation is deterministic, workers can
@@ -51,11 +58,14 @@ from repro.qa.guards import guarded
 __all__ = [
     "CorpusSpec",
     "CorpusManifest",
+    "CorpusHeader",
     "ShardInfo",
     "ShardOutcome",
     "CorpusRunReport",
     "generate_corpus",
     "load_manifest",
+    "load_manifest_header",
+    "iter_shards",
     "load_shard",
     "verify_corpus",
     "run_corpus",
@@ -63,9 +73,17 @@ __all__ = [
 ]
 
 #: Bumped whenever the manifest/shard layout changes.
-CORPUS_SCHEMA_VERSION = 1
+#: v2: the shard list moved out of ``manifest.json`` into a
+#: ``shards.jsonl`` sidecar (one ShardInfo per line) so consumers can
+#: stream shard metadata instead of materialising the whole list —
+#: ``manifest.json`` keeps only the spec and the totals.  v1 corpora
+#: (inline shard list) still load.
+CORPUS_SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
+
+#: v2 sidecar holding one shard-info JSON object per line.
+SHARDS_NAME = "shards.jsonl"
 
 #: Default per-program wall-clock bulkhead, seconds.
 PER_PROGRAM_SECONDS = 10.0
@@ -142,7 +160,13 @@ class ShardInfo:
 
 @dataclass(frozen=True)
 class CorpusManifest:
-    """The validated content of ``manifest.json``."""
+    """A fully materialised manifest (spec plus every shard info).
+
+    Batch drivers that must scale to >100k-program corpora should not
+    build one of these — they stream :func:`iter_shards` against a
+    :class:`CorpusHeader` instead.  This object remains the convenient
+    form for generation results, verification and tests.
+    """
 
     spec: CorpusSpec
     shards: Tuple[ShardInfo, ...]
@@ -152,14 +176,32 @@ class CorpusManifest:
         return sum(s.programs for s in self.shards)
 
     def to_json(self) -> dict:
+        """The v2 ``manifest.json`` payload (shard list lives in the
+        ``shards.jsonl`` sidecar, not here)."""
         return {
             "schema": CORPUS_SCHEMA_VERSION,
             "kind": "corpus_manifest",
             "spec": self.spec.to_json(),
             "programs": self.n_programs,
             "n_shards": len(self.shards),
-            "shards": [s.to_json() for s in self.shards],
+            "shards_file": SHARDS_NAME,
         }
+
+
+@dataclass(frozen=True)
+class CorpusHeader:
+    """The constant-size part of a corpus: what streaming consumers load.
+
+    ``shards_file`` is ``None`` for a v1 corpus, whose shard list is
+    inline in ``manifest.json`` (:func:`iter_shards` handles both).
+    """
+
+    schema: int
+    spec: CorpusSpec
+    programs: int
+    n_shards: int
+    shards_file: Optional[str]
+    inline_shards: Optional[Tuple[ShardInfo, ...]] = None
 
 
 def _payload_hash(programs: List[dict]) -> str:
@@ -187,7 +229,8 @@ def generate_corpus(
     config = spec.gen_config()
     shards: List[ShardInfo] = []
     n_shards = spec.n_shards()
-    with obs.span("corpus.gen", count=spec.count, shards=n_shards):
+    with obs.span("corpus.gen", count=spec.count, shards=n_shards), \
+            open(out_dir / SHARDS_NAME, "w") as shards_file:
         for shard_index in range(n_shards):
             lo = shard_index * spec.shard_size
             hi = min(lo + spec.shard_size, spec.count)
@@ -213,10 +256,15 @@ def generate_corpus(
             }
             (out_dir / file_name).write_text(
                 json.dumps(shard_obj, sort_keys=True) + "\n")
-            shards.append(ShardInfo(
+            info = ShardInfo(
                 index=shard_index, file=file_name,
                 programs=len(programs), sha256=digest,
-            ))
+            )
+            # One line per shard, written as it completes: the sidecar
+            # is itself a stream, so generation memory stays flat too
+            # (`shards` is only accumulated for the return value).
+            shards_file.write(json.dumps(info.to_json(), sort_keys=True) + "\n")
+            shards.append(info)
             if progress is not None:
                 progress(shard_index + 1, n_shards)
     manifest = CorpusManifest(spec=spec, shards=tuple(shards))
@@ -230,8 +278,12 @@ def generate_corpus(
 # Loading and verification
 
 
-def load_manifest(corpus_dir: Path) -> CorpusManifest:
-    """Parse and structurally validate ``manifest.json``."""
+def load_manifest_header(corpus_dir: Path) -> CorpusHeader:
+    """The constant-size manifest header — never the shard list.
+
+    Accepts v1 (inline shard list, carried along for
+    :func:`iter_shards`) and v2 (``shards.jsonl`` sidecar) corpora.
+    """
     path = Path(corpus_dir) / MANIFEST_NAME
     try:
         obj = json.loads(path.read_text())
@@ -239,18 +291,83 @@ def load_manifest(corpus_dir: Path) -> CorpusManifest:
         raise ValueError("{}: not JSON: {}".format(path, err))
     if not isinstance(obj, dict) or obj.get("kind") != "corpus_manifest":
         raise ValueError("{}: not a corpus manifest".format(path))
-    if obj.get("schema") != CORPUS_SCHEMA_VERSION:
+    schema = obj.get("schema")
+    if schema not in (1, CORPUS_SCHEMA_VERSION):
         raise ValueError("{}: unknown schema version {!r}".format(
-            path, obj.get("schema")))
+            path, schema))
     spec = CorpusSpec.from_json(obj["spec"])
-    shards = tuple(
-        ShardInfo(index=s["index"], file=s["file"],
-                  programs=s["programs"], sha256=s["sha256"])
-        for s in obj["shards"]
+    inline = None
+    shards_file = None
+    if schema == 1:
+        inline = tuple(
+            ShardInfo(index=s["index"], file=s["file"],
+                      programs=s["programs"], sha256=s["sha256"])
+            for s in obj["shards"]
+        )
+        n_shards = len(inline)
+        programs = sum(s.programs for s in inline)
+    else:
+        shards_file = obj.get("shards_file", SHARDS_NAME)
+        n_shards = int(obj["n_shards"])
+        programs = int(obj["programs"])
+    return CorpusHeader(
+        schema=schema, spec=spec, programs=programs, n_shards=n_shards,
+        shards_file=shards_file, inline_shards=inline,
     )
-    if [s.index for s in shards] != list(range(len(shards))):
-        raise ValueError("{}: shard indices are not dense".format(path))
-    return CorpusManifest(spec=spec, shards=shards)
+
+
+def iter_shards(corpus_dir: Path,
+                header: Optional[CorpusHeader] = None):
+    """Yield :class:`ShardInfo` one at a time, in index order.
+
+    v2 corpora stream ``shards.jsonl`` line by line — memory stays
+    constant no matter how many shards the corpus has; v1 corpora yield
+    from the manifest's inline list.  Index density is checked as the
+    stream advances, and the final count must match the header.
+    """
+    corpus_dir = Path(corpus_dir)
+    if header is None:
+        header = load_manifest_header(corpus_dir)
+    if header.inline_shards is not None:
+        expected = 0
+        for info in header.inline_shards:
+            if info.index != expected:
+                raise ValueError("{}: shard indices are not dense".format(
+                    corpus_dir / MANIFEST_NAME))
+            expected += 1
+            yield info
+    else:
+        sidecar = corpus_dir / header.shards_file
+        expected = 0
+        with open(sidecar) as f:
+            for line in f:
+                if not line.strip():
+                    continue
+                obj = json.loads(line)
+                info = ShardInfo(index=obj["index"], file=obj["file"],
+                                 programs=obj["programs"],
+                                 sha256=obj["sha256"])
+                if info.index != expected:
+                    raise ValueError(
+                        "{}: shard indices are not dense".format(sidecar))
+                expected += 1
+                yield info
+        if expected != header.n_shards:
+            raise ValueError(
+                "{}: {} shard lines but manifest says {}".format(
+                    sidecar, expected, header.n_shards))
+
+
+def load_manifest(corpus_dir: Path) -> CorpusManifest:
+    """Parse and validate a corpus, materialising the full shard list.
+
+    Convenience for verification, benchmarks and tests; the streaming
+    pair (:func:`load_manifest_header` + :func:`iter_shards`) is what
+    batch drivers use.
+    """
+    header = load_manifest_header(corpus_dir)
+    shards = tuple(iter_shards(corpus_dir, header))
+    return CorpusManifest(spec=header.spec, shards=shards)
 
 
 def load_shard(corpus_dir: Path, info: ShardInfo,
@@ -272,11 +389,18 @@ def load_shard(corpus_dir: Path, info: ShardInfo,
 
 
 def verify_corpus(corpus_dir: Path) -> CorpusManifest:
-    """Hash-check every shard against the manifest; returns it when ok."""
-    manifest = load_manifest(corpus_dir)
-    for info in manifest.shards:
+    """Hash-check every shard against the manifest; returns it when ok.
+
+    Shard infos stream, so verification holds one shard in memory at a
+    time (the returned manifest still carries the full info list —
+    infos are four small fields per shard, not shard payloads).
+    """
+    header = load_manifest_header(corpus_dir)
+    shards: List[ShardInfo] = []
+    for info in iter_shards(corpus_dir, header):
         load_shard(corpus_dir, info, verify=True)
-    return manifest
+        shards.append(info)
+    return CorpusManifest(spec=header.spec, shards=tuple(shards))
 
 
 # ----------------------------------------------------------------------
@@ -525,16 +649,18 @@ def run_corpus(
     every shard of a corpus, ``jobs`` shards at a time."""
     from repro.analysis.openworld import ANALYSIS_NAMES
 
+    from itertools import islice
+
     corpus_dir = Path(corpus_dir)
-    manifest = load_manifest(corpus_dir)
+    header = load_manifest_header(corpus_dir)
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     analyses = tuple(analyses) if analyses else tuple(ANALYSIS_NAMES)
-    shard_infos = list(manifest.shards)
+    n_shards = header.n_shards
     if max_shards is not None:
-        shard_infos = shard_infos[:max_shards]
+        n_shards = min(n_shards, max_shards)
     options = _RunOptions(
         corpus_dir=str(corpus_dir),
         analyses=analyses,
@@ -543,14 +669,18 @@ def run_corpus(
         per_program_seconds=per_program_seconds,
         max_steps=max_steps,
         in_process=(jobs == 1),
-        spec=manifest.spec.to_json(),
+        spec=header.spec.to_json(),
     )
-    tasks = [(info.to_json(), options) for info in shard_infos]
+    # Shard infos stream off disk one line at a time; the task iterator
+    # is consumed lazily by the pool, so the driver's footprint stays
+    # constant even for >100k-program corpora.
+    tasks = ((info.to_json(), options)
+             for info in islice(iter_shards(corpus_dir, header), n_shards))
     report = CorpusRunReport(
         corpus_dir=str(corpus_dir), engine=engine, jobs=jobs,
         analyses=analyses)
     started = time.monotonic()
-    with obs.span("corpus.run", shards=len(tasks), jobs=jobs, engine=engine):
+    with obs.span("corpus.run", shards=n_shards, jobs=jobs, engine=engine):
         if jobs == 1:
             outcomes = [_process_shard(task) for task in tasks]
         else:
@@ -583,15 +713,32 @@ def run_corpus(
 # Engine benchmark over a corpus
 
 
+#: Fork-inherited arena for :func:`bench_corpus` worker processes; set
+#: in the parent immediately before the pool forks.
+_SHARED_ARENA = None
+
+
+def _count_arena_range(bounds: Tuple[int, int]) -> List[Tuple[int, int, int]]:
+    """Pool worker: count matrices ``[lo, hi)`` from the shared arena.
+
+    The arena mmap is inherited from the parent over ``fork``, so every
+    worker reads the same physical pages — no per-worker pickled copy.
+    """
+    lo, hi = bounds
+    return [_SHARED_ARENA.matrix(i).count_pairs().counts()
+            for i in range(lo, hi)]
+
+
 def bench_corpus(
     corpus_dir: Path,
     analyses: Optional[Sequence[str]] = None,
     repeats: int = 1,
     max_shards: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Per-phase seconds of the Table 5 count over a corpus, per engine.
 
-    Compiles every program once, then times three phases ``repeats``
+    Compiles every program once, then times four phases ``repeats``
     times over the same inputs:
 
     * ``corpus.table5.fast``  — the PR 1 fast engine, which re-runs its
@@ -599,10 +746,16 @@ def bench_corpus(
     * ``corpus.bulk.build``   — building each program's bitset matrices
       (paid once; matrices are reusable and picklable);
     * ``corpus.table5.bulk``  — re-counting from the prebuilt matrices
-      with pure kernels (the bulk hot path).
+      with pure kernels (the bulk hot path);
+    * ``corpus.table5.bulk_shared`` — re-counting from one read-only
+      mmap **arena** of the same matrices (lazy big-int views, zero
+      per-matrix copies); with ``jobs > 1`` the count fans out over a
+      forked pool whose workers inherit the mapping, sharing one set of
+      physical pages instead of pickling matrices per worker.
 
-    Counts are asserted equal between engines on every program, so the
-    benchmark doubles as a corpus-wide differential test.
+    Counts are asserted equal between engines (and between the arena
+    and the in-memory matrices) on every program, so the benchmark
+    doubles as a corpus-wide differential test.
     """
     from repro import compile_program
     from repro.analysis.alias_pairs import AliasPairCounter
@@ -660,5 +813,61 @@ def bench_corpus(
                 "corpus bench: engines disagree on program {} ({}): "
                 "fast={} bulk={}".format(
                     i, counters[i].analysis.name, fast, bulk))
+
+    shared_counts = _bench_shared_arena(matrices, phases, repeats, jobs)
+    for i, (bulk, shared) in enumerate(zip(bulk_counts, shared_counts)):
+        if bulk != shared:
+            raise AssertionError(
+                "corpus bench: arena disagrees on matrix {} ({}): "
+                "bulk={} shared={}".format(
+                    i, counters[i].analysis.name, bulk, shared))
+
     phases["corpus.bench.programs"] = float(len(counters))
     return phases
+
+
+def _bench_shared_arena(matrices, phases: Dict[str, float], repeats: int,
+                        jobs: int) -> List[Tuple[int, int, int]]:
+    """Time ``corpus.table5.bulk_shared`` and return the arena counts."""
+    import tempfile
+
+    from repro.analysis.bulkarena import open_arena, write_arena
+
+    global _SHARED_ARENA
+    shared_counts: List[Tuple[int, int, int]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-arena-") as tmp:
+        arena_path = Path(tmp) / "matrices.arena"
+        with obs.span("corpus.bulk.arena_write", matrices=len(matrices)):
+            started = time.perf_counter()
+            write_arena(arena_path, matrices)
+            phases["corpus.bulk.arena_write"] = time.perf_counter() - started
+        phases["corpus.bulk.arena_bytes"] = float(
+            arena_path.stat().st_size)
+        with open_arena(arena_path) as arena:
+            n = len(arena)
+            chunk = max(1, (n + max(jobs, 1) - 1) // max(jobs, 1))
+            bounds = [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+            phases["corpus.table5.bulk_shared"] = 0.0
+            for _ in range(repeats):
+                with obs.span("corpus.table5.bulk_shared", matrices=n,
+                              jobs=jobs):
+                    started = time.perf_counter()
+                    if jobs <= 1 or n == 0:
+                        shared_counts = [arena.matrix(i).count_pairs().counts()
+                                         for i in range(n)]
+                    else:
+                        # The pool must fork *after* the arena is open so
+                        # children inherit the mapping.
+                        _SHARED_ARENA = arena
+                        try:
+                            with multiprocessing.Pool(processes=jobs) as pool:
+                                shared_counts = [
+                                    c for part in pool.map(
+                                        _count_arena_range, bounds)
+                                    for c in part
+                                ]
+                        finally:
+                            _SHARED_ARENA = None
+                    phases["corpus.table5.bulk_shared"] += (
+                        time.perf_counter() - started)
+    return shared_counts

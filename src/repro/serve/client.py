@@ -1,0 +1,241 @@
+"""Clients for the serve daemon, plus the ``serve-smoke`` battery.
+
+Two transports, one interface:
+
+* :class:`StdioClient` spawns ``repro serve --stdio`` as a subprocess
+  and exchanges JSONL lines over its pipes — what editors and scripts
+  embed.
+* :class:`HttpClient` POSTs the same payloads to a running daemon's
+  ``/v1/query`` using only :mod:`urllib` (no external deps).
+
+Both expose :meth:`query` (one request) and :meth:`batch` (a list, one
+round trip).  :func:`run_smoke` is the ``make serve-smoke`` entry: it
+boots a daemon with both transports and a differential session manager,
+fires a batched query set over stdio *and* HTTP, asserts the transports
+agree with each other and with the cold CLI path, and checks clean
+shutdown — returning a JSON-able report the CLI prints.
+"""
+
+import json
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+from repro.serve import protocol
+
+#: How long (seconds) smoke waits on daemon subprocess I/O.
+SMOKE_TIMEOUT = 120
+
+#: Default program for the smoke battery: small, but with a real type
+#: hierarchy, fields, an array and a VAR formal, so all three analyses
+#: and both worlds produce distinct, non-trivial counts.
+SMOKE_SOURCE = """
+MODULE ServeSmoke;
+
+TYPE
+  T = OBJECT f: T; n: INTEGER; END;
+  S = T OBJECT g: T; END;
+  Buf = REF ARRAY OF INTEGER;
+
+VAR
+  root: T;
+  buf: Buf;
+
+PROCEDURE Bump (VAR x: INTEGER) =
+BEGIN
+  x := x + 1;
+END Bump;
+
+PROCEDURE Link (a: T; b: S) =
+BEGIN
+  a.f := b;
+  b.g := a.f;
+  Bump (a.n);
+END Link;
+
+BEGIN
+  root := NEW (S);
+  buf := NEW (Buf, 4);
+  buf^[0] := 1;
+  Link (root, NEW (S));
+END ServeSmoke.
+"""
+
+
+class ServeClientError(RuntimeError):
+    """Transport-level failure talking to a daemon."""
+
+
+class StdioClient:
+    """Drive a ``repro serve --stdio`` subprocess over JSONL pipes."""
+
+    def __init__(self, argv: Optional[List[str]] = None,
+                 cache_dir: Optional[str] = None):
+        cmd = list(argv) if argv else [
+            sys.executable, "-m", "repro.cli", "serve", "--stdio"]
+        if cache_dir:
+            cmd += ["--cache-dir", cache_dir]
+        self._proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True)
+
+    def _roundtrip(self, payload) -> object:
+        if self._proc.poll() is not None:
+            raise ServeClientError("daemon exited early (rc={})".format(
+                self._proc.returncode))
+        self._proc.stdin.write(json.dumps(payload) + "\n")
+        self._proc.stdin.flush()
+        line = self._proc.stdout.readline()
+        if not line:
+            raise ServeClientError("daemon closed the pipe")
+        return json.loads(line)
+
+    def query(self, request: dict) -> dict:
+        return self._roundtrip(request)
+
+    def batch(self, requests: List[dict]) -> List[dict]:
+        return self._roundtrip(list(requests))
+
+    def shutdown(self) -> int:
+        """Request shutdown and reap the subprocess."""
+        try:
+            if self._proc.poll() is None:
+                self._roundtrip({"op": "shutdown"})
+        except (ServeClientError, BrokenPipeError, OSError):
+            pass
+        try:
+            self._proc.stdin.close()
+            return self._proc.wait(timeout=SMOKE_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            self._proc.kill()
+            return self._proc.wait()
+
+    def __enter__(self) -> "StdioClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+
+class HttpClient:
+    """Talk to a daemon's localhost HTTP shim."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1"):
+        self.base = "http://{}:{}".format(host, port)
+
+    def _post(self, payload) -> object:
+        data = json.dumps(payload).encode()
+        req = urllib.request.Request(
+            self.base + "/v1/query", data=data,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=SMOKE_TIMEOUT) as resp:
+                return json.loads(resp.read().decode())
+        except (urllib.error.URLError, OSError) as err:
+            raise ServeClientError("HTTP query failed: {}".format(err))
+
+    def query(self, request: dict) -> dict:
+        return self._post(request)
+
+    def batch(self, requests: List[dict]) -> List[dict]:
+        return self._post(list(requests))
+
+    def ping(self) -> dict:
+        try:
+            with urllib.request.urlopen(
+                    self.base + "/v1/ping", timeout=SMOKE_TIMEOUT) as resp:
+                return json.loads(resp.read().decode())
+        except (urllib.error.URLError, OSError) as err:
+            raise ServeClientError("HTTP ping failed: {}".format(err))
+
+
+# ----------------------------------------------------------------------
+# The serve-smoke battery
+
+
+def _smoke_requests(source: str) -> List[dict]:
+    """The batched query set smoke fires over each transport."""
+    requests: List[dict] = [{"op": "ping", "id": "ping"}]
+    for open_world in (False, True):
+        requests.append({
+            "op": "tables", "id": "tables-ow{}".format(int(open_world)),
+            "source": source, "name": "smoke",
+            "open_world": open_world,
+        })
+    requests.append(
+        {"op": "facts", "id": "facts", "source": source, "name": "smoke"})
+    return requests
+
+
+def _assert_ok(responses: List[dict], transport: str) -> None:
+    for resp in responses:
+        if not resp.get("ok"):
+            raise AssertionError("smoke {} response failed: {}".format(
+                transport, resp))
+
+
+def _table_rows(responses: List[dict]) -> List[dict]:
+    return [resp["result"] for resp in responses
+            if resp.get("ok") and "rows" in resp.get("result", {})]
+
+
+def run_smoke(source: str, cache_dir: str) -> dict:
+    """Boot a daemon in-process, exercise both transports, verify.
+
+    The in-process daemon runs with ``differential=True`` so every
+    served count is already pinned against the cold fast + reference
+    engines; smoke additionally pins the stdio subprocess transport
+    against the in-process HTTP answers.
+    """
+    from pathlib import Path
+
+    from repro.serve.daemon import Daemon
+    from repro.serve.factcache import FactStore
+    from repro.serve.session import SessionManager
+
+    requests = _smoke_requests(source)
+
+    # HTTP transport against an in-process daemon (differential mode).
+    manager = SessionManager(
+        store=FactStore(Path(cache_dir) / "http"), differential=True)
+    daemon = Daemon(manager)
+    port = daemon.start_http()
+    try:
+        http_client = HttpClient(port)
+        ping = http_client.ping()
+        http_responses = http_client.batch(requests)
+        _assert_ok(http_responses, "http")
+        # Second pass must be answered warm (no new fact rebuilds).
+        http_warm = http_client.batch(requests)
+        _assert_ok(http_warm, "http-warm")
+    finally:
+        daemon.stop_http()
+
+    # Stdio transport against a real subprocess daemon.
+    with StdioClient(cache_dir=str(Path(cache_dir) / "stdio")) as stdio:
+        stdio_responses = stdio.batch(requests)
+        _assert_ok(stdio_responses, "stdio")
+        rc = stdio.shutdown()
+    if rc != 0:
+        raise AssertionError(
+            "daemon did not shut down cleanly (rc={})".format(rc))
+
+    # Transport agreement: identical Table 5 rows everywhere.
+    http_rows = _table_rows(http_responses)
+    if _table_rows(stdio_responses) != http_rows:
+        raise AssertionError("stdio and HTTP transports disagree")
+    if _table_rows(http_warm) != http_rows:
+        raise AssertionError("warm answers drifted from cold answers")
+
+    return {
+        "ok": True,
+        "ping": ping.get("result", {}),
+        "queries_per_transport": len(requests),
+        "table_rows": sum(len(r["rows"]) for r in http_rows),
+        "differential_checks": manager.stats()["counters"][
+            "serve.differential.checks"],
+        "clean_shutdown": True,
+    }

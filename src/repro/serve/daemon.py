@@ -1,0 +1,221 @@
+"""The long-running analysis daemon: JSONL-on-stdio + localhost HTTP.
+
+Both transports speak the same :mod:`repro.serve.protocol` payloads and
+dispatch into one :class:`Daemon`:
+
+* **stdio** — each input line is one request object or batch array;
+  each produces exactly one output line.  EOF or a ``shutdown`` op ends
+  the loop.  This is the transport scripts and editors drive.
+* **HTTP** — a :class:`ThreadingHTTPServer` bound to ``127.0.0.1``
+  (never a public interface) accepting ``POST /v1/query`` with the same
+  JSON payloads, plus ``GET /v1/ping`` and ``GET /v1/stats``.  The port
+  is OS-assigned by default and printed/returned so clients can find it.
+
+Observability: every request runs under a ``serve.request.<op>`` span,
+bumps ``serve.request.total`` (and ``.errors`` on failure), and lands
+its wall time in the ``serve.request.ms`` latency histogram labelled by
+op.  ``stats`` exposes the same numbers over the wire.
+
+Failures are answers, not crashes: protocol errors, compile errors and
+analysis errors each map to a typed error response and the daemon keeps
+serving.  Only :class:`~repro.serve.session.DifferentialMismatch` is
+allowed to propagate in tests — over the wire it too becomes an error
+response (kind ``differential``), because a disagreeing daemon should
+say so loudly rather than die silently.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro import CompileError, __version__
+from repro.lang.errors import ResourceLimitError
+from repro.obs import core as obs
+from repro.obs import metrics
+from repro.serve import protocol
+from repro.serve.session import DifferentialMismatch, SessionManager
+
+#: Latency histogram buckets in milliseconds: warm hits are sub-ms,
+#: cold compiles tens-to-hundreds of ms.
+LATENCY_BUCKETS_MS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                      250.0, 1000.0, 5000.0)
+
+
+class Daemon:
+    """Transport-independent request dispatcher over one session manager."""
+
+    def __init__(self, manager: SessionManager):
+        self.manager = manager
+        self.shutdown_event = threading.Event()
+        self._http_server: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # -- dispatch -------------------------------------------------------
+
+    def handle_request(self, request: protocol.Request) -> dict:
+        """One request in, one response dict out; never raises."""
+        registry = metrics.registry()
+        registry.counter("serve.request.total", op=request.op).inc()
+        start = time.perf_counter()
+        try:
+            with obs.span("serve.request." + request.op,
+                          unit=request.name or "?"):
+                result = self._dispatch(request)
+            response = protocol.ok_response(request.id, result)
+        except protocol.ProtocolError as err:
+            response = self._error(request, "protocol", err)
+        except DifferentialMismatch as err:
+            response = self._error(request, "differential", err)
+        except CompileError as err:
+            response = self._error(request, "compile", err)
+        except ResourceLimitError as err:
+            response = self._error(request, "resource_limit", err)
+        except Exception as err:  # noqa: BLE001 - daemon must not die
+            response = self._error(request, "internal", err)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        registry.histogram("serve.request.ms", buckets=LATENCY_BUCKETS_MS,
+                           op=request.op).observe(elapsed_ms)
+        return response
+
+    def _error(self, request: protocol.Request, kind: str,
+               err: Exception) -> dict:
+        metrics.registry().counter("serve.request.errors", op=request.op).inc()
+        return protocol.error_response(request.id, kind, str(err))
+
+    def _dispatch(self, request: protocol.Request) -> dict:
+        op = request.op
+        if op == "ping":
+            return {"pong": True, "version": __version__,
+                    "protocol": protocol.PROTOCOL_VERSION}
+        if op == "stats":
+            return self.manager.stats()
+        if op == "shutdown":
+            self.shutdown_event.set()
+            return {"stopping": True}
+        # Source-bearing ops from here on (protocol validated presence).
+        session = self.manager.lookup(request.source, name=request.name)
+        if op == "alias":
+            analysis = request.analysis or "SMFieldTypeRefs"
+            counts = self.manager.alias_counts(
+                session, analysis, request.open_world)
+            return {
+                "module": session.name,
+                "module_hash": session.module_hash,
+                "analysis": analysis,
+                "open_world": request.open_world,
+                "references": counts[0],
+                "local_pairs": counts[1],
+                "global_pairs": counts[2],
+            }
+        if op == "tables":
+            return {
+                "module": session.name,
+                "module_hash": session.module_hash,
+                "open_world": request.open_world,
+                "rows": self.manager.tables(session, request.open_world),
+            }
+        if op == "limit":
+            result = self.manager.limit(session, request.analysis)
+            result["module"] = session.name
+            return result
+        if op == "facts":
+            summary = self.manager.facts_summary(
+                session, request.open_world)
+            summary["module"] = session.name
+            summary["module_hash"] = session.module_hash
+            summary["procedures"] = len(session.bundle.proc_hashes)
+            return summary
+        raise protocol.ProtocolError("unhandled op {!r}".format(op))
+
+    # -- stdio transport ------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """One JSONL input line to one JSONL output line."""
+        try:
+            parsed = protocol.parse_line(line)
+        except protocol.ProtocolError as err:
+            metrics.registry().counter("serve.request.errors", op="?").inc()
+            return protocol.encode_line(
+                protocol.error_response(None, "protocol", str(err)))
+        if isinstance(parsed, list):
+            return protocol.encode_line(
+                [self.handle_request(req) for req in parsed])
+        return protocol.encode_line(self.handle_request(parsed))
+
+    def serve_stdio(self, stdin, stdout) -> int:
+        """Blocking loop: read lines until EOF or a ``shutdown`` op."""
+        for line in stdin:
+            if not line.strip():
+                continue
+            stdout.write(self.handle_line(line))
+            stdout.flush()
+            if self.shutdown_event.is_set():
+                break
+        self.stop_http()
+        return 0
+
+    # -- HTTP transport -------------------------------------------------
+
+    def start_http(self, port: int = 0) -> int:
+        """Start the localhost HTTP shim; returns the bound port."""
+        daemon = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args):  # quiet by default
+                pass
+
+            def _reply(self, status: int, payload) -> None:
+                body = json.dumps(payload, sort_keys=True).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                if self.path == "/v1/ping":
+                    self._reply(200, daemon.handle_request(
+                        protocol.Request(op="ping")))
+                elif self.path == "/v1/stats":
+                    self._reply(200, daemon.handle_request(
+                        protocol.Request(op="stats")))
+                else:
+                    self._reply(404, {"ok": False, "error": {
+                        "kind": "http", "message": "unknown path"}})
+
+            def do_POST(self):
+                if self.path != "/v1/query":
+                    self._reply(404, {"ok": False, "error": {
+                        "kind": "http", "message": "unknown path"}})
+                    return
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length).decode("utf-8", "replace")
+                try:
+                    parsed = protocol.parse_line(body)
+                except protocol.ProtocolError as err:
+                    self._reply(400, protocol.error_response(
+                        None, "protocol", str(err)))
+                    return
+                if isinstance(parsed, list):
+                    self._reply(200, [daemon.handle_request(r)
+                                      for r in parsed])
+                else:
+                    self._reply(200, daemon.handle_request(parsed))
+
+        self._http_server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self._http_thread = threading.Thread(
+            target=self._http_server.serve_forever, daemon=True,
+            name="repro-serve-http")
+        self._http_thread.start()
+        return self._http_server.server_address[1]
+
+    def stop_http(self) -> None:
+        if self._http_server is not None:
+            self._http_server.shutdown()
+            self._http_server.server_close()
+            self._http_server = None
+            self._http_thread = None

@@ -1,0 +1,127 @@
+"""The serve wire protocol: versioned JSONL requests and responses.
+
+One request is one JSON object; a **batch** is a JSON array of request
+objects.  Over stdio each line of input is one request or batch and
+produces exactly one line of output (an object for a request, an array
+— in request order — for a batch).  The HTTP shim POSTs the same
+payloads to ``/v1/query``.
+
+Request fields:
+
+* ``op`` (required) — one of :data:`OPS`;
+* ``id`` — client-chosen correlation value, echoed verbatim;
+* ``source`` — MiniM3 module text (ops that analyse a program);
+* ``name`` — unit name for diagnostics (defaults to the module name);
+* ``analysis`` — one analysis name (``alias``); ``tables`` covers all;
+* ``open_world`` — bool, Section 4 variants (default closed world);
+* ``engine`` — reserved for parity with the CLI; the daemon always
+  answers from bulk matrices and (in differential mode) cross-checks
+  against the cold fast/reference engines.
+
+Responses are ``{"id":..., "ok": true, "result": {...}}`` or
+``{"id":..., "ok": false, "error": {"kind":..., "message":...}}``;
+every response also carries ``"v"``, the protocol version.  Protocol
+errors never kill the daemon — a malformed request yields an error
+response and the stream continues (a malformed *line* yields one
+unkeyed error object).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+#: Bumped whenever the wire format changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every operation the daemon understands.
+OPS = ("ping", "alias", "tables", "limit", "facts", "stats", "shutdown")
+
+#: Ops that require a ``source`` field.
+SOURCE_OPS = ("alias", "tables", "limit", "facts")
+
+
+class ProtocolError(ValueError):
+    """A malformed request (bad shape, unknown op, missing field)."""
+
+
+@dataclass
+class Request:
+    """One validated request object."""
+
+    op: str
+    id: object = None
+    source: Optional[str] = None
+    name: Optional[str] = None
+    analysis: Optional[str] = None
+    open_world: bool = False
+    engine: Optional[str] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_obj(cls, obj: object) -> "Request":
+        """Validate one decoded JSON object into a :class:`Request`."""
+        if not isinstance(obj, dict):
+            raise ProtocolError(
+                "request must be a JSON object, got {}".format(
+                    type(obj).__name__))
+        op = obj.get("op")
+        if op not in OPS:
+            raise ProtocolError(
+                "unknown op {!r}; expected one of {}".format(op, OPS))
+        source = obj.get("source")
+        if op in SOURCE_OPS and not isinstance(source, str):
+            raise ProtocolError("op {!r} requires a string 'source'".format(op))
+        if source is not None and not isinstance(source, str):
+            raise ProtocolError("'source' must be a string")
+        name = obj.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("'name' must be a string")
+        analysis = obj.get("analysis")
+        if analysis is not None and not isinstance(analysis, str):
+            raise ProtocolError("'analysis' must be a string")
+        open_world = obj.get("open_world", False)
+        if not isinstance(open_world, bool):
+            raise ProtocolError("'open_world' must be a boolean")
+        engine = obj.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            raise ProtocolError("'engine' must be a string")
+        known = {"op", "id", "source", "name", "analysis", "open_world",
+                 "engine"}
+        return cls(
+            op=op,
+            id=obj.get("id"),
+            source=source,
+            name=name,
+            analysis=analysis,
+            open_world=open_world,
+            engine=engine,
+            extra={k: v for k, v in obj.items() if k not in known},
+        )
+
+
+def parse_line(line: str) -> Union[Request, List[Request]]:
+    """Decode one JSONL input line into a request or a batch."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ProtocolError("not JSON: {}".format(err))
+    if isinstance(obj, list):
+        if not obj:
+            raise ProtocolError("empty batch")
+        return [Request.from_obj(entry) for entry in obj]
+    return Request.from_obj(obj)
+
+
+def ok_response(request_id: object, result: dict) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+            "result": result}
+
+
+def error_response(request_id: object, kind: str, message: str) -> dict:
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+            "error": {"kind": kind, "message": message}}
+
+
+def encode_line(response: Union[dict, List[dict]]) -> str:
+    """One JSONL output line (object or batch array), newline included."""
+    return json.dumps(response, sort_keys=True) + "\n"

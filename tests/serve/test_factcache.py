@@ -1,0 +1,111 @@
+"""The on-disk fact store: hits, misses, corruption, budget eviction."""
+
+from repro.analysis.facts import FACTS_SCHEMA_VERSION, new_bundle
+from repro.obs import metrics
+from repro.serve.factcache import FactStore
+
+
+def _bundle(tag, n_procs=2):
+    import hashlib
+
+    key = hashlib.sha256(tag.encode()).hexdigest()
+    return new_bundle("Mod" + tag, key,
+                      {"P%d" % i: "h%d" % i for i in range(n_procs)})
+
+
+def _count(name):
+    return int(metrics.registry().counter("serve.factcache." + name).value)
+
+
+def test_store_load_roundtrip_and_counters(tmp_path):
+    metrics.registry().reset()
+    store = FactStore(tmp_path)
+    bundle = _bundle("a")
+    assert store.load(bundle.module_hash) is None
+    assert _count("miss") == 1
+
+    store.store(bundle)
+    assert _count("store") == 1
+    loaded = store.load(bundle.module_hash)
+    assert loaded is not None
+    assert loaded.module_hash == bundle.module_hash
+    assert loaded.proc_hashes == bundle.proc_hashes
+    assert _count("hit") == 1
+    assert store.total_bytes() > 0
+    assert len(store) == 1
+
+
+def test_index_survives_restart(tmp_path):
+    store = FactStore(tmp_path)
+    bundle = _bundle("persist")
+    store.store(bundle)
+
+    reopened = FactStore(tmp_path)
+    assert reopened.keys() == [bundle.module_hash]
+    assert reopened.load(bundle.module_hash).module_name == \
+        bundle.module_name
+
+
+def test_corrupt_file_reads_as_miss_and_is_dropped(tmp_path):
+    metrics.registry().reset()
+    store = FactStore(tmp_path)
+    bundle = _bundle("rot")
+    store.store(bundle)
+    pkl = next(tmp_path.glob("facts-*.pkl"))
+    pkl.write_bytes(b"this is not a pickle")
+
+    assert store.load(bundle.module_hash) is None
+    assert _count("corrupt") == 1
+    assert len(store) == 0  # quarantined, not retried forever
+
+
+def test_schema_version_bump_reads_as_miss(tmp_path):
+    store = FactStore(tmp_path)
+    bundle = _bundle("stale")
+    bundle.schema = FACTS_SCHEMA_VERSION + 1
+    store.store(bundle)
+    assert store.load(bundle.module_hash) is None
+
+    old_build = _bundle("old")
+    old_build.repro_version = "0.0.0"
+    store.store(old_build)
+    assert store.load(old_build.module_hash) is None
+
+
+def test_byte_budget_evicts_lru_but_protects_fresh_store(tmp_path):
+    metrics.registry().reset()
+    probe = FactStore(tmp_path / "probe")
+    probe.store(_bundle("size"))
+    one_bundle = probe.total_bytes()
+
+    # Budget for ~2 partitions: the third store evicts the stalest.
+    store = FactStore(tmp_path / "cap", max_bytes=int(one_bundle * 2.5))
+    a, b, c = _bundle("ev-a"), _bundle("ev-b"), _bundle("ev-c")
+    store.store(a)
+    store.store(b)
+    store.load(a.module_hash)  # a is now fresher than b
+    store.store(c)
+    assert _count("evict") >= 1
+    keys = store.keys()
+    assert c.module_hash in keys  # just-stored key is protected
+    assert a.module_hash in keys  # recently used survived
+    assert b.module_hash not in keys  # LRU victim
+    assert store.total_bytes() <= int(one_bundle * 2.5)
+
+
+def test_unbounded_store_never_evicts(tmp_path):
+    metrics.registry().reset()
+    store = FactStore(tmp_path, max_bytes=None)
+    for tag in ("u1", "u2", "u3", "u4"):
+        store.store(_bundle(tag))
+    assert len(store) == 4
+    assert _count("evict") == 0
+
+
+def test_drop_removes_partition(tmp_path):
+    store = FactStore(tmp_path)
+    bundle = _bundle("dropme")
+    store.store(bundle)
+    store.drop(bundle.module_hash)
+    assert store.keys() == []
+    assert not list(tmp_path.glob("facts-*.pkl"))

@@ -1,0 +1,77 @@
+"""Wire protocol: validation, batches, response envelopes."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_line,
+)
+
+
+def test_request_validation_happy_path():
+    req = Request.from_obj({
+        "op": "alias", "id": 7, "source": "MODULE M; BEGIN END M.",
+        "name": "m", "analysis": "TypeDecl", "open_world": True,
+        "future_field": "ignored",
+    })
+    assert req.op == "alias"
+    assert req.id == 7
+    assert req.name == "m"
+    assert req.analysis == "TypeDecl"
+    assert req.open_world is True
+    # Unknown fields land in extra (forward compatibility), not errors.
+    assert req.extra == {"future_field": "ignored"}
+
+
+@pytest.mark.parametrize("obj,fragment", [
+    ("not a dict", "JSON object"),
+    ({"op": "explode"}, "unknown op"),
+    ({"op": "alias"}, "requires a string 'source'"),
+    ({"op": "tables", "source": 42}, "requires a string 'source'"),
+    ({"op": "ping", "open_world": "yes"}, "must be a boolean"),
+    ({"op": "ping", "name": 1}, "must be a string"),
+    ({"op": "ping", "analysis": []}, "must be a string"),
+])
+def test_request_validation_rejects(obj, fragment):
+    with pytest.raises(ProtocolError, match=fragment):
+        Request.from_obj(obj)
+
+
+def test_source_ops_all_require_source():
+    for op in ("alias", "tables", "limit", "facts"):
+        assert op in OPS
+        with pytest.raises(ProtocolError):
+            Request.from_obj({"op": op})
+
+
+def test_parse_line_single_batch_and_errors():
+    single = parse_line('{"op": "ping", "id": "a"}')
+    assert isinstance(single, Request) and single.id == "a"
+    batch = parse_line('[{"op": "ping", "id": 1}, {"op": "stats"}]')
+    assert [r.op for r in batch] == ["ping", "stats"]
+    with pytest.raises(ProtocolError, match="not JSON"):
+        parse_line("{nope")
+    with pytest.raises(ProtocolError, match="empty batch"):
+        parse_line("[]")
+
+
+def test_response_envelopes_carry_protocol_version():
+    ok = ok_response("x", {"n": 1})
+    assert ok == {"v": PROTOCOL_VERSION, "id": "x", "ok": True,
+                  "result": {"n": 1}}
+    err = error_response(None, "protocol", "bad")
+    assert err["ok"] is False
+    assert err["v"] == PROTOCOL_VERSION
+    assert err["error"] == {"kind": "protocol", "message": "bad"}
+    # One response (or batch) is exactly one newline-terminated line.
+    line = encode_line([ok, err])
+    assert line.endswith("\n") and line.count("\n") == 1
+    assert json.loads(line) == [ok, err]

@@ -377,3 +377,68 @@ def _patched_parser(func):
         return parser
 
     return build
+
+
+# ----------------------------------------------------------------------
+# The serve daemon, client and serve bench
+
+
+def test_serve_stdio_command_roundtrip(tmp_path, monkeypatch, capsys):
+    import io
+    import json
+    import sys
+
+    monkeypatch.setattr(sys, "stdin", io.StringIO(
+        '{"op": "ping", "id": "p"}\n'
+        '{"op": "shutdown", "id": "s"}\n'))
+    assert main(["-q", "serve", "--stdio",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 2
+    ping = json.loads(lines[0])
+    assert ping["ok"] and ping["result"]["pong"] is True
+    assert json.loads(lines[1])["result"]["stopping"] is True
+
+
+def test_client_queries_subprocess_daemon(demo_file, tmp_path, capsys):
+    import json
+
+    assert main(["-q", "client", demo_file, "--op", "tables",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    response = json.loads(capsys.readouterr().out)
+    assert response["ok"]
+    rows = response["result"]["rows"]
+    assert [r["analysis"] for r in rows] == \
+        ["TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"]
+
+
+def test_client_reports_compile_error(tmp_path, capsys):
+    import json
+
+    broken = tmp_path / "broken.m3"
+    broken.write_text(BROKEN)
+    assert main(["-q", "client", str(broken), "--op", "alias",
+                 "--cache-dir", str(tmp_path / "cache")]) == 1
+    response = json.loads(capsys.readouterr().out)
+    assert response["ok"] is False
+    assert response["error"]["kind"] == "compile"
+
+
+def test_bench_serve_appends_history_record(tmp_path, capsys):
+    from repro.obs import history
+
+    hist = str(tmp_path / "hist.jsonl")
+    assert main(["bench", "serve", "--only", "format",
+                 "--repeats", "1", "--history", hist]) == 0
+    out = capsys.readouterr().out
+    assert "bench serve: ok" in out
+    [record] = history.read_history(hist)
+    assert record["label"] == "bench-serve"
+    suite = record["phases"][history.SUITE_BUCKET]
+    assert suite["serve.cold"] > suite["serve.warm"] > 0
+
+
+def test_bench_serve_enforces_speedup_floor(capsys):
+    assert main(["bench", "serve", "--only", "format", "--repeats", "1",
+                 "--no-history", "--min-speedup", "1000000"]) == 1
+    assert "bench serve:" in capsys.readouterr().err
