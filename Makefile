@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-quick bench-gate tables examples fuzz \
-	fuzz-smoke profile-smoke corpus-gen corpus-smoke serve-smoke clean
+	fuzz-smoke profile-smoke corpus-gen corpus-smoke serve-smoke \
+	chaos-smoke clean
 
 # Seeded smoke corpus shared by corpus-smoke and the bench gate.
 CORPUS_SMOKE_DIR ?= benchmarks/results/corpus-smoke
@@ -17,6 +18,7 @@ test:
 	$(MAKE) corpus-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) bench-gate
 
 bench:
@@ -87,6 +89,16 @@ corpus-smoke: corpus-gen
 # and a clean shutdown (DESIGN.md §6h).
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro -q client --smoke
+
+# Chaos smoke: fixed-seed fault-injection batteries over the serving
+# stack (flaky + corrupting fact store, compile crashes, stalled
+# handlers under a deadline, daemon kill + restart with a self-healing
+# client) and the corpus pipeline (worker killed mid-shard, watchdog
+# retry).  Green means: every answer that left the system was
+# differential-pinned correct or a typed error (DESIGN.md §6i).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro -q chaos --seed 0 \
+		--plan mixed --plan client-drop --plan worker-kill
 
 # Observability smoke: `repro profile` over two bundled benchmarks with
 # the tree-sum check on, JSONL traces written and validated against the

@@ -15,6 +15,7 @@ from repro.analysis.openworld import AnalysisContext
 from repro.bench.perfjson import (
     measure_construction,
     measure_query_throughput,
+    measure_serve,
     measure_table5_engines,
     validate_report,
     SCHEMA_VERSION,
@@ -56,6 +57,7 @@ def test_analysis_construction(benchmark, suite, emit):
         "construction_ms": measure_construction(suite, "m3cg", rounds=3),
         "query_throughput": throughput,
         "table5": table5,
+        "serve": measure_serve(["m3cg"], rounds=2),
     }
     validate_report(report)
     emit("analysis_cost_json", json.dumps(report, indent=2, sort_keys=True))

@@ -312,7 +312,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         table5["speedup"]))
     if args.prom is not None:
         from repro.obs.promtext import write_prom
+        from repro.qa import chaos
 
+        # Chaos/robustness series appear at zero even in fault-free
+        # runs, so the .prom surface is stable across chaos on/off.
+        chaos.register_metrics()
         lines = write_prom(args.prom)
         print("wrote {}: {} lines".format(args.prom, lines))
     if args.history is not None:

@@ -483,27 +483,63 @@ def _cmd_bench_serve(args, rest: List[str]) -> int:
 
 def cmd_serve(args) -> int:
     """``repro serve`` — the long-running analysis daemon."""
+    import json
+    import signal
     from pathlib import Path
 
     from repro.serve.daemon import Daemon
-    from repro.serve.factcache import FactStore
+    from repro.serve.factcache import DEFAULT_MAX_BYTES, FactStore
     from repro.serve.session import SessionManager
 
     store = None
     if not args.no_cache:
-        store = FactStore(Path(args.cache_dir), max_bytes=args.cache_max_bytes)
+        # None = flag omitted (use the store default); 0 = unbounded.
+        max_bytes = args.cache_max_bytes
+        if max_bytes == 0:
+            max_bytes = None
+        elif max_bytes is None:
+            max_bytes = DEFAULT_MAX_BYTES
+        store = FactStore(Path(args.cache_dir), max_bytes=max_bytes)
+    if args.mode == "warmup":
+        from repro.serve.warmup import warmup_from_corpus
+
+        if store is None:
+            log.error("serve warmup needs an on-disk store (drop --no-cache)")
+            return 2
+        if not args.corpus:
+            log.error("serve warmup requires --corpus DIR")
+            return 2
+        summary = warmup_from_corpus(args.corpus, store,
+                                     max_programs=args.max_programs)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
     manager = SessionManager(store=store, max_sessions=args.max_sessions,
                              differential=args.differential)
-    daemon = Daemon(manager)
+    daemon = Daemon(manager, deadline_seconds=args.deadline_seconds)
     if args.http is not None:
         port = daemon.start_http(args.http)
         log.info("serve: http listening on 127.0.0.1:{}".format(port))
         if not args.stdio:
             # HTTP-only: print the port on stdout (clients parse it)
-            # and block until a shutdown request arrives.
+            # and block until a shutdown request or signal arrives.
+            # SIGTERM/SIGINT drain gracefully: stop accepting analysis
+            # work, finish in-flight requests, flush the fact store,
+            # exit 0.  (Stdio mode keeps the default handlers — its
+            # drain path is EOF or the shutdown op.)
+            def _on_signal(signum, frame):
+                log.info("serve: caught signal {}, draining".format(signum))
+                daemon.begin_drain()
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    signal.signal(sig, _on_signal)
+                except ValueError:
+                    pass  # not the main thread (embedded use)
             print("PORT {}".format(port), flush=True)
             daemon.shutdown_event.wait()
-            daemon.stop_http()
+            drained = daemon.drain(timeout=args.drain_timeout)
+            if not drained:
+                log.warning("serve: drain timed out with requests in flight")
             return 0
     return daemon.serve_stdio(sys.stdin, sys.stdout)
 
@@ -541,6 +577,41 @@ def cmd_client(args) -> int:
             response = stdio.query(request)
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0 if response.get("ok") else 1
+
+
+def cmd_chaos(args) -> int:
+    """``repro chaos`` — seeded fault-injection batteries."""
+    import json
+
+    from repro.qa import chaos
+
+    if args.list:
+        for spec in chaos.built_in_plans():
+            print("{:14s} [{}] {}".format(
+                spec.name, spec.target, spec.description))
+        return 0
+    try:
+        names = args.plan or [s.name for s in chaos.built_in_plans()]
+        reports = []
+        all_ok = True
+        for name in names:
+            report = chaos.run_chaos(name, seed=args.seed)
+            reports.append(report)
+            all_ok = all_ok and report["ok"]
+            log.info("chaos {:14s} seed={} -> {} ({} injected)".format(
+                name, args.seed, "ok" if report["ok"] else "VIOLATED",
+                report["chaos_injected_total"]))
+    except ValueError as err:
+        log.error("chaos: {}".format(err))
+        return 2
+    payload = reports[0] if len(reports) == 1 else reports
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    else:
+        print(text)
+    return 0 if all_ok else 1
 
 
 def _read_source(path: str) -> str:
@@ -728,6 +799,8 @@ def cmd_corpus_run(args) -> int:
                 per_program_seconds=args.per_program_seconds,
                 max_steps=args.max_steps,
                 max_shards=args.max_shards,
+                shard_timeout_seconds=args.shard_timeout,
+                max_shard_retries=args.max_shard_retries,
                 progress=progress,
             )
         except (OSError, ValueError) as err:
@@ -743,8 +816,11 @@ def cmd_corpus_run(args) -> int:
             report.programs, len(report.shards), report.jobs, report.engine,
             report.references, report.local_pairs, report.global_pairs,
             len(report.failures), report.duration, report.throughput()))
+    for entry in report.quarantined:
+        log.error("corpus run: quarantined shard {} ({}): {}".format(
+            entry["index"], entry["file"], entry["reason"]))
     _emit_failures(report.failures)
-    return 1 if report.failures else 0
+    return 1 if (report.failures or report.quarantined) else 0
 
 
 def cmd_corpus_bench(args) -> int:
@@ -1104,6 +1180,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="interpreter step budget for --oracles runs")
     cr.add_argument("--max-shards", type=int, default=None, metavar="N",
                     help="only process the first N shards")
+    cr.add_argument("--shard-timeout", type=float, default=None,
+                    metavar="S", dest="shard_timeout",
+                    help="watchdog: retry a shard whose worker hangs or "
+                    "dies for S seconds, then quarantine it (jobs > 1 "
+                    "only; default: no watchdog)")
+    cr.add_argument("--max-shard-retries", type=int, default=1, metavar="N",
+                    help="watchdog resubmissions before a shard is "
+                    "quarantined (default 1)")
     cr.add_argument("--history", metavar="FILE.jsonl",
                     default="BENCH_history.jsonl",
                     help="ledger to append the throughput record to")
@@ -1149,6 +1233,10 @@ def build_parser() -> argparse.ArgumentParser:
         "versioned on-disk store, so an edited module only invalidates "
         "its own partition and a restarted daemon answers warm.",
     )
+    p.add_argument("mode", nargs="?", choices=("warmup",), default=None,
+                   help="optional subcommand: 'warmup' pre-populates the "
+                   "fact store from --corpus DIR (largest modules first, "
+                   "stopping at the size cap) instead of serving")
     p.add_argument("--stdio", action="store_true", default=True,
                    help="serve the JSONL protocol on stdio (default)")
     p.add_argument("--no-stdio", dest="stdio", action="store_false",
@@ -1166,12 +1254,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-max-bytes", type=int,
                    default=None, metavar="N",
                    help="fact store size cap before LRU eviction "
-                   "(default 256 MiB)")
+                   "(default 256 MiB; 0 = unbounded)")
     p.add_argument("--max-sessions", type=int, default=64, metavar="N",
                    help="warm in-memory module sessions (default 64)")
     p.add_argument("--differential", action="store_true",
                    help="pin every served count against the cold fast "
                    "and reference engines (slower; for validation)")
+    p.add_argument("--deadline-seconds", type=float, default=None,
+                   metavar="S",
+                   help="per-request wall-clock budget; an expired "
+                   "request answers a typed 'deadline_exceeded' error "
+                   "(default: unbounded)")
+    p.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                   help="how long SIGTERM/SIGINT drain waits for "
+                   "in-flight requests before exiting (default 30)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="corpus manifest directory for 'warmup'")
+    p.add_argument("--max-programs", type=int, default=None, metavar="N",
+                   help="warm at most N programs (warmup only)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1199,6 +1299,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="run the two-transport smoke battery and exit")
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection batteries over serve and corpus",
+        description="Run the daemon or corpus pipeline under a named "
+        "FaultPlan (flaky fact store, corrupted partitions, crashing "
+        "compiles, stalled handlers, dropped connections, killed "
+        "workers) and assert the core invariant: every answer that "
+        "leaves the system is differential-pinned correct or a typed "
+        "error — never silently wrong, never a crash.  Deterministic "
+        "per (--plan, --seed); prints a JSON report and exits nonzero "
+        "on any violation.",
+    )
+    p.add_argument("--plan", action="append", default=None, metavar="NAME",
+                   help="built-in plan to run (repeatable; default: all; "
+                   "see --list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (default 0)")
+    p.add_argument("--list", action="store_true",
+                   help="list the built-in plans and exit")
+    p.add_argument("--out", default=None, metavar="FILE.json",
+                   help="write the JSON report to FILE instead of stdout")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "profile",

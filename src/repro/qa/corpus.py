@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import core as obs
 from repro.obs import metrics
+from repro.qa import chaos
 from repro.qa.generator import GenConfig, generate_program
 from repro.qa.guards import guarded
 
@@ -461,6 +462,9 @@ class CorpusRunReport:
     jobs: int
     analyses: Tuple[str, ...]
     shards: List[ShardOutcome] = field(default_factory=list)
+    #: Shards the watchdog gave up on after bounded retries — reported,
+    #: never silently dropped.  Entries: index/file/attempts/reason.
+    quarantined: List[dict] = field(default_factory=list)
     duration: float = 0.0
 
     @property
@@ -492,7 +496,7 @@ class CorpusRunReport:
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.quarantined
 
     def throughput(self) -> float:
         """Programs per second of wall clock (the ledger's headline)."""
@@ -513,6 +517,7 @@ class CorpusRunReport:
             "global_pairs": self.global_pairs,
             "ok": self.ok,
             "failures": self.failures,
+            "quarantined": self.quarantined,
             "duration_seconds": round(self.duration, 3),
             "programs_per_second": round(self.throughput(), 2),
             "shards": [s.to_json() for s in self.shards],
@@ -561,19 +566,32 @@ def _count_program(entry: dict, options: _RunOptions,
             })
 
 
-def _process_shard(task: Tuple[dict, _RunOptions]) -> ShardOutcome:
+def _process_shard(task: Tuple) -> ShardOutcome:
     """Worker entry point: one shard inside its bulkhead.
 
     Runs in a pool process for ``jobs>1`` (where the inherited registry
     is reset so the returned snapshot is exactly this shard's counters)
     or inline for ``jobs=1`` (where counters land in the parent registry
-    directly and no snapshot is shipped).
+    directly and no snapshot is shipped).  The task tuple optionally
+    carries the watchdog's retry ``attempt`` so chaos rules can target
+    "first attempt only" (transient) vs "every attempt" (poison).
     """
-    info_obj, options = task
+    if len(task) == 2:
+        info_obj, options = task
+        attempt = 0
+    else:
+        info_obj, options, attempt = task
     outcome = ShardOutcome(index=info_obj["index"], file=info_obj["file"])
     started = time.perf_counter()
     if not options.in_process:
         metrics.registry().reset()
+    # Forked workers inherit the armed chaos plan.  The kill point is
+    # gated off the in-process path — os._exit there would take the
+    # driver down, which is the one thing chaos must never do.
+    chaos.fire("corpus.shard_hang", shard=info_obj["index"], attempt=attempt)
+    if not options.in_process:
+        chaos.fire("corpus.worker_kill", shard=info_obj["index"],
+                   attempt=attempt)
     try:
         info = ShardInfo(**info_obj)
         programs = load_shard(Path(options.corpus_dir), info, verify=True)
@@ -634,6 +652,92 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+#: Watchdog poll interval, seconds.
+_POOL_POLL_SECONDS = 0.02
+
+
+def _run_sharded_pool(
+    tasks,
+    jobs: int,
+    shard_timeout_seconds: Optional[float],
+    max_shard_retries: int,
+) -> Tuple[List[ShardOutcome], List[dict]]:
+    """Fan shards over a pool with a hung/dead-worker watchdog.
+
+    ``imap_unordered`` cannot survive a worker death: a killed worker's
+    task simply never produces a result and the iterator blocks
+    forever.  This scheduler submits via ``apply_async`` in a bounded
+    window (``jobs * 2`` in flight, preserving the streaming-laziness
+    of the task generator) and polls each pending handle itself, so
+    *hang* and *death* collapse into one observable — the handle is not
+    ready within ``shard_timeout_seconds``.  Timed-out shards are
+    resubmitted up to ``max_shard_retries`` times (a transient kill
+    heals; a late straggler result from the abandoned attempt is
+    dropped, never double-counted), then **quarantined**: recorded with
+    their attempt count and reported in the run JSON rather than
+    silently missing.  ``Pool.__exit__`` terminates the pool, which
+    also reaps workers still stuck in a hung shard.
+    """
+    registry = metrics.registry()
+    outcomes: List[ShardOutcome] = []
+    quarantined: List[dict] = []
+    window = max(jobs * 2, 2)
+    pending: List[dict] = []
+    tasks_iter = iter(tasks)
+    exhausted = False
+    with multiprocessing.Pool(processes=jobs) as pool:
+
+        def submit(info_obj: dict, options: _RunOptions,
+                   attempt: int) -> None:
+            pending.append({
+                "handle": pool.apply_async(
+                    _process_shard, ((info_obj, options, attempt),)),
+                "info": info_obj,
+                "options": options,
+                "attempt": attempt,
+                "started": time.monotonic(),
+            })
+
+        while pending or not exhausted:
+            while not exhausted and len(pending) < window:
+                try:
+                    info_obj, options, attempt = next(tasks_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                submit(info_obj, options, attempt)
+            if not pending:
+                continue
+            progressed = False
+            now = time.monotonic()
+            for entry in list(pending):
+                if entry["handle"].ready():
+                    pending.remove(entry)
+                    progressed = True
+                    outcomes.append(entry["handle"].get())
+                elif (shard_timeout_seconds is not None
+                      and now - entry["started"] > shard_timeout_seconds):
+                    pending.remove(entry)
+                    progressed = True
+                    if entry["attempt"] < max_shard_retries:
+                        registry.counter("corpus.shard.retries").inc()
+                        submit(entry["info"], entry["options"],
+                               entry["attempt"] + 1)
+                    else:
+                        registry.counter("corpus.shard.quarantined").inc()
+                        quarantined.append({
+                            "index": entry["info"]["index"],
+                            "file": entry["info"]["file"],
+                            "attempts": entry["attempt"] + 1,
+                            "reason": "shard exceeded {}s timeout on every "
+                                      "attempt (hung or killed worker)"
+                                      .format(shard_timeout_seconds),
+                        })
+            if not progressed:
+                time.sleep(_POOL_POLL_SECONDS)
+    return outcomes, quarantined
+
+
 def run_corpus(
     corpus_dir: Path,
     jobs: Optional[int] = None,
@@ -643,10 +747,17 @@ def run_corpus(
     per_program_seconds: Optional[float] = PER_PROGRAM_SECONDS,
     max_steps: int = 400_000,
     max_shards: Optional[int] = None,
+    shard_timeout_seconds: Optional[float] = None,
+    max_shard_retries: int = 1,
     progress: Optional[Callable[[ShardOutcome], None]] = None,
 ) -> CorpusRunReport:
     """Drive Table 5 counting (and optionally the oracle battery) over
-    every shard of a corpus, ``jobs`` shards at a time."""
+    every shard of a corpus, ``jobs`` shards at a time.
+
+    ``shard_timeout_seconds`` arms the hung/dead-worker watchdog
+    (``jobs > 1`` only): shards whose worker hangs or dies retry up to
+    ``max_shard_retries`` times and are then quarantined into
+    ``report.quarantined``."""
     from repro.analysis.openworld import ANALYSIS_NAMES
 
     from itertools import islice
@@ -672,9 +783,9 @@ def run_corpus(
         spec=header.spec.to_json(),
     )
     # Shard infos stream off disk one line at a time; the task iterator
-    # is consumed lazily by the pool, so the driver's footprint stays
-    # constant even for >100k-program corpora.
-    tasks = ((info.to_json(), options)
+    # is consumed lazily by the scheduler's submission window, so the
+    # driver's footprint stays constant even for >100k-program corpora.
+    tasks = ((info.to_json(), options, 0)
              for info in islice(iter_shards(corpus_dir, header), n_shards))
     report = CorpusRunReport(
         corpus_dir=str(corpus_dir), engine=engine, jobs=jobs,
@@ -686,9 +797,10 @@ def run_corpus(
         else:
             # fork keeps the workers cheap; the registry reset inside
             # _process_shard makes the inherited state irrelevant.
-            with multiprocessing.Pool(processes=jobs) as pool:
-                outcomes = list(pool.imap_unordered(_process_shard, tasks))
+            outcomes, report.quarantined = _run_sharded_pool(
+                tasks, jobs, shard_timeout_seconds, max_shard_retries)
         outcomes.sort(key=lambda o: o.index)  # deterministic merge order
+        report.quarantined.sort(key=lambda q: q["index"])
         registry = metrics.registry()
         for outcome in outcomes:
             if outcome.counters is not None:

@@ -16,12 +16,13 @@ such hangs into clean, catchable failures:
   but raise the same ``ResourceLimitError``.
 
 ``check_active`` is called on hot paths, so the no-guard case is a
-single truthiness test of a module-level list.
+single truthiness test of a per-thread list.
 
 This module must stay import-light (stdlib + :mod:`repro.lang.errors`
 only): the runtime and analysis layers import it at module load.
 """
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
@@ -68,15 +69,26 @@ class Deadline:
         )
 
 
-#: Stack of installed deadlines (innermost last).  A plain list, not a
-#: thread-local: the toolkit is single-threaded and hot paths must pay
-#: nothing for the empty case.
-_active: List[Deadline] = []
+class _GuardState(threading.local):
+    """Per-thread deadline stack (innermost last).
+
+    Thread-local, not a module list: the serve daemon's HTTP transport
+    runs one request per handler thread, and a request's deadline must
+    never fire inside another request's analysis.  The empty case stays
+    one attribute load + truthiness test.
+    """
+
+    def __init__(self):
+        self.stack: List[Deadline] = []
+
+
+_state = _GuardState()
 
 
 def active_deadline() -> Optional[Deadline]:
-    """The innermost installed deadline, or None."""
-    return _active[-1] if _active else None
+    """The innermost installed deadline, or None (this thread only)."""
+    stack = _state.stack
+    return stack[-1] if stack else None
 
 
 def check_active() -> None:
@@ -85,8 +97,9 @@ def check_active() -> None:
     Checks the whole stack so an outer (shorter) deadline still fires
     while an inner guard is installed.
     """
-    if _active:
-        for deadline in _active:
+    stack = _state.stack
+    if stack:
+        for deadline in stack:
             deadline.check()
 
 
@@ -102,8 +115,8 @@ def guarded(seconds: Optional[float], label: str = "operation") -> Iterator[Opti
         yield None
         return
     deadline = Deadline(seconds, label)
-    _active.append(deadline)
+    _state.stack.append(deadline)
     try:
         yield deadline
     finally:
-        _active.remove(deadline)
+        _state.stack.remove(deadline)

@@ -17,12 +17,17 @@ shutdown — returning a JSON-able report the CLI prints.
 """
 
 import json
+import random
 import subprocess
 import sys
+import threading
+import time
 import urllib.error
 import urllib.request
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from repro.obs import metrics
+from repro.qa import chaos
 from repro.serve import protocol
 
 #: How long (seconds) smoke waits on daemon subprocess I/O.
@@ -66,6 +71,91 @@ END ServeSmoke.
 
 class ServeClientError(RuntimeError):
     """Transport-level failure talking to a daemon."""
+
+
+class CircuitOpenError(ServeClientError):
+    """The circuit breaker refused the call (daemon looks down)."""
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    ``delay(attempt)`` is the sleep before retry *attempt* (0-based):
+    ``base_delay * multiplier**attempt`` capped at ``max_delay``, scaled
+    by a jitter factor in ``[0.5, 1.0]`` drawn from a seeded stream so
+    chaos runs replay the exact same schedule.
+    """
+
+    def __init__(self, max_attempts: int = 5, base_delay: float = 0.05,
+                 max_delay: float = 2.0, multiplier: float = 2.0,
+                 seed: int = 0):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int) -> float:
+        base = min(self.max_delay,
+                   self.base_delay * self.multiplier ** attempt)
+        with self._lock:
+            return base * (0.5 + 0.5 * self._rng.random())
+
+
+class CircuitBreaker:
+    """Classic three-state breaker over daemon calls.
+
+    *closed* passes everything; ``failure_threshold`` consecutive
+    failures open it; while *open*, calls are refused without touching
+    the network until ``reset_timeout`` has passed, after which one
+    probe call is let through (*half-open*) — its success closes the
+    breaker, its failure re-opens it for another full timeout.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout: float = 1.0):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._probing:
+                return "half-open"
+            return "open"
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._probing:
+                return False  # one probe at a time
+            if time.monotonic() - self._opened_at >= self.reset_timeout:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._probing or self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()
+                self._probing = False
 
 
 class StdioClient:
@@ -152,6 +242,62 @@ class HttpClient:
             raise ServeClientError("HTTP ping failed: {}".format(err))
 
 
+class ResilientHttpClient:
+    """Self-healing HTTP client: retries + backoff + circuit breaker.
+
+    Every call goes through the same loop: the breaker gates it, a
+    transport failure (or a chaos-injected ``client.drop``) records a
+    failure, sleeps the policy's jittered backoff and retries.  A
+    daemon killed mid-request therefore leaves the client *retrying*,
+    and a restart on the same port heals it transparently — which is
+    exactly what the ``client-drop`` chaos plan asserts.
+
+    Counters: ``serve.client.retries`` per retried failure,
+    ``serve.client.breaker_open`` per breaker refusal.
+    """
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None):
+        self._client = HttpClient(port, host)
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+
+    def _call(self, fn: Callable, *args) -> object:
+        registry = metrics.registry()
+        last: Optional[ServeClientError] = None
+        for attempt in range(self.policy.max_attempts):
+            if not self.breaker.allow():
+                registry.counter("serve.client.breaker_open").inc()
+                last = CircuitOpenError(
+                    "circuit breaker is open (last error: {})".format(last))
+            else:
+                try:
+                    if chaos.fire("client.drop", attempt=attempt) is not None:
+                        raise ServeClientError(
+                            "chaos: connection dropped before send")
+                    result = fn(*args)
+                except ServeClientError as err:
+                    self.breaker.record_failure()
+                    last = err
+                else:
+                    self.breaker.record_success()
+                    return result
+            if attempt + 1 < self.policy.max_attempts:
+                registry.counter("serve.client.retries").inc()
+                time.sleep(self.policy.delay(attempt))
+        raise last if last is not None else ServeClientError("no attempts")
+
+    def query(self, request: dict) -> dict:
+        return self._call(self._client.query, request)
+
+    def batch(self, requests: List[dict]) -> List[dict]:
+        return self._call(self._client.batch, list(requests))
+
+    def ping(self) -> dict:
+        return self._call(self._client.ping)
+
+
 # ----------------------------------------------------------------------
 # The serve-smoke battery
 
@@ -165,9 +311,26 @@ def _smoke_requests(source: str) -> List[dict]:
             "source": source, "name": "smoke",
             "open_world": open_world,
         })
+    requests.append({
+        "op": "tables", "id": "tables-both",
+        "source": source, "name": "smoke", "worlds": "both",
+    })
     requests.append(
         {"op": "facts", "id": "facts", "source": source, "name": "smoke"})
     return requests
+
+
+def _assert_worlds_rows(responses: List[dict]) -> None:
+    """The ``worlds: both`` rows must be exactly the closed rows
+    followed by the open rows — all six configurations, pinned."""
+    by_id = {resp.get("id"): resp for resp in responses}
+    closed = by_id["tables-ow0"]["result"]["rows"]
+    open_ = by_id["tables-ow1"]["result"]["rows"]
+    both = by_id["tables-both"]["result"]["rows"]
+    if both != closed + open_:
+        raise AssertionError(
+            "worlds=both rows disagree with per-world tables: {} vs {}"
+            .format(both, closed + open_))
 
 
 def _assert_ok(responses: List[dict], transport: str) -> None:
@@ -208,6 +371,7 @@ def run_smoke(source: str, cache_dir: str) -> dict:
         ping = http_client.ping()
         http_responses = http_client.batch(requests)
         _assert_ok(http_responses, "http")
+        _assert_worlds_rows(http_responses)
         # Second pass must be answered warm (no new fact rebuilds).
         http_warm = http_client.batch(requests)
         _assert_ok(http_warm, "http-warm")

@@ -34,6 +34,7 @@ from repro import CompileError, __version__
 from repro.lang.errors import ResourceLimitError
 from repro.obs import core as obs
 from repro.obs import metrics
+from repro.qa import chaos, guards
 from repro.serve import protocol
 from repro.serve.session import DifferentialMismatch, SessionManager
 
@@ -42,13 +43,24 @@ from repro.serve.session import DifferentialMismatch, SessionManager
 LATENCY_BUCKETS_MS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
                       250.0, 1000.0, 5000.0)
 
+#: How long a graceful drain waits for in-flight requests, seconds.
+DRAIN_TIMEOUT = 30.0
+
 
 class Daemon:
     """Transport-independent request dispatcher over one session manager."""
 
-    def __init__(self, manager: SessionManager):
+    def __init__(self, manager: SessionManager,
+                 deadline_seconds: Optional[float] = None):
         self.manager = manager
+        #: Per-request wall-clock budget; ``None`` serves unbounded.
+        self.deadline_seconds = deadline_seconds
         self.shutdown_event = threading.Event()
+        #: Draining daemons answer ping/stats/shutdown but reject new
+        #: analysis work with a typed ``unavailable`` error.
+        self.draining = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
         self._http_server: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
 
@@ -58,22 +70,49 @@ class Daemon:
         """One request in, one response dict out; never raises."""
         registry = metrics.registry()
         registry.counter("serve.request.total", op=request.op).inc()
+        with self._inflight_cond:
+            if self.draining and request.op in protocol.SOURCE_OPS:
+                registry.counter("serve.request.rejected").inc()
+                return protocol.error_response(
+                    request.id, "unavailable",
+                    "daemon is draining and accepts no new analysis work")
+            self._inflight += 1
         start = time.perf_counter()
+        request_deadline: Optional[guards.Deadline] = None
         try:
-            with obs.span("serve.request." + request.op,
-                          unit=request.name or "?"):
-                result = self._dispatch(request)
-            response = protocol.ok_response(request.id, result)
-        except protocol.ProtocolError as err:
-            response = self._error(request, "protocol", err)
-        except DifferentialMismatch as err:
-            response = self._error(request, "differential", err)
-        except CompileError as err:
-            response = self._error(request, "compile", err)
-        except ResourceLimitError as err:
-            response = self._error(request, "resource_limit", err)
-        except Exception as err:  # noqa: BLE001 - daemon must not die
-            response = self._error(request, "internal", err)
+            try:
+                with guards.guarded(
+                        self.deadline_seconds,
+                        "serve request {}".format(request.op)
+                ) as request_deadline:
+                    if request_deadline is not None:
+                        registry.counter("serve.deadline.installed").inc()
+                    chaos.fire("daemon.handler", op=request.op)
+                    with obs.span("serve.request." + request.op,
+                                  unit=request.name or "?"):
+                        result = self._dispatch(request)
+                response = protocol.ok_response(request.id, result)
+            except protocol.ProtocolError as err:
+                response = self._error(request, "protocol", err)
+            except DifferentialMismatch as err:
+                response = self._error(request, "differential", err)
+            except CompileError as err:
+                response = self._error(request, "compile", err)
+            except ResourceLimitError as err:
+                # The per-request deadline and the analysis resource
+                # guards raise the same type; the deadline's own expiry
+                # disambiguates which budget ran out.
+                if request_deadline is not None and request_deadline.expired():
+                    registry.counter("serve.deadline.expired").inc()
+                    response = self._error(request, "deadline_exceeded", err)
+                else:
+                    response = self._error(request, "resource_limit", err)
+            except Exception as err:  # noqa: BLE001 - daemon must not die
+                response = self._error(request, "internal", err)
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         registry.histogram("serve.request.ms", buckets=LATENCY_BUCKETS_MS,
                            op=request.op).observe(elapsed_ms)
@@ -88,9 +127,13 @@ class Daemon:
         op = request.op
         if op == "ping":
             return {"pong": True, "version": __version__,
-                    "protocol": protocol.PROTOCOL_VERSION}
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "degraded": self.manager.degraded,
+                    "draining": self.draining}
         if op == "stats":
-            return self.manager.stats()
+            stats = self.manager.stats()
+            stats["draining"] = self.draining
+            return stats
         if op == "shutdown":
             self.shutdown_event.set()
             return {"stopping": True}
@@ -110,11 +153,23 @@ class Daemon:
                 "global_pairs": counts[2],
             }
         if op == "tables":
+            if request.worlds == "both":
+                world_list = [False, True]
+            elif request.worlds is not None:
+                world_list = [request.worlds == "open"]
+            else:
+                world_list = [request.open_world]
+            rows = []
+            for open_world in world_list:
+                rows.extend(self.manager.tables(session, open_world))
             return {
                 "module": session.name,
                 "module_hash": session.module_hash,
-                "open_world": request.open_world,
-                "rows": self.manager.tables(session, request.open_world),
+                "open_world": world_list[0] if len(world_list) == 1
+                else request.open_world,
+                "worlds": request.worlds or
+                ("open" if world_list == [True] else "closed"),
+                "rows": rows,
             }
         if op == "limit":
             result = self.manager.limit(session, request.analysis)
@@ -153,7 +208,9 @@ class Daemon:
             stdout.flush()
             if self.shutdown_event.is_set():
                 break
-        self.stop_http()
+        # EOF or shutdown op: same graceful exit as a signal drain —
+        # finish anything on the HTTP side, flush the fact store.
+        self.drain()
         return 0
 
     # -- HTTP transport -------------------------------------------------
@@ -219,3 +276,37 @@ class Daemon:
             self._http_server.server_close()
             self._http_server = None
             self._http_thread = None
+
+    # -- graceful drain -------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Flip to draining: new analysis work is rejected (typed
+        ``unavailable``), in-flight requests run to completion, and the
+        stdio loop / CLI wait wake up to finish the shutdown."""
+        with self._inflight_cond:
+            self.draining = True
+        self.shutdown_event.set()
+
+    def drain(self, timeout: float = DRAIN_TIMEOUT) -> bool:
+        """Finish in-flight work, flush the fact store, stop HTTP.
+
+        HTTP handler threads are daemonic, so ``stop_http`` alone would
+        abandon mid-request work — the in-flight condition variable is
+        what guarantees every accepted request produces its answer
+        before the process exits.  Returns False only if in-flight work
+        outlived *timeout* (the store is flushed and HTTP stopped
+        regardless).
+        """
+        self.begin_drain()
+        expires = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = expires - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cond.wait(remaining)
+            drained = self._inflight == 0
+        if self.manager.store is not None:
+            self.manager.store.flush()
+        self.stop_http()
+        return drained

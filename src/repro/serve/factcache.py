@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.analysis.facts import FACTS_SCHEMA_VERSION, FactBundle, bundle_is_current
 from repro.obs import core as obs
 from repro.obs import metrics
+from repro.qa import chaos
 
 #: Index file name inside the cache root.
 INDEX_NAME = "index.json"
@@ -113,13 +114,21 @@ class FactStore:
 
     def load(self, key: str) -> Optional[FactBundle]:
         """The bundle stored under *key*, or ``None`` (counted as a miss,
-        a corrupt file, or a schema/version mismatch)."""
+        a corrupt file, or a schema/version mismatch).
+
+        Raises :class:`OSError` only for whole-store I/O failure (the
+        chaos ``factstore.load`` point simulates it); a *readable but
+        corrupt* partition is always a miss, never an exception.
+        """
+        chaos.fire("factstore.load", key=key[:12])
         with self._lock:
             entry = self._index.get(key)
             if entry is None:
                 _counter("miss").inc()
                 return None
             path = self.root / entry["file"]
+            if chaos.fire("factstore.corrupt", key=key[:12]) is not None:
+                self._truncate_partition(path)
             with obs.span("serve.factcache.load", key=key[:12]):
                 try:
                     with open(path, "rb") as f:
@@ -140,8 +149,24 @@ class FactStore:
             _counter("hit").inc()
             return bundle
 
+    @staticmethod
+    def _truncate_partition(path: Path) -> None:
+        """Chaos ``factstore.corrupt``: chop the partition mid-byte."""
+        try:
+            size = path.stat().st_size
+            with open(path, "r+b") as f:
+                f.truncate(max(1, size // 2))
+        except OSError:
+            pass
+
     def store(self, bundle: FactBundle) -> None:
-        """Persist *bundle* under its module hash; evict over budget."""
+        """Persist *bundle* under its module hash; evict over budget.
+
+        Raises :class:`OSError` on write failure (the chaos
+        ``factstore.store`` point simulates it); the session layer
+        treats that as degraded mode, never as a lost answer.
+        """
+        chaos.fire("factstore.store", key=bundle.module_hash[:12])
         key = bundle.module_hash
         path = self._partition_path(key)
         with self._lock:
@@ -200,3 +225,16 @@ class FactStore:
         """Remove one partition (used by tests and cache maintenance)."""
         with self._lock:
             self._drop(key)
+
+    def flush(self) -> None:
+        """Force the index to disk (graceful-drain hook).
+
+        Every mutation already writes the index, so this is normally a
+        no-op rewrite — but after degraded-mode I/O failures it is the
+        last chance to leave a consistent index behind before exit.
+        """
+        with self._lock:
+            try:
+                self._write_index()
+            except OSError:
+                pass  # drain must not die on a still-broken disk

@@ -14,6 +14,9 @@ Request fields:
 * ``name`` — unit name for diagnostics (defaults to the module name);
 * ``analysis`` — one analysis name (``alias``); ``tables`` covers all;
 * ``open_world`` — bool, Section 4 variants (default closed world);
+* ``worlds`` — ``tables`` only: ``"closed"``, ``"open"`` or ``"both"``;
+  overrides ``open_world`` and ``"both"`` serves all six configurations
+  in one response (closed rows first);
 * ``engine`` — reserved for parity with the CLI; the daemon always
   answers from bulk matrices and (in differential mode) cross-checks
   against the cold fast/reference engines.
@@ -39,6 +42,9 @@ OPS = ("ping", "alias", "tables", "limit", "facts", "stats", "shutdown")
 #: Ops that require a ``source`` field.
 SOURCE_OPS = ("alias", "tables", "limit", "facts")
 
+#: Valid values of the ``worlds`` field (``tables``).
+WORLDS = ("closed", "open", "both")
+
 
 class ProtocolError(ValueError):
     """A malformed request (bad shape, unknown op, missing field)."""
@@ -54,6 +60,7 @@ class Request:
     name: Optional[str] = None
     analysis: Optional[str] = None
     open_world: bool = False
+    worlds: Optional[str] = None
     engine: Optional[str] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
@@ -82,11 +89,18 @@ class Request:
         open_world = obj.get("open_world", False)
         if not isinstance(open_world, bool):
             raise ProtocolError("'open_world' must be a boolean")
+        worlds = obj.get("worlds")
+        if worlds is not None:
+            if op != "tables":
+                raise ProtocolError("'worlds' only applies to op 'tables'")
+            if worlds not in WORLDS:
+                raise ProtocolError(
+                    "'worlds' must be one of {}".format(WORLDS))
         engine = obj.get("engine")
         if engine is not None and not isinstance(engine, str):
             raise ProtocolError("'engine' must be a string")
         known = {"op", "id", "source", "name", "analysis", "open_world",
-                 "engine"}
+                 "worlds", "engine"}
         return cls(
             op=op,
             id=obj.get("id"),
@@ -94,6 +108,7 @@ class Request:
             name=name,
             analysis=analysis,
             open_world=open_world,
+            worlds=worlds,
             engine=engine,
             extra={k: v for k, v in obj.items() if k not in known},
         )

@@ -48,6 +48,7 @@ from repro.analysis.facts import (
 )
 from repro.obs import core as obs
 from repro.obs import metrics
+from repro.qa import chaos
 from repro.serve.factcache import FactStore
 
 #: Default cap on warm in-memory sessions (each holds a compiled
@@ -94,6 +95,7 @@ class ModuleSession:
         """
         if self._program is None:
             with obs.span("serve.session.compile", module=self.name):
+                chaos.fire("session.compile", module=self.name)
                 _counter("session.compile").inc()
                 self._program = compile_program(self.source, unit=self.name)
                 self._base = self._program.base()
@@ -119,6 +121,10 @@ class SessionManager:
         self.store = store
         self.max_sessions = max_sessions
         self.differential = differential
+        #: True while the fact store is failing I/O: answers keep coming
+        #: from cold compute, persistence is skipped, and the flag (plus
+        #: the ``serve.degraded`` gauge) clears on the next store success.
+        self.degraded = False
         self._lock = threading.RLock()
         self._sessions: "OrderedDict[str, ModuleSession]" = OrderedDict()
         # Last hash + procedure hashes served under each unit name, for
@@ -147,10 +153,22 @@ class SessionManager:
                 len(self._sessions))
             return session
 
+    def _set_degraded(self, degraded: bool) -> None:
+        self.degraded = degraded
+        metrics.registry().gauge("serve.degraded").set(int(degraded))
+
     def _restore(self, key: str, source: str) -> Optional[ModuleSession]:
         if self.store is None:
             return None
-        bundle = self.store.load(key)
+        try:
+            bundle = self.store.load(key)
+        except OSError:
+            # Fact store unavailable: serve cold instead of failing the
+            # request.  A load miss is indistinguishable from this for
+            # correctness — only latency and the degraded flag differ.
+            _counter("factcache.io_error").inc()
+            self._set_degraded(True)
+            return None
         if bundle is None:
             return None
         return ModuleSession(bundle, source)
@@ -158,6 +176,7 @@ class SessionManager:
     def _build(self, key: str, source: str) -> ModuleSession:
         with obs.span("serve.facts.rebuild", key=key[:12]):
             _counter("facts.rebuild").inc()
+            chaos.fire("session.compile", module=key[:12])
             program = compile_program(source, unit="<serve>")
             _counter("session.compile").inc()
             base = program.base()
@@ -182,8 +201,18 @@ class SessionManager:
             session.module_hash, dict(session.bundle.proc_hashes))
 
     def _persist(self, bundle: FactBundle) -> None:
-        if self.store is not None:
+        if self.store is None:
+            return
+        try:
             self.store.store(bundle)
+        except OSError:
+            # The answer is already computed; losing persistence only
+            # costs a future recompute.  Flag degraded and keep serving.
+            _counter("factcache.io_error").inc()
+            self._set_degraded(True)
+        else:
+            if self.degraded:
+                self._set_degraded(False)
 
     # -- served answers -------------------------------------------------
 
@@ -222,10 +251,11 @@ class SessionManager:
 
     def tables(self, session: ModuleSession,
                open_world: bool) -> List[dict]:
-        """Table 5 rows for all served analyses."""
+        """Table 5 rows for all served analyses under one world."""
         return [
             {
                 "analysis": name,
+                "open_world": open_world,
                 "references": counts[0],
                 "local_pairs": counts[1],
                 "global_pairs": counts[2],
@@ -293,6 +323,7 @@ class SessionManager:
                 "sessions": len(self._sessions),
                 "max_sessions": self.max_sessions,
                 "differential": self.differential,
+                "degraded": self.degraded,
                 "store_partitions": len(self.store) if self.store else 0,
                 "store_bytes": self.store.total_bytes() if self.store else 0,
                 "counters": {
@@ -308,6 +339,9 @@ class SessionManager:
                         "serve.differential.checks",
                         "serve.factcache.hit", "serve.factcache.miss",
                         "serve.factcache.store", "serve.factcache.evict",
+                        "serve.factcache.io_error",
+                        "serve.deadline.expired",
+                        "serve.request.rejected",
                     )
                 },
             }

@@ -1,0 +1,93 @@
+"""Eviction-aware fact-store warm-up from a corpus manifest.
+
+``repro serve warmup --corpus DIR`` pre-populates a daemon's
+:class:`~repro.serve.factcache.FactStore` so the first real traffic hits
+warm partitions instead of cold compiles.  Two decisions make it
+*eviction-aware* rather than a dumb sweep:
+
+* **Largest-first order.**  Big modules are the expensive compiles and
+  the first LRU-eviction victims of an undersized cap; warming them
+  first means the cap is spent where a cold miss hurts most (ties break
+  by name so the order — and therefore the resulting store — is
+  deterministic).
+* **Stop at the size cap.**  Once the store's byte budget is reached,
+  every further ``store`` would evict a partition this same run just
+  paid to build — churn with zero net warmth.  The sweep stops instead
+  and reports how many programs it skipped.
+
+Returns a JSON-able summary (programs seen / warmed / skipped, final
+store bytes and partition count) that the CLI prints.
+"""
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import ANALYSIS_NAMES
+from repro.obs import core as obs
+from repro.obs import metrics
+from repro.qa.corpus import iter_shards, load_shard
+from repro.serve.factcache import FactStore
+from repro.serve.session import SessionManager
+
+__all__ = ["warmup_from_corpus"]
+
+
+def warmup_from_corpus(
+    corpus_dir: Path,
+    store: FactStore,
+    analyses: Optional[Sequence[str]] = None,
+    worlds: Sequence[bool] = (False, True),
+    max_programs: Optional[int] = None,
+) -> dict:
+    """Warm *store* with every served configuration of a corpus."""
+    corpus_dir = Path(corpus_dir)
+    analyses = tuple(analyses) if analyses else tuple(ANALYSIS_NAMES)
+    entries: List[Tuple[str, str]] = []
+    for info in iter_shards(corpus_dir):
+        for entry in load_shard(corpus_dir, info, verify=True):
+            entries.append((entry["source"], entry["name"]))
+    entries.sort(key=lambda e: (-len(e[0]), e[1]))
+    if max_programs is not None:
+        entries = entries[:max_programs]
+
+    # Sessions only exist to drive fact building; a tiny LRU keeps the
+    # warm-up's memory flat while the store accumulates partitions.
+    manager = SessionManager(store=store, max_sessions=4)
+    warmed = 0
+    skipped = 0
+    capped = False
+    # The store keeps itself under its byte budget by LRU-evicting on
+    # every write, so `total_bytes() >= max_bytes` alone never fires;
+    # the real cap signal is the first eviction — from then on every
+    # further warm write would evict a partition this run just built.
+    evict_counter = metrics.registry().counter("serve.factcache.evict")
+    evictions_before = evict_counter.value
+    with obs.span("serve.warmup", programs=len(entries)):
+        for i, (source, name) in enumerate(entries):
+            if (store.max_bytes is not None
+                    and store.total_bytes() >= store.max_bytes):
+                capped = True
+                skipped = len(entries) - i
+                break
+            session = manager.lookup(source, name=name)
+            for analysis in analyses:
+                for open_world in worlds:
+                    manager.alias_counts(session, analysis, open_world)
+            warmed += 1
+            metrics.registry().counter("serve.warmup.programs").inc()
+            if evict_counter.value > evictions_before:
+                capped = True
+                skipped = len(entries) - (i + 1)
+                break
+    return {
+        "corpus_dir": str(corpus_dir),
+        "programs": len(entries),
+        "warmed": warmed,
+        "skipped": skipped,
+        "stopped_at_cap": capped,
+        "configs_per_program": len(analyses) * len(worlds),
+        "store_partitions": len(store),
+        "store_bytes": store.total_bytes(),
+        "store_max_bytes": store.max_bytes,
+        "degraded": manager.degraded,
+    }

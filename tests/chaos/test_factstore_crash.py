@@ -1,0 +1,122 @@
+"""FactStore crash safety: every torn on-disk state reads as a miss.
+
+The store's write protocol is: write partition to ``.tmp`` → ``os.replace``
+partition → update in-memory index → ``os.replace`` the index.  A kill at
+any point between those steps leaves one of a small set of torn states;
+each one must (a) read as a plain miss — never an exception, never a
+wrong bundle — and (b) self-heal on the next ``store``.
+"""
+
+import json
+
+from repro.analysis.facts import new_bundle
+from repro.obs import metrics
+from repro.serve.factcache import INDEX_NAME, FactStore
+
+
+def _bundle(tag, n_procs=2):
+    import hashlib
+
+    key = hashlib.sha256(tag.encode()).hexdigest()
+    return new_bundle("Mod" + tag, key,
+                      {"P%d" % i: "h%d" % i for i in range(n_procs)})
+
+
+def _reset():
+    metrics.registry().reset()
+
+
+def _heals(store, bundle):
+    """The canonical recovery check: re-store then load back."""
+    store.store(bundle)
+    loaded = store.load(bundle.module_hash)
+    assert loaded is not None
+    assert loaded.module_hash == bundle.module_hash
+    assert loaded.proc_hashes == bundle.proc_hashes
+
+
+def test_kill_between_partition_write_and_index_replace(tmp_path):
+    """Partition on disk, index still old: the orphan is invisible."""
+    _reset()
+    store = FactStore(tmp_path)
+    a, b = _bundle("a"), _bundle("b")
+    store.store(a)
+    index_before_b = (tmp_path / INDEX_NAME).read_bytes()
+    store.store(b)
+    # Simulate the kill: b's partition survived, the index replace did
+    # not.  Roll the index file back and reopen as a fresh process would.
+    (tmp_path / INDEX_NAME).write_bytes(index_before_b)
+    reopened = FactStore(tmp_path)
+
+    assert reopened.load(b.module_hash) is None  # orphan = miss
+    assert reopened.load(a.module_hash) is not None  # older data intact
+    _heals(reopened, b)
+
+
+def test_mid_byte_partition_truncation_reads_as_miss(tmp_path):
+    """Torn partition write (or chaos ``factstore.corrupt``)."""
+    _reset()
+    store = FactStore(tmp_path)
+    bundle = _bundle("torn")
+    store.store(bundle)
+    full = next(tmp_path.glob("facts-*.pkl")).stat().st_size
+    for cut in (full // 2, 3, 1):
+        store.store(bundle)  # restore a good copy to truncate again
+        pkl = next(tmp_path.glob("facts-*.pkl"))
+        pkl.write_bytes(pkl.read_bytes()[:cut])
+        assert store.load(bundle.module_hash) is None, cut
+    counted = metrics.registry().counter("serve.factcache.corrupt").value
+    assert counted >= 3
+    _heals(store, bundle)
+
+
+def test_mid_byte_index_truncation_opens_empty(tmp_path):
+    """Torn index write: the whole store degrades to cold misses."""
+    _reset()
+    store = FactStore(tmp_path)
+    bundle = _bundle("ixtorn")
+    store.store(bundle)
+    index_path = tmp_path / INDEX_NAME
+    index_path.write_bytes(index_path.read_bytes()[: index_path.stat()
+                           .st_size // 2])
+    reopened = FactStore(tmp_path)
+    assert reopened.keys() == []
+    assert reopened.load(bundle.module_hash) is None
+    _heals(reopened, bundle)
+
+
+def test_leftover_index_tmp_is_harmless(tmp_path):
+    """Kill before the index ``os.replace``: the ``.tmp`` is ignored."""
+    _reset()
+    store = FactStore(tmp_path)
+    bundle = _bundle("tmpfile")
+    store.store(bundle)
+    (tmp_path / "index.tmp").write_text("{ torn json")
+    reopened = FactStore(tmp_path)
+    assert reopened.load(bundle.module_hash) is not None
+    _heals(reopened, _bundle("tmpfile2"))
+
+
+def test_index_entry_without_partition_reads_as_miss(tmp_path):
+    """The inverse orphan: indexed key whose partition file is gone."""
+    _reset()
+    store = FactStore(tmp_path)
+    bundle = _bundle("ghost")
+    store.store(bundle)
+    next(tmp_path.glob("facts-*.pkl")).unlink()
+    reopened = FactStore(tmp_path)
+    assert bundle.module_hash in reopened.keys()  # index says yes...
+    assert reopened.load(bundle.module_hash) is None  # ...disk says miss
+    assert reopened.keys() == []  # and the dangling entry is dropped
+    _heals(reopened, bundle)
+
+
+def test_index_swapped_with_garbage_json_opens_empty(tmp_path):
+    """A wrong-shape but parseable index is rejected wholesale."""
+    _reset()
+    store = FactStore(tmp_path)
+    store.store(_bundle("shape"))
+    (tmp_path / INDEX_NAME).write_text(json.dumps(["not", "a", "dict"]))
+    reopened = FactStore(tmp_path)
+    assert reopened.keys() == []
+    _heals(reopened, _bundle("shape"))

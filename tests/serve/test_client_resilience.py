@@ -1,0 +1,106 @@
+"""Client-side self-healing: backoff schedules, breaker states, retries."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.serve.client import (
+    SMOKE_SOURCE,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientHttpClient,
+    RetryPolicy,
+    ServeClientError,
+)
+from repro.serve.daemon import Daemon
+from repro.serve.session import SessionManager
+
+
+def test_retry_policy_is_seeded_and_bounded():
+    a = RetryPolicy(seed=11, base_delay=0.05, max_delay=2.0)
+    b = RetryPolicy(seed=11, base_delay=0.05, max_delay=2.0)
+    schedule_a = [a.delay(i) for i in range(8)]
+    schedule_b = [b.delay(i) for i in range(8)]
+    assert schedule_a == schedule_b  # same seed replays exactly
+    for attempt, delay in enumerate(schedule_a):
+        ceiling = min(2.0, 0.05 * 2 ** attempt)
+        assert 0.5 * ceiling <= delay <= ceiling
+    different = [RetryPolicy(seed=12).delay(i) for i in range(8)]
+    assert schedule_a != different
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_circuit_breaker_opens_probes_and_recloses():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=0.05)
+    assert breaker.state == "closed"
+    for _ in range(3):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()  # refused without touching the network
+
+    time.sleep(0.06)
+    assert breaker.allow()  # one probe goes through...
+    assert breaker.state == "half-open"
+    assert not breaker.allow()  # ...but only one
+    breaker.record_failure()  # probe failed: re-open for a full timeout
+    assert breaker.state == "open"
+    assert not breaker.allow()
+
+    time.sleep(0.06)
+    assert breaker.allow()
+    breaker.record_success()  # probe succeeded: fully closed again
+    assert breaker.state == "closed"
+    assert breaker.allow()
+
+
+def test_resilient_client_heals_across_daemon_restart():
+    metrics.registry().reset()
+    daemon = Daemon(SessionManager(store=None))
+    port = daemon.start_http()
+    policy = RetryPolicy(max_attempts=8, base_delay=0.02, max_delay=0.2,
+                         seed=0)
+    client = ResilientHttpClient(port, policy=policy,
+                                 breaker=CircuitBreaker(failure_threshold=50))
+    assert client.ping()["ok"]
+
+    daemon.stop_http()
+    replacement = []
+
+    def revive():
+        time.sleep(0.1)
+        fresh = Daemon(SessionManager(store=None))
+        fresh.start_http(port)
+        replacement.append(fresh)
+
+    thread = threading.Thread(target=revive, daemon=True)
+    thread.start()
+    try:
+        response = client.query({"op": "alias", "source": SMOKE_SOURCE,
+                                 "name": "smoke", "id": "heal"})
+        assert response["ok"], response
+        assert metrics.registry().counter("serve.client.retries").value >= 1
+    finally:
+        thread.join(5.0)
+        for fresh in replacement:
+            fresh.stop_http()
+
+
+def test_resilient_client_open_breaker_fails_fast():
+    metrics.registry().reset()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+    breaker.record_failure()  # wedge it open
+    assert breaker.state == "open"
+    client = ResilientHttpClient(1, policy=RetryPolicy(max_attempts=2,
+                                                       base_delay=0.001),
+                                 breaker=breaker)
+    start = time.monotonic()
+    with pytest.raises(CircuitOpenError):
+        client.ping()
+    assert time.monotonic() - start < 1.0  # no network timeouts burned
+    assert isinstance(CircuitOpenError("x"), ServeClientError)
+    assert metrics.registry().counter(
+        "serve.client.breaker_open").value >= 1

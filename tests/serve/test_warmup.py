@@ -1,0 +1,78 @@
+"""Eviction-aware warm-up: largest-first, deterministic, stops at cap."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.qa.corpus import CorpusSpec, generate_corpus
+from repro.serve.factcache import FactStore
+from repro.serve.session import SessionManager
+from repro.serve.warmup import warmup_from_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    corpus_dir = tmp_path_factory.mktemp("warmup-corpus")
+    generate_corpus(CorpusSpec(seed=3, count=8, shard_size=4,
+                               max_stmts=10), corpus_dir)
+    return corpus_dir
+
+
+def test_unbounded_warmup_covers_every_program(corpus, tmp_path):
+    metrics.registry().reset()
+    store = FactStore(tmp_path / "store", max_bytes=None)
+    summary = warmup_from_corpus(corpus, store)
+    assert summary["programs"] == 8
+    assert summary["warmed"] == 8
+    assert summary["skipped"] == 0
+    assert summary["stopped_at_cap"] is False
+    assert summary["configs_per_program"] == 6
+    assert summary["store_partitions"] == 8
+    assert len(store) == 8
+
+    # The daemon the warm-up exists for: a fresh manager over the same
+    # store answers without a single compile.
+    manager = SessionManager(store=store)
+    before = metrics.registry().counter("serve.session.compile").value
+    from repro.qa.corpus import iter_shards, load_shard
+
+    for info in iter_shards(corpus):
+        for entry in load_shard(corpus, info, verify=False):
+            session = manager.lookup(entry["source"])
+            counts = manager.alias_counts(session, "SMFieldTypeRefs", False)
+            assert counts[0] >= 0
+    assert metrics.registry().counter(
+        "serve.session.compile").value == before
+
+
+def test_capped_warmup_stops_instead_of_churning(corpus, tmp_path):
+    metrics.registry().reset()
+    probe = FactStore(tmp_path / "probe", max_bytes=None)
+    warmup_from_corpus(corpus, probe)
+    budget = int(probe.total_bytes() * 0.5)
+
+    store = FactStore(tmp_path / "store", max_bytes=budget)
+    summary = warmup_from_corpus(corpus, store)
+    assert summary["stopped_at_cap"] is True
+    assert summary["warmed"] < summary["programs"]
+    assert summary["warmed"] + summary["skipped"] == summary["programs"]
+    # Stopping on the *first* eviction bounds churn: at most one
+    # partition this run built was thrown away.
+    assert metrics.registry().counter("serve.factcache.evict").value <= 1
+
+
+def test_warmup_is_deterministic(corpus, tmp_path):
+    metrics.registry().reset()
+    a = warmup_from_corpus(corpus, FactStore(tmp_path / "a", max_bytes=None))
+    b = warmup_from_corpus(corpus, FactStore(tmp_path / "b", max_bytes=None))
+    for key in ("programs", "warmed", "skipped", "stopped_at_cap",
+                "store_partitions", "store_bytes"):
+        assert a[key] == b[key], key
+
+
+def test_max_programs_limits_the_sweep(corpus, tmp_path):
+    metrics.registry().reset()
+    store = FactStore(tmp_path / "store", max_bytes=None)
+    summary = warmup_from_corpus(corpus, store, max_programs=3)
+    assert summary["programs"] == 3
+    assert summary["warmed"] == 3
+    assert len(store) == 3
