@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-quick bench-gate tables examples fuzz \
 	fuzz-smoke profile-smoke corpus-gen corpus-smoke serve-smoke \
-	chaos-smoke clean
+	chaos-smoke obs-smoke clean
 
 # Seeded smoke corpus shared by corpus-smoke and the bench gate.
 CORPUS_SMOKE_DIR ?= benchmarks/results/corpus-smoke
@@ -19,6 +19,7 @@ test:
 	$(MAKE) profile-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) obs-smoke
 	$(MAKE) bench-gate
 
 bench:
@@ -98,7 +99,16 @@ serve-smoke:
 # differential-pinned correct or a typed error (DESIGN.md §6i).
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro -q chaos --seed 0 \
-		--plan mixed --plan client-drop --plan worker-kill
+		--plan mixed --plan client-drop --plan worker-kill \
+		--plan stdio-flaky --plan ledger-torn
+
+# Live-observability smoke: boot a daemon with tracing + SLO tracking +
+# access log on, run a traced --debug query end to end, lint the
+# /v1/metrics Prometheus exposition, check the request journal and the
+# slow-request access log carry the trace id, and render `repro top
+# --once` against the live daemon (DESIGN.md §6j).
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro -q client --obs-smoke
 
 # Observability smoke: `repro profile` over two bundled benchmarks with
 # the tree-sum check on, JSONL traces written and validated against the

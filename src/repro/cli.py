@@ -515,7 +515,10 @@ def cmd_serve(args) -> int:
         return 0
     manager = SessionManager(store=store, max_sessions=args.max_sessions,
                              differential=args.differential)
-    daemon = Daemon(manager, deadline_seconds=args.deadline_seconds)
+    daemon = Daemon(manager, deadline_seconds=args.deadline_seconds,
+                    slo_ms=args.slo_ms, slow_ms=args.slow_ms,
+                    access_log_path=args.access_log,
+                    access_log_sample=args.access_log_sample)
     if args.http is not None:
         port = daemon.start_http(args.http)
         log.info("serve: http listening on 127.0.0.1:{}".format(port))
@@ -539,7 +542,7 @@ def cmd_serve(args) -> int:
             daemon.shutdown_event.wait()
             drained = daemon.drain(timeout=args.drain_timeout)
             if not drained:
-                log.warning("serve: drain timed out with requests in flight")
+                log.warn("serve: drain timed out with requests in flight")
             return 0
     return daemon.serve_stdio(sys.stdin, sys.stdout)
 
@@ -558,8 +561,15 @@ def cmd_client(args) -> int:
             report = serve_client.run_smoke(source, cache_dir=tmp)
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
+    if args.obs_smoke:
+        with tempfile.TemporaryDirectory(prefix="repro-obs-smoke-") as tmp:
+            source = (_read_source(args.file) if args.file
+                      else serve_client.SMOKE_SOURCE)
+            report = serve_client.run_obs_smoke(source, cache_dir=tmp)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
     if not args.file:
-        log.error("client requires FILE (or --smoke)")
+        log.error("client requires FILE (or --smoke / --obs-smoke)")
         return 2
     request = {
         "op": args.op,
@@ -570,12 +580,20 @@ def cmd_client(args) -> int:
     }
     if args.analysis:
         request["analysis"] = args.analysis
+    if args.trace_id:
+        request["trace_id"] = args.trace_id
+    if args.debug:
+        request["debug"] = True
     if args.port is not None:
         response = serve_client.HttpClient(args.port).query(request)
     else:
         with serve_client.StdioClient(cache_dir=args.cache_dir) as stdio:
             response = stdio.query(request)
+    spans = response.pop("spans", None) if args.debug else None
     print(json.dumps(response, indent=2, sort_keys=True))
+    if args.debug:
+        print("-- trace {} --".format(response.get("trace", "?")))
+        print(serve_client.format_span_tree(spans or []))
     return 0 if response.get("ok") else 1
 
 
@@ -612,6 +630,14 @@ def cmd_chaos(args) -> int:
     else:
         print(text)
     return 0 if all_ok else 1
+
+
+def cmd_top(args) -> int:
+    """``repro top`` — live dashboard over a serving daemon."""
+    from repro.obs.top import run_top
+
+    return run_top(args.port, host=args.host, interval=args.interval,
+                   once=args.once, iterations=args.iterations)
 
 
 def _read_source(path: str) -> str:
@@ -1229,7 +1255,9 @@ def build_parser() -> argparse.ArgumentParser:
         "request line on stdin (a JSON object, or an array for a batch) "
         "produces one response line on stdout.  --http additionally "
         "binds a localhost HTTP shim (POST /v1/query, GET /v1/ping, "
-        "GET /v1/stats).  Derived facts persist in a content-hashed, "
+        "GET /v1/stats, GET /v1/metrics in Prometheus text, GET "
+        "/v1/requests for the recent-request journal; see repro top). "
+        "Derived facts persist in a content-hashed, "
         "versioned on-disk store, so an edited module only invalidates "
         "its own partition and a restarted daemon answers warm.",
     )
@@ -1268,6 +1296,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
                    help="how long SIGTERM/SIGINT drain waits for "
                    "in-flight requests before exiting (default 30)")
+    p.add_argument("--slo-ms", type=float, default=250.0, metavar="MS",
+                   help="per-request latency objective backing the "
+                   "serve.slo.ok/breach counters (default 250)")
+    p.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                   help="requests slower than this are written to "
+                   "--access-log (default: the --slo-ms value)")
+    p.add_argument("--access-log", default=None, metavar="FILE.jsonl",
+                   help="append slow-request JSONL records here "
+                   "(off unless given)")
+    p.add_argument("--access-log-sample", type=int, default=1, metavar="N",
+                   help="log every Nth slow request (default 1 = all)")
     p.add_argument("--corpus", default=None, metavar="DIR",
                    help="corpus manifest directory for 'warmup'")
     p.add_argument("--max-programs", type=int, default=None, metavar="N",
@@ -1298,6 +1337,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fact store for a spawned stdio daemon")
     p.add_argument("--smoke", action="store_true",
                    help="run the two-transport smoke battery and exit")
+    p.add_argument("--obs-smoke", action="store_true",
+                   help="run the live-observability battery (traced + "
+                   "debug queries, /v1/metrics self-lint, journal, "
+                   "access log, repro top --once) and exit")
+    p.add_argument("--debug", action="store_true",
+                   help="request the per-query span tree and print it "
+                   "as a phase breakdown after the response")
+    p.add_argument("--trace-id", default=None, metavar="ID",
+                   help="client-chosen trace id to propagate (default: "
+                   "the daemon mints one)")
     p.set_defaults(func=cmd_client)
 
     p = sub.add_parser(
@@ -1322,6 +1371,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="FILE.json",
                    help="write the JSON report to FILE instead of stdout")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a serving daemon",
+        description="Poll a daemon's /v1/metrics, /v1/requests and "
+        "/v1/ping endpoints and render throughput, per-op latency "
+        "quantiles (streaming P2 gauges), SLO ok/breach counts, cache "
+        "hit rates, degraded/draining state and the slowest recent "
+        "traces.  --once renders a single frame and exits (the CI "
+        "mode); live mode refreshes every --interval seconds until "
+        "Ctrl-C.",
+    )
+    p.add_argument("--port", type=int, required=True, metavar="PORT",
+                   help="the daemon's HTTP port (repro serve --http)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="daemon host (default 127.0.0.1)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls in live mode (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N frames (default: run until Ctrl-C)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "profile",

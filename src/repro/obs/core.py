@@ -11,6 +11,15 @@ off: :func:`span` then returns one shared identity no-op object, so the
 instrumented code paths cost a single predicate per phase (never per
 query — per-query costs live in :mod:`repro.obs.metrics` counters).
 ``repro profile`` and the ``--trace`` CLI flag enable it.
+
+**Request-scoped tracing** (DESIGN.md §6j) layers on top: a serving
+daemon wraps each request in :func:`trace_scope`, which stamps every
+span finished on that thread with the request's ``trace_id`` (emitted in
+span JSON only when set, so batch traces are unchanged) and — when the
+scope *collects* — captures the request's own spans into a bounded
+per-request sink even while the global recorder stays disabled.  Scopes
+are thread-local, exactly like span stacks, so concurrent requests can
+never interleave trace ids.
 """
 
 import itertools
@@ -19,7 +28,8 @@ import time
 from typing import Dict, List, Optional
 
 __all__ = ["Span", "NullSpan", "NULL_SPAN", "Recorder", "recorder",
-           "span", "enable", "disable", "enabled", "reset"]
+           "span", "enable", "disable", "enabled", "reset",
+           "trace_scope", "current_trace", "trace_note", "TraceScope"]
 
 
 class NullSpan:
@@ -41,11 +51,92 @@ class NullSpan:
 NULL_SPAN = NullSpan()
 
 
+#: Thread-local holder for the active :class:`TraceScope` (if any).
+_TRACE = threading.local()
+
+
+#: Collecting scopes stop capturing past this many spans per request —
+#: a runaway span loop must not grow an unbounded debug payload.
+TRACE_SINK_CAP = 512
+
+
+class TraceScope:
+    """One request's tracing context: id, notes and an optional sink.
+
+    Entered around a request's whole lifetime on its serving thread.
+    While active, every :class:`Span` finished on this thread carries
+    ``trace_id``; with ``collect=True`` finished spans are also appended
+    to :attr:`spans` (bounded by :data:`TRACE_SINK_CAP`) even when the
+    global recorder is disabled, which is what powers ``debug: true``
+    responses.  :attr:`notes` is a scratch dict lower layers fill in via
+    :func:`trace_note` (e.g. the session cache outcome) and the daemon
+    reads back when journalling the request.
+    """
+
+    __slots__ = ("trace_id", "collect", "spans", "notes", "dropped",
+                 "_previous")
+
+    def __init__(self, trace_id: str, collect: bool = False):
+        self.trace_id = trace_id
+        self.collect = collect
+        self.spans: List["Span"] = []
+        self.notes: Dict[str, object] = {}
+        self.dropped = 0
+        self._previous: Optional["TraceScope"] = None
+
+    def __enter__(self) -> "TraceScope":
+        self._previous = getattr(_TRACE, "scope", None)
+        _TRACE.scope = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _TRACE.scope = self._previous
+        self._previous = None
+        return False
+
+    def _capture(self, span: "Span") -> None:
+        if len(self.spans) < TRACE_SINK_CAP:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    def tree(self, epoch: Optional[float] = None) -> List[dict]:
+        """Collected spans as JSON dicts (start order), for responses."""
+        if epoch is None:
+            epoch = self.spans[0].start if self.spans else 0.0
+        return [s.to_json(epoch) for s in
+                sorted(self.spans, key=lambda s: s.span_id or 0)]
+
+
+def trace_scope(trace_id: str, collect: bool = False) -> TraceScope:
+    """A context manager scoping *trace_id* to the current thread."""
+    return TraceScope(trace_id, collect=collect)
+
+
+def current_scope() -> Optional[TraceScope]:
+    """The thread's active :class:`TraceScope`, or None."""
+    return getattr(_TRACE, "scope", None)
+
+
+def current_trace() -> Optional[str]:
+    """The thread's active trace id, or None outside any scope."""
+    scope = getattr(_TRACE, "scope", None)
+    return scope.trace_id if scope is not None else None
+
+
+def trace_note(key: str, value: object) -> None:
+    """Attach a note to the active trace scope (no-op outside one)."""
+    scope = getattr(_TRACE, "scope", None)
+    if scope is not None:
+        scope.notes[key] = value
+
+
 class Span:
     """One timed, named phase; records itself into its recorder on exit."""
 
     __slots__ = ("recorder", "name", "attrs", "span_id", "parent_id",
-                 "depth", "start", "duration", "thread", "error")
+                 "depth", "start", "duration", "thread", "error",
+                 "trace_id")
 
     def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, object]):
         self.recorder = recorder
@@ -58,6 +149,7 @@ class Span:
         self.duration = 0.0
         self.thread = ""
         self.error: Optional[str] = None
+        self.trace_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
         self.span_id = self.recorder._next_id()
@@ -66,6 +158,9 @@ class Span:
             self.parent_id = stack[-1].span_id
             self.depth = len(stack)
         stack.append(self)
+        scope = getattr(_TRACE, "scope", None)
+        if scope is not None:
+            self.trace_id = scope.trace_id
         self.thread = threading.current_thread().name
         self.start = time.perf_counter()
         return self
@@ -79,7 +174,13 @@ class Span:
         # sibling bookkeeping).
         if stack and stack[-1] is self:
             stack.pop()
-        self.recorder._record(self)
+        # A span may exist only because a collecting trace scope asked
+        # for it; the global recorder keeps it only while enabled.
+        if self.recorder._enabled:
+            self.recorder._record(self)
+        scope = getattr(_TRACE, "scope", None)
+        if scope is not None and scope.collect:
+            scope._capture(self)
         return False
 
     def annotate(self, **attrs) -> None:
@@ -87,7 +188,7 @@ class Span:
         self.attrs.update(attrs)
 
     def to_json(self, epoch: float) -> dict:
-        return {
+        out = {
             "kind": "span",
             "name": self.name,
             "id": self.span_id,
@@ -99,6 +200,11 @@ class Span:
             "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
             "error": self.error,
         }
+        # Additive: only request-scoped spans carry a trace id, so the
+        # batch trace schema (golden-pinned key set) is unchanged.
+        if self.trace_id is not None:
+            out["trace"] = self.trace_id
+        return out
 
     def __repr__(self) -> str:
         return "<Span {} {:.3f}ms>".format(self.name, self.duration * 1000.0)
@@ -145,7 +251,7 @@ class Recorder:
 
     def span(self, name: str, **attrs):
         """A context manager timing one phase (no-op when disabled)."""
-        if not self._enabled:
+        if not self._enabled and not _collecting():
             return NULL_SPAN
         return Span(self, name, attrs)
 
@@ -189,9 +295,15 @@ def recorder() -> Recorder:
     return RECORDER
 
 
+def _collecting() -> bool:
+    """True when the thread's trace scope wants its own span copies."""
+    scope = getattr(_TRACE, "scope", None)
+    return scope is not None and scope.collect
+
+
 def span(name: str, **attrs):
     """Module-level shorthand for ``recorder().span(...)``."""
-    if not RECORDER._enabled:
+    if not RECORDER._enabled and not _collecting():
         return NULL_SPAN
     return Span(RECORDER, name, attrs)
 

@@ -207,14 +207,36 @@ def collect_record(label: str,
 
 
 def append_record(path: str, record: dict) -> None:
-    """Validate *record* and append it as one JSONL line."""
+    """Validate *record* and append it as one JSONL line.
+
+    The ``history.append`` chaos point simulates a torn append (the
+    process dying mid-write): the line is truncated to a prefix, which
+    readers must skip — see :func:`read_history`.
+    """
+    from repro.qa import chaos  # lazy: qa pulls in heavier modules
+
     validate_record(record)
+    line = json.dumps(record, sort_keys=True)
+    if chaos.fire("history.append", label=record.get("label", "?")):
+        line = line[: max(1, len(line) // 3)]
+        metrics.registry().counter("obs.history.torn_writes").inc()
     with open(path, "a") as f:
-        f.write(json.dumps(record, sort_keys=True) + "\n")
+        f.write(line + "\n")
 
 
-def read_history(path: str) -> List[dict]:
-    """Every validated record in *path*, in file (i.e. append) order."""
+def read_history(path: str, skip_torn: bool = True) -> List[dict]:
+    """Every validated record in *path*, in file (i.e. append) order.
+
+    A **torn line** — one that fails to decode as JSON, the artifact of
+    a writer dying mid-append — is skipped with a warning (and counted
+    in ``obs.history.torn_skipped``) so a crashed bench run can never
+    wedge ``bench compare``/``gate``; pass ``skip_torn=False`` to get
+    the old strict behaviour.  A line that decodes but fails
+    :func:`validate_record` is *corruption*, not tearing, and still
+    raises.  A file with no valid record at all still raises.
+    """
+    from repro.obs import log
+
     records: List[dict] = []
     with open(path) as f:
         for lineno, raw in enumerate(f, 1):
@@ -224,8 +246,13 @@ def read_history(path: str) -> List[dict]:
             try:
                 obj = json.loads(raw)
             except json.JSONDecodeError as err:
-                raise ValueError(
-                    "{}:{}: not JSON: {}".format(path, lineno, err))
+                if not skip_torn:
+                    raise ValueError(
+                        "{}:{}: not JSON: {}".format(path, lineno, err))
+                metrics.registry().counter("obs.history.torn_skipped").inc()
+                log.warn("{}:{}: skipping torn ledger line (not JSON: {})"
+                         .format(path, lineno, err))
+                continue
             try:
                 validate_record(obj)
             except ValueError as err:

@@ -51,15 +51,29 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def render(registry: Optional[metrics.MetricsRegistry] = None) -> str:
-    """The whole registry in Prometheus text exposition format."""
+def render(registry: Optional[metrics.MetricsRegistry] = None,
+           help_texts: Optional[dict] = None) -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    *help_texts* optionally maps raw metric names (``serve.request.ms``)
+    or exported names (``repro_serve_request_ms``) to ``# HELP`` text;
+    HELP lines are emitted directly before the family's ``# TYPE`` line
+    and only for families that have one (the default output — no HELP —
+    is schema-pinned by tests).
+    """
     registry = registry if registry is not None else metrics.registry()
+    helps = {}
+    for key, text in (help_texts or {}).items():
+        helps[metric_name(key)] = str(text).replace("\\", "\\\\") \
+            .replace("\n", "\\n")
     lines: List[str] = []
     typed = set()
     for entry in registry.snapshot():
         name = metric_name(entry["name"])
         kind = entry["kind"]
         if name not in typed:
+            if name in helps:
+                lines.append("# HELP {} {}".format(name, helps[name]))
             lines.append("# TYPE {} {}".format(name, kind))
             typed.add(name)
         labels = entry["labels"]

@@ -1,0 +1,171 @@
+"""Request journal + slow-request access log for the serving daemon.
+
+Two sinks fed once per request by :meth:`Daemon.handle_request`:
+
+* :class:`RequestJournal` — a bounded ring buffer (``collections.deque``)
+  of recent request records: op, trace id, wall milliseconds, cache
+  outcome, ok/error kind.  Served live as JSON by ``GET /v1/requests``
+  and rendered by ``repro top``; O(1) append, fixed memory, thread-safe.
+* :class:`AccessLog` — a structured JSONL log of *slow* requests (wall
+  time over ``--slow-ms``), deterministically sampled (every Nth slow
+  request) so a latency storm cannot turn the log into the bottleneck.
+  One JSON object per line, schema pinned by :data:`ACCESS_LOG_KEYS` and
+  checked by :func:`validate_access_line` (the obs-smoke battery runs it
+  over the file a live daemon wrote).
+
+Neither sink ever raises into the request path: a failed log write
+increments ``serve.accesslog.errors`` and serving continues.
+"""
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.obs import metrics
+
+__all__ = ["RequestRecord", "RequestJournal", "AccessLog",
+           "validate_access_line", "ACCESS_LOG_KEYS", "DEFAULT_JOURNAL_SIZE"]
+
+#: Ring-buffer capacity: enough context for a dashboard, fixed memory.
+DEFAULT_JOURNAL_SIZE = 256
+
+#: Required keys of one access-log JSONL line.
+ACCESS_LOG_KEYS = ("ts", "trace", "op", "unit", "ms", "ok", "error",
+                   "cache", "slow")
+
+
+class RequestRecord:
+    """One served request, as journalled."""
+
+    __slots__ = ("op", "trace_id", "unit", "ms", "ok", "error_kind",
+                 "cache", "ts")
+
+    def __init__(self, op: str, trace_id: str, unit: Optional[str],
+                 ms: float, ok: bool, error_kind: Optional[str],
+                 cache: Optional[str], ts: float):
+        self.op = op
+        self.trace_id = trace_id
+        self.unit = unit
+        self.ms = ms
+        self.ok = ok
+        self.error_kind = error_kind
+        #: Session-cache outcome for source ops: hit/restore/build/None.
+        self.cache = cache
+        self.ts = ts
+
+    def to_json(self) -> dict:
+        return {
+            "op": self.op,
+            "trace": self.trace_id,
+            "unit": self.unit,
+            "ms": round(self.ms, 3),
+            "ok": self.ok,
+            "error": self.error_kind,
+            "cache": self.cache,
+            "ts": round(self.ts, 3),
+        }
+
+
+class RequestJournal:
+    """Thread-safe bounded ring of recent :class:`RequestRecord`\\ s."""
+
+    def __init__(self, size: int = DEFAULT_JOURNAL_SIZE):
+        self._ring: "deque[RequestRecord]" = deque(maxlen=max(1, size))
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def record(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self._total += 1
+
+    @property
+    def total(self) -> int:
+        """Requests ever journalled (ring evictions included)."""
+        with self._lock:
+            return self._total
+
+    def recent(self, limit: Optional[int] = None) -> List[RequestRecord]:
+        """Newest-first records, at most *limit*."""
+        with self._lock:
+            records = list(self._ring)
+        records.reverse()
+        if limit is not None:
+            records = records[:limit]
+        return records
+
+    def snapshot(self, limit: Optional[int] = None) -> dict:
+        """The ``GET /v1/requests`` payload."""
+        return {
+            "total": self.total,
+            "requests": [r.to_json() for r in self.recent(limit)],
+        }
+
+
+class AccessLog:
+    """Sampled JSONL log of slow requests (``--slow-ms``)."""
+
+    def __init__(self, path: str, slow_ms: float, sample: int = 1):
+        self.path = path
+        self.slow_ms = slow_ms
+        #: Log every Nth slow request (1 = all); deterministic counter
+        #: based so tests and replays see the same lines.
+        self.sample = max(1, sample)
+        self._lock = threading.Lock()
+        self._slow_seen = 0
+
+    def maybe_log(self, record: RequestRecord) -> bool:
+        """Write *record* if slow and selected by sampling; True if written."""
+        if record.ms < self.slow_ms:
+            return False
+        with self._lock:
+            self._slow_seen += 1
+            if (self._slow_seen - 1) % self.sample != 0:
+                metrics.registry().counter("serve.accesslog.sampled_out").inc()
+                return False
+            line = json.dumps(dict(record.to_json(), slow=True),
+                              sort_keys=True)
+            try:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+            except OSError:
+                # Logging must never fail a request.
+                metrics.registry().counter("serve.accesslog.errors").inc()
+                return False
+        metrics.registry().counter("serve.accesslog.lines").inc()
+        return True
+
+
+def validate_access_line(line: str) -> dict:
+    """Validate one access-log JSONL line; returns the decoded object.
+
+    Raises ValueError with a precise message on any violation — the
+    obs-smoke battery runs this over every line a live daemon wrote.
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ValueError("not JSON: {}".format(err))
+    if not isinstance(obj, dict):
+        raise ValueError("line must be a JSON object")
+    missing = [k for k in ACCESS_LOG_KEYS if k not in obj]
+    if missing:
+        raise ValueError("missing keys: {}".format(", ".join(missing)))
+    if not isinstance(obj["trace"], str) or not obj["trace"]:
+        raise ValueError("'trace' must be a non-empty string")
+    if not isinstance(obj["op"], str):
+        raise ValueError("'op' must be a string")
+    if not isinstance(obj["ms"], (int, float)):
+        raise ValueError("'ms' must be a number")
+    if not isinstance(obj["ok"], bool):
+        raise ValueError("'ok' must be a boolean")
+    if obj["slow"] is not True:
+        raise ValueError("'slow' must be true in the access log")
+    return obj
+
+
+def now() -> float:
+    """Wall-clock seconds (split out so tests can monkeypatch)."""
+    return time.time()

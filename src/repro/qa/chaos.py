@@ -115,6 +115,9 @@ POINTS: Dict[str, ChaosPoint] = {
                    "(arg = exit code)"),
         ChaosPoint("corpus.shard_hang", "sleep",
                    "corpus shard hangs (plain sleep, arg = seconds)"),
+        ChaosPoint("history.append", "mark",
+                   "a bench-ledger append is torn mid-line (writer died "
+                   "mid-write); readers must skip it"),
     )
 }
 
@@ -408,7 +411,7 @@ class ChaosPlanSpec:
 
     name: str
     description: str
-    target: str  # "serve" | "corpus"
+    target: str  # "serve" | "corpus" | "stdio" | "ledger"
     rules: Tuple[FaultRule, ...]
     deadline_seconds: Optional[float] = None
     restart: bool = False  # serve: kill + restart the daemon mid-battery
@@ -490,6 +493,27 @@ _PLAN_SPECS: Tuple[ChaosPlanSpec, ...] = (
         "other shard completes",
         target="corpus",
         rules=(FaultRule("corpus.worker_kill", match=(("shard", "1"),)),),
+    ),
+    ChaosPlanSpec(
+        name="stdio-flaky",
+        description="the plan crosses a process boundary: a subprocess "
+        "stdio daemon picks it up from REPRO_CHAOS_PLAN and suffers a "
+        "flaky fact store plus compile crashes; every answer that comes "
+        "back over the pipe is pinned correct or a typed error",
+        target="stdio",
+        rules=(
+            FaultRule("factstore.load", probability=0.4),
+            FaultRule("factstore.store", probability=0.4),
+            FaultRule("session.compile", probability=0.5, times=2),
+        ),
+    ),
+    ChaosPlanSpec(
+        name="ledger-torn",
+        description="bench-ledger appends are torn mid-line half the "
+        "time; read_history skips each torn line with a warning and "
+        "bench compare still runs over the surviving records",
+        target="ledger",
+        rules=(FaultRule("history.append", probability=0.5),),
     ),
     ChaosPlanSpec(
         name="shard-hang",
@@ -589,7 +613,13 @@ def _expected_counts(sources: List[Tuple[str, str]]) -> Dict[tuple, tuple]:
 
 
 def _battery_requests(sources: List[Tuple[str, str]]) -> List[dict]:
-    """The deterministic request stream the serve battery replays."""
+    """The deterministic request stream the serve battery replays.
+
+    Every request carries a ``trace_id`` derived from its id, so the
+    battery can assert that trace propagation survives fault injection:
+    the echoed ``trace`` must come back on every answer, pinned-correct
+    responses and typed errors alike.
+    """
     from repro.analysis import ANALYSIS_NAMES
 
     requests: List[dict] = [{"op": "ping", "id": "ping-0"}]
@@ -609,6 +639,8 @@ def _battery_requests(sources: List[Tuple[str, str]]) -> List[dict]:
                 "source": source, "name": name, "worlds": "both",
             })
         requests.append({"op": "stats", "id": "stats-{}".format(round_index)})
+    for request in requests:
+        request["trace_id"] = "chaos-{}".format(request["id"])
     return requests
 
 
@@ -623,6 +655,14 @@ def _verify_response(request: dict, response: dict,
         violations.append({"id": request.get("id"),
                            "reason": "non-object response"})
         return
+    wanted_trace = request.get("trace_id")
+    if wanted_trace is not None and response.get("trace") != wanted_trace:
+        violations.append({
+            "id": request.get("id"),
+            "reason": "trace id lost under fault injection",
+            "sent": wanted_trace,
+            "echoed": response.get("trace"),
+        })
     if not response.get("ok"):
         kind = (response.get("error") or {}).get("kind")
         if kind in TYPED_ERROR_KINDS:
@@ -768,6 +808,166 @@ def _run_serve_battery(spec: ChaosPlanSpec, seed: int,
     }
 
 
+def _run_stdio_battery(spec: ChaosPlanSpec, seed: int,
+                       cache_dir: str) -> dict:
+    """Replay the battery against a *subprocess* stdio daemon.
+
+    The plan never arms in this process: it crosses the process
+    boundary as JSON in ``REPRO_CHAOS_PLAN``, exactly the way an
+    operator (or CI) would inject faults into a real deployment.  The
+    invariant is asserted on what comes back over the pipe, and the
+    child's own ``chaos.injected`` counter — surfaced through the
+    ``stats`` op — proves the faults actually fired on the far side.
+    """
+    from pathlib import Path
+
+    from repro.serve.client import ServeClientError, StdioClient
+
+    sources = _battery_sources()
+    expected = _expected_counts(sources)
+    requests = _battery_requests(sources)
+
+    plan = spec.plan(seed)
+    env = dict(os.environ)
+    env[PLAN_ENV_VAR] = json.dumps(plan.to_json(), sort_keys=True)
+
+    violations: List[dict] = []
+    typed_errors: Dict[str, int] = {}
+    ok_responses = 0
+    child_injected = 0
+    with StdioClient(cache_dir=str(Path(cache_dir) / "store"),
+                     env=env) as client:
+        for request in requests:
+            try:
+                response = client.query(request)
+            except ServeClientError as err:
+                violations.append({
+                    "id": request.get("id"),
+                    "reason": "stdio daemon died under chaos: {}".format(err),
+                })
+                break
+            _verify_response(request, response, expected,
+                             violations, typed_errors)
+            if isinstance(response, dict) and response.get("ok"):
+                ok_responses += 1
+        try:
+            stats = client.query({"op": "stats", "id": "stats-final",
+                                  "trace_id": "chaos-stats-final"})
+            child_injected = int(
+                stats.get("result", {}).get("counters", {})
+                .get("chaos.injected", 0))
+        except ServeClientError as err:
+            violations.append({
+                "reason": "could not read child chaos counters: {}".format(
+                    err)})
+    if child_injected <= 0:
+        violations.append({
+            "reason": "plan did not cross the process boundary: the "
+            "subprocess daemon reports zero injections"})
+    return {
+        "target": "stdio",
+        "requests": len(requests),
+        "ok_responses": ok_responses,
+        "typed_errors": dict(sorted(typed_errors.items())),
+        "injected": {"child": child_injected},
+        "chaos_injected_total": child_injected,
+        "violations": violations,
+    }
+
+
+def _run_ledger_battery(spec: ChaosPlanSpec, seed: int,
+                        work_dir: str) -> dict:
+    """Tear bench-ledger appends mid-line; readers must shrug it off.
+
+    Appends a deterministic stream of valid records while the
+    ``history.append`` point truncates about half of them, then asserts
+    that :func:`repro.obs.history.read_history`, the validator CLI, and
+    ``bench compare`` all succeed over the surviving records — a torn
+    line is a crash artifact, and it must never wedge the gate.
+    """
+    import io
+    from contextlib import redirect_stderr
+    from pathlib import Path
+
+    from repro.obs import history, regress
+
+    path = str(Path(work_dir) / "BENCH_history.jsonl")
+    n_records = 16
+    host = history.host_fingerprint()
+    violations: List[dict] = []
+    with armed(plan_spec(spec.name).plan(seed)) as state:
+        for i in range(n_records):
+            history.append_record(path, {
+                "schema": history.HISTORY_SCHEMA_VERSION,
+                "kind": history.RECORD_KIND,
+                "tool": "chaos-ledger-battery",
+                "label": "run-{}".format(i),
+                "git_sha": None,
+                "timestamp_utc": history.utc_timestamp(),
+                "host": host,
+                "phases": {
+                    "(suite)": {"bench.run": 1.0 + 0.01 * (i % 4)},
+                },
+                "counters": {"alias.queries": 100 + i},
+            })
+        injected = state.injected()
+    torn = injected.get("history.append", 0)
+    if not 0 < torn < n_records:
+        violations.append({
+            "reason": "battery needs both torn and surviving appends",
+            "torn": torn, "appended": n_records,
+        })
+    try:
+        records = history.read_history(path)
+    except ValueError as err:
+        violations.append({
+            "reason": "read_history crashed on a torn ledger: {}".format(
+                err)})
+        records = []
+    if records and len(records) != n_records - torn:
+        violations.append({
+            "reason": "surviving record count is wrong",
+            "read": len(records), "expected": n_records - torn,
+        })
+    skipped = int(
+        metrics.registry().counter("obs.history.torn_skipped").value)
+    if records and skipped < torn:
+        violations.append({
+            "reason": "torn lines were not counted as skipped",
+            "torn": torn, "skipped": skipped,
+        })
+    try:
+        n_valid = history.validate_file(path)
+    except (OSError, ValueError) as err:
+        n_valid = -1
+        violations.append({
+            "reason": "history validator rejected a torn-but-valid "
+            "ledger: {}".format(err)})
+    compare_report = None
+    if len(records) >= 2:
+        half = len(records) // 2
+        try:
+            # bench compare's engine; stderr noise (warnings about wide
+            # deltas) is irrelevant here, only "does it crash" matters.
+            with redirect_stderr(io.StringIO()):
+                compare_report = regress.compare_records(
+                    records[:half], records[half:])
+        except ValueError as err:
+            violations.append({
+                "reason": "bench compare crashed on surviving records: "
+                "{}".format(err)})
+    return {
+        "target": "ledger",
+        "appended": n_records,
+        "torn": torn,
+        "read": len(records),
+        "validated": n_valid,
+        "compared": compare_report is not None,
+        "injected": injected,
+        "violations": violations,
+    }
+
+
 def _run_corpus_battery(spec: ChaosPlanSpec, seed: int,
                         work_dir: str) -> dict:
     """Generate a small corpus; run the sharded driver under the plan."""
@@ -839,6 +1039,10 @@ def run_chaos(plan_name: str, seed: int = 0,
             return run_chaos(plan_name, seed=seed, work_dir=tmp)
     if spec.target == "corpus":
         body = _run_corpus_battery(spec, seed, work_dir)
+    elif spec.target == "stdio":
+        body = _run_stdio_battery(spec, seed, work_dir)
+    elif spec.target == "ledger":
+        body = _run_ledger_battery(spec, seed, work_dir)
     else:
         body = _run_serve_battery(spec, seed, work_dir)
     report = {

@@ -159,17 +159,23 @@ class CircuitBreaker:
 
 
 class StdioClient:
-    """Drive a ``repro serve --stdio`` subprocess over JSONL pipes."""
+    """Drive a ``repro serve --stdio`` subprocess over JSONL pipes.
+
+    *env* overrides the child's environment (e.g. the cross-process
+    chaos battery exports ``REPRO_CHAOS_PLAN`` so the subprocess daemon
+    arms the same fault plan this process planned).
+    """
 
     def __init__(self, argv: Optional[List[str]] = None,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 env: Optional[dict] = None):
         cmd = list(argv) if argv else [
             sys.executable, "-m", "repro.cli", "serve", "--stdio"]
         if cache_dir:
             cmd += ["--cache-dir", cache_dir]
         self._proc = subprocess.Popen(
             cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            text=True)
+            text=True, env=env)
 
     def _roundtrip(self, payload) -> object:
         if self._proc.poll() is not None:
@@ -240,6 +246,26 @@ class HttpClient:
                 return json.loads(resp.read().decode())
         except (urllib.error.URLError, OSError) as err:
             raise ServeClientError("HTTP ping failed: {}".format(err))
+
+    def get(self, path: str) -> str:
+        """Raw GET of a daemon endpoint (``/v1/metrics``, ...)."""
+        try:
+            with urllib.request.urlopen(
+                    self.base + path, timeout=SMOKE_TIMEOUT) as resp:
+                return resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as err:
+            raise ServeClientError("HTTP GET {} failed: {}".format(path, err))
+
+    def metrics_text(self) -> str:
+        """The live ``/v1/metrics`` Prometheus exposition body."""
+        return self.get("/v1/metrics")
+
+    def requests_snapshot(self, limit: Optional[int] = None) -> dict:
+        """The ``/v1/requests`` journal snapshot."""
+        path = "/v1/requests"
+        if limit is not None:
+            path += "?limit={}".format(int(limit))
+        return json.loads(self.get(path))
 
 
 class ResilientHttpClient:
@@ -402,4 +428,138 @@ def run_smoke(source: str, cache_dir: str) -> dict:
         "differential_checks": manager.stats()["counters"][
             "serve.differential.checks"],
         "clean_shutdown": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# Debug span trees and the obs-smoke battery
+
+
+def format_span_tree(spans: List[dict]) -> str:
+    """Render a ``debug: true`` response's span list as an indented tree.
+
+    Spans arrive as JSON objects in start order with ``depth`` already
+    computed by the daemon's per-thread span stack, so rendering is a
+    straight walk — used by ``repro client --debug``.
+    """
+    if not spans:
+        return "(no spans collected)"
+    lines: List[str] = []
+    for span in spans:
+        indent = "  " * int(span.get("depth", 0))
+        attrs = span.get("attrs") or {}
+        attr_text = ""
+        if attrs:
+            attr_text = "  [{}]".format(", ".join(
+                "{}={}".format(k, v) for k, v in sorted(attrs.items())))
+        error = span.get("error")
+        lines.append("{}{:<{}} {:>9.3f} ms{}{}".format(
+            indent, span.get("name", "?"), max(1, 36 - len(indent)),
+            float(span.get("duration_ms", 0.0)), attr_text,
+            "  ERROR={}".format(error) if error else ""))
+    return "\n".join(lines)
+
+
+def run_obs_smoke(source: str, cache_dir: str) -> dict:
+    """The ``make obs-smoke`` battery: live observability end to end.
+
+    Boots an in-process daemon with an access log and ``slow_ms=0`` (so
+    every request logs), fires traced + debug queries over HTTP, then
+    checks the whole observability surface: the client-chosen trace id
+    comes back in the response, on every collected span, in
+    ``/v1/requests`` and in the access-log JSONL (validated line by
+    line); ``/v1/metrics`` passes the promtool-style self-lint and
+    carries the quantile gauges + SLO counters; and ``repro top --once``
+    renders a frame from the live daemon in a subprocess.
+    """
+    from pathlib import Path
+
+    from repro.obs import promlint
+    from repro.obs.reqlog import validate_access_line
+    from repro.serve.daemon import Daemon
+    from repro.serve.factcache import FactStore
+    from repro.serve.session import SessionManager
+
+    access_log = str(Path(cache_dir) / "access.jsonl")
+    manager = SessionManager(store=FactStore(Path(cache_dir) / "facts"))
+    daemon = Daemon(manager, slo_ms=5000.0, slow_ms=0.0,
+                    access_log_path=access_log)
+    port = daemon.start_http()
+    trace_id = "obs-smoke-trace"
+    try:
+        client = HttpClient(port)
+        debug_resp = client.query({
+            "op": "tables", "id": "dbg", "source": source, "name": "smoke",
+            "trace_id": trace_id, "debug": True})
+        if not debug_resp.get("ok"):
+            raise AssertionError("debug query failed: {}".format(debug_resp))
+        if debug_resp.get("trace") != trace_id:
+            raise AssertionError("response did not echo the trace id: {}"
+                                 .format(debug_resp.get("trace")))
+        spans = debug_resp.get("spans") or []
+        if not spans:
+            raise AssertionError("debug response collected no spans")
+        off_trace = [s for s in spans if s.get("trace") != trace_id]
+        if off_trace:
+            raise AssertionError(
+                "spans missing the trace id: {}".format(off_trace[:3]))
+        # A couple of untraced warm queries so quantiles/journal move.
+        warm = client.batch([
+            {"op": "ping", "id": "p"},
+            {"op": "alias", "id": "a", "source": source, "name": "smoke"},
+        ])
+        _assert_ok(warm, "obs-warm")
+
+        metrics_body = client.metrics_text()
+        promlint.check(metrics_body, source="/v1/metrics")
+        for needle in ("repro_serve_request_ms_p50",
+                       "repro_serve_request_ms_p95",
+                       "repro_serve_request_ms_p99",
+                       "repro_serve_slo_ok"):
+            if needle not in metrics_body:
+                raise AssertionError(
+                    "/v1/metrics is missing {}".format(needle))
+
+        journal = client.requests_snapshot()
+        journal_traces = [r["trace"] for r in journal["requests"]]
+        if trace_id not in journal_traces:
+            raise AssertionError(
+                "/v1/requests does not list trace {} (saw {})".format(
+                    trace_id, journal_traces))
+
+        # `repro top --once` renders one frame against the live daemon.
+        top = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "-q", "top",
+             "--port", str(port), "--once"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            timeout=SMOKE_TIMEOUT)
+        if top.returncode != 0:
+            raise AssertionError("repro top --once failed: {}".format(
+                top.stderr.strip()))
+        if "req/s" not in top.stdout:
+            raise AssertionError(
+                "repro top --once rendered no dashboard:\n" + top.stdout)
+    finally:
+        daemon.stop_http()
+
+    access_lines = Path(access_log).read_text().splitlines()
+    if not access_lines:
+        raise AssertionError("access log is empty")
+    logged_traces = []
+    for line in access_lines:
+        obj = validate_access_line(line)
+        logged_traces.append(obj["trace"])
+    if trace_id not in logged_traces:
+        raise AssertionError(
+            "access log has no line for trace {} (saw {})".format(
+                trace_id, logged_traces))
+
+    return {
+        "ok": True,
+        "trace_id": trace_id,
+        "spans_collected": len(spans),
+        "metrics_bytes": len(metrics_body),
+        "journal_total": journal["total"],
+        "access_log_lines": len(access_lines),
+        "top_rendered": True,
     }

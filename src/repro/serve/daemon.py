@@ -8,13 +8,23 @@ dispatch into one :class:`Daemon`:
   the loop.  This is the transport scripts and editors drive.
 * **HTTP** — a :class:`ThreadingHTTPServer` bound to ``127.0.0.1``
   (never a public interface) accepting ``POST /v1/query`` with the same
-  JSON payloads, plus ``GET /v1/ping`` and ``GET /v1/stats``.  The port
-  is OS-assigned by default and printed/returned so clients can find it.
+  JSON payloads, plus ``GET /v1/ping``, ``GET /v1/stats``, ``GET
+  /v1/metrics`` (live registry in Prometheus text format) and ``GET
+  /v1/requests`` (the recent-request journal).  The port is OS-assigned
+  by default and printed/returned so clients can find it.
 
-Observability: every request runs under a ``serve.request.<op>`` span,
-bumps ``serve.request.total`` (and ``.errors`` on failure), and lands
-its wall time in the ``serve.request.ms`` latency histogram labelled by
-op.  ``stats`` exposes the same numbers over the wire.
+Observability (DESIGN.md §6j): every request gets a ``trace_id``
+(client-supplied or daemon-minted), runs inside a thread-local
+:func:`repro.obs.core.trace_scope` so its ``serve.*`` spans carry the
+id, and echoes it back in the response — ok *and* error.  ``debug:
+true`` requests additionally return their own span tree inline.  Every
+request bumps ``serve.request.total`` (and ``.errors`` on failure),
+lands its wall time in the ``serve.request.ms`` latency histogram, the
+per-op P² quantile gauges (``serve.request.ms.p50/p95/p99``) and the
+SLO counters (``serve.slo.ok``/``.breach`` against ``--slo-ms``), and
+is journalled into a bounded ring served by ``/v1/requests``; requests
+slower than ``--slow-ms`` are sampled into a JSONL access log.
+``stats`` exposes the same numbers over the wire.
 
 Failures are answers, not crashes: protocol errors, compile errors and
 analysis errors each map to a typed error response and the daemon keeps
@@ -27,13 +37,23 @@ say so loudly rather than die silently.
 import json
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
 
 from repro import CompileError, __version__
 from repro.lang.errors import ResourceLimitError
 from repro.obs import core as obs
-from repro.obs import metrics
+from repro.obs import metrics, promtext
+from repro.obs.quantile import QuantileSet
+from repro.obs.reqlog import (
+    DEFAULT_JOURNAL_SIZE,
+    AccessLog,
+    RequestJournal,
+    RequestRecord,
+)
+from repro.obs.reqlog import now as wall_now
 from repro.qa import chaos, guards
 from repro.serve import protocol
 from repro.serve.session import DifferentialMismatch, SessionManager
@@ -46,19 +66,59 @@ LATENCY_BUCKETS_MS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
 #: How long a graceful drain waits for in-flight requests, seconds.
 DRAIN_TIMEOUT = 30.0
 
+#: Default per-request latency objective, milliseconds (``--slo-ms``).
+DEFAULT_SLO_MS = 250.0
+
+#: ``# HELP`` text served on ``/v1/metrics`` for the headline series
+#: (promtext emits HELP only when asked, so batch ``BENCH_obs.prom``
+#: output is unchanged).
+METRIC_HELP = {
+    "serve.request.total": "Requests received, by op.",
+    "serve.request.errors": "Requests answered with a typed error, by op.",
+    "serve.request.ms": "Request wall time in milliseconds, by op.",
+    "serve.request.ms.p50": "Streaming P2 median request latency (ms).",
+    "serve.request.ms.p95": "Streaming P2 95th-percentile latency (ms).",
+    "serve.request.ms.p99": "Streaming P2 99th-percentile latency (ms).",
+    "serve.slo.ok": "Requests within the --slo-ms objective, by op.",
+    "serve.slo.breach": "Requests over the --slo-ms objective, by op.",
+}
+
+
+def mint_trace_id() -> str:
+    """A fresh daemon-minted trace id (16 hex chars)."""
+    return uuid.uuid4().hex[:16]
+
 
 class Daemon:
     """Transport-independent request dispatcher over one session manager."""
 
     def __init__(self, manager: SessionManager,
-                 deadline_seconds: Optional[float] = None):
+                 deadline_seconds: Optional[float] = None,
+                 slo_ms: float = DEFAULT_SLO_MS,
+                 slow_ms: Optional[float] = None,
+                 access_log_path: Optional[str] = None,
+                 access_log_sample: int = 1,
+                 journal_size: int = DEFAULT_JOURNAL_SIZE):
         self.manager = manager
         #: Per-request wall-clock budget; ``None`` serves unbounded.
         self.deadline_seconds = deadline_seconds
+        #: Latency objective (ms) the SLO counters judge against.
+        self.slo_ms = slo_ms
         self.shutdown_event = threading.Event()
         #: Draining daemons answer ping/stats/shutdown but reject new
         #: analysis work with a typed ``unavailable`` error.
         self.draining = False
+        #: Ring of recent requests, served by ``GET /v1/requests``.
+        self.journal = RequestJournal(journal_size)
+        #: Sampled JSONL log of slow requests; None when not configured.
+        self.access_log: Optional[AccessLog] = None
+        if access_log_path is not None:
+            self.access_log = AccessLog(
+                access_log_path,
+                slow_ms if slow_ms is not None else slo_ms,
+                sample=access_log_sample)
+        self._quantiles: Dict[str, QuantileSet] = {}
+        self._quantiles_lock = threading.Lock()
         self._inflight = 0
         self._inflight_cond = threading.Condition()
         self._http_server: Optional[ThreadingHTTPServer] = None
@@ -70,45 +130,56 @@ class Daemon:
         """One request in, one response dict out; never raises."""
         registry = metrics.registry()
         registry.counter("serve.request.total", op=request.op).inc()
+        trace_id = request.trace_id or mint_trace_id()
         with self._inflight_cond:
             if self.draining and request.op in protocol.SOURCE_OPS:
                 registry.counter("serve.request.rejected").inc()
-                return protocol.error_response(
+                response = protocol.error_response(
                     request.id, "unavailable",
-                    "daemon is draining and accepts no new analysis work")
+                    "daemon is draining and accepts no new analysis work",
+                    trace_id=trace_id)
+                self._journal(request, trace_id, 0.0, response, cache=None)
+                return response
             self._inflight += 1
         start = time.perf_counter()
         request_deadline: Optional[guards.Deadline] = None
+        scope = obs.trace_scope(trace_id, collect=request.debug)
         try:
-            try:
-                with guards.guarded(
-                        self.deadline_seconds,
-                        "serve request {}".format(request.op)
-                ) as request_deadline:
-                    if request_deadline is not None:
-                        registry.counter("serve.deadline.installed").inc()
-                    chaos.fire("daemon.handler", op=request.op)
-                    with obs.span("serve.request." + request.op,
-                                  unit=request.name or "?"):
-                        result = self._dispatch(request)
-                response = protocol.ok_response(request.id, result)
-            except protocol.ProtocolError as err:
-                response = self._error(request, "protocol", err)
-            except DifferentialMismatch as err:
-                response = self._error(request, "differential", err)
-            except CompileError as err:
-                response = self._error(request, "compile", err)
-            except ResourceLimitError as err:
-                # The per-request deadline and the analysis resource
-                # guards raise the same type; the deadline's own expiry
-                # disambiguates which budget ran out.
-                if request_deadline is not None and request_deadline.expired():
-                    registry.counter("serve.deadline.expired").inc()
-                    response = self._error(request, "deadline_exceeded", err)
-                else:
-                    response = self._error(request, "resource_limit", err)
-            except Exception as err:  # noqa: BLE001 - daemon must not die
-                response = self._error(request, "internal", err)
+            with scope:
+                try:
+                    with guards.guarded(
+                            self.deadline_seconds,
+                            "serve request {}".format(request.op)
+                    ) as request_deadline:
+                        if request_deadline is not None:
+                            registry.counter("serve.deadline.installed").inc()
+                        chaos.fire("daemon.handler", op=request.op)
+                        with obs.span("serve.request." + request.op,
+                                      unit=request.name or "?"):
+                            result = self._dispatch(request)
+                    response = protocol.ok_response(request.id, result,
+                                                    trace_id=trace_id)
+                except protocol.ProtocolError as err:
+                    response = self._error(request, "protocol", err, trace_id)
+                except DifferentialMismatch as err:
+                    response = self._error(request, "differential", err,
+                                           trace_id)
+                except CompileError as err:
+                    response = self._error(request, "compile", err, trace_id)
+                except ResourceLimitError as err:
+                    # The per-request deadline and the analysis resource
+                    # guards raise the same type; the deadline's own expiry
+                    # disambiguates which budget ran out.
+                    if request_deadline is not None and \
+                            request_deadline.expired():
+                        registry.counter("serve.deadline.expired").inc()
+                        response = self._error(request, "deadline_exceeded",
+                                               err, trace_id)
+                    else:
+                        response = self._error(request, "resource_limit",
+                                               err, trace_id)
+                except Exception as err:  # noqa: BLE001 - daemon must not die
+                    response = self._error(request, "internal", err, trace_id)
         finally:
             with self._inflight_cond:
                 self._inflight -= 1
@@ -116,12 +187,62 @@ class Daemon:
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         registry.histogram("serve.request.ms", buckets=LATENCY_BUCKETS_MS,
                            op=request.op).observe(elapsed_ms)
+        self._observe_latency(request.op, elapsed_ms)
+        if request.debug:
+            response["spans"] = scope.tree()
+        self._journal(request, trace_id, elapsed_ms, response,
+                      cache=scope.notes.get("cache"))
         return response
 
     def _error(self, request: protocol.Request, kind: str,
-               err: Exception) -> dict:
+               err: Exception, trace_id: Optional[str] = None) -> dict:
         metrics.registry().counter("serve.request.errors", op=request.op).inc()
-        return protocol.error_response(request.id, kind, str(err))
+        return protocol.error_response(request.id, kind, str(err),
+                                       trace_id=trace_id)
+
+    # -- per-request accounting -----------------------------------------
+
+    def _observe_latency(self, op: str, elapsed_ms: float) -> None:
+        """Feed the P² quantile gauges and SLO counters for one request."""
+        registry = metrics.registry()
+        quantiles = self._quantiles.get(op)
+        if quantiles is None:
+            with self._quantiles_lock:
+                quantiles = self._quantiles.setdefault(op, QuantileSet())
+        quantiles.observe(elapsed_ms)
+        for q, estimate in quantiles.snapshot().items():
+            if estimate is not None:
+                registry.gauge(
+                    "serve.request.ms.p{}".format(int(round(q * 100.0))),
+                    op=op).set(round(estimate, 3))
+        if elapsed_ms <= self.slo_ms:
+            registry.counter("serve.slo.ok", op=op).inc()
+        else:
+            registry.counter("serve.slo.breach", op=op).inc()
+
+    def _journal(self, request: protocol.Request, trace_id: str,
+                 elapsed_ms: float, response: dict,
+                 cache: Optional[str]) -> None:
+        """Ring-journal one finished request; tee slow ones to the log."""
+        ok = bool(response.get("ok"))
+        error = response.get("error") or {}
+        record = RequestRecord(
+            op=request.op,
+            trace_id=trace_id,
+            unit=request.name,
+            ms=elapsed_ms,
+            ok=ok,
+            error_kind=None if ok else error.get("kind"),
+            cache=cache,
+            ts=wall_now(),
+        )
+        self.journal.record(record)
+        if self.access_log is not None:
+            self.access_log.maybe_log(record)
+
+    def metrics_text(self) -> str:
+        """The live registry as Prometheus exposition (``/v1/metrics``)."""
+        return promtext.render(help_texts=METRIC_HELP)
 
     def _dispatch(self, request: protocol.Request) -> dict:
         op = request.op
@@ -129,10 +250,17 @@ class Daemon:
             return {"pong": True, "version": __version__,
                     "protocol": protocol.PROTOCOL_VERSION,
                     "degraded": self.manager.degraded,
-                    "draining": self.draining}
+                    "draining": self.draining,
+                    "slo_ms": self.slo_ms}
         if op == "stats":
             stats = self.manager.stats()
             stats["draining"] = self.draining
+            stats["slo_ms"] = self.slo_ms
+            stats["journal_total"] = self.journal.total
+            # Visible across process boundaries: the cross-process chaos
+            # battery reads the child daemon's injection count here.
+            stats["counters"]["chaos.injected"] = int(
+                metrics.registry().counter("chaos.injected").value)
             return stats
         if op == "shutdown":
             self.shutdown_event.set()
@@ -227,19 +355,37 @@ class Daemon:
 
             def _reply(self, status: int, payload) -> None:
                 body = json.dumps(payload, sort_keys=True).encode()
+                self._raw_reply(status, body, "application/json")
+
+            def _raw_reply(self, status: int, body: bytes,
+                           content_type: str) -> None:
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
 
             def do_GET(self):
-                if self.path == "/v1/ping":
+                parsed = urlparse(self.path)
+                if parsed.path == "/v1/ping":
                     self._reply(200, daemon.handle_request(
                         protocol.Request(op="ping")))
-                elif self.path == "/v1/stats":
+                elif parsed.path == "/v1/stats":
                     self._reply(200, daemon.handle_request(
                         protocol.Request(op="stats")))
+                elif parsed.path == "/v1/metrics":
+                    self._raw_reply(
+                        200, daemon.metrics_text().encode("utf-8"),
+                        "text/plain; version=0.0.4; charset=utf-8")
+                elif parsed.path == "/v1/requests":
+                    limit = None
+                    raw = parse_qs(parsed.query).get("limit")
+                    if raw:
+                        try:
+                            limit = max(0, int(raw[0]))
+                        except ValueError:
+                            limit = None
+                    self._reply(200, daemon.journal.snapshot(limit))
                 else:
                     self._reply(404, {"ok": False, "error": {
                         "kind": "http", "message": "unknown path"}})

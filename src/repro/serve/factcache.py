@@ -125,6 +125,7 @@ class FactStore:
             entry = self._index.get(key)
             if entry is None:
                 _counter("miss").inc()
+                obs.trace_note("factstore", "miss")
                 return None
             path = self.root / entry["file"]
             if chaos.fire("factstore.corrupt", key=key[:12]) is not None:
@@ -136,17 +137,20 @@ class FactStore:
                 except (OSError, pickle.UnpicklingError, EOFError,
                         AttributeError, ImportError):
                     _counter("corrupt").inc()
+                    obs.trace_note("factstore", "corrupt")
                     self._drop(key)
                     return None
             if not bundle_is_current(bundle) or bundle.module_hash != key:
                 # Older schema, older package, or a hash collision in the
                 # truncated file name: all read as misses.
                 _counter("corrupt").inc()
+                obs.trace_note("factstore", "corrupt")
                 self._drop(key)
                 return None
             self._touch(key)
             self._write_index()
             _counter("hit").inc()
+            obs.trace_note("factstore", "hit")
             return bundle
 
     @staticmethod

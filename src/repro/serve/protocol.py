@@ -20,13 +20,22 @@ Request fields:
 * ``engine`` — reserved for parity with the CLI; the daemon always
   answers from bulk matrices and (in differential mode) cross-checks
   against the cold fast/reference engines.
+* ``trace_id`` — optional client-chosen trace id (a non-empty string);
+  the daemon mints one when absent.  Every response echoes the id in a
+  ``"trace"`` key — ok *and* error responses, so a fault injected
+  mid-request is still attributable to its trace.
+* ``debug`` — bool; when true the ok response additionally carries
+  ``"spans"``: the request's own span tree (JSON span objects in start
+  order), collected even while the global recorder is off.  This is
+  what ``repro client --debug`` renders.
 
 Responses are ``{"id":..., "ok": true, "result": {...}}`` or
 ``{"id":..., "ok": false, "error": {"kind":..., "message":...}}``;
-every response also carries ``"v"``, the protocol version.  Protocol
-errors never kill the daemon — a malformed request yields an error
-response and the stream continues (a malformed *line* yields one
-unkeyed error object).
+every response also carries ``"v"``, the protocol version (and
+``"trace"`` once the daemon has assigned a trace id).  Protocol errors
+never kill the daemon — a malformed request yields an error response
+and the stream continues (a malformed *line* yields one unkeyed error
+object).
 """
 
 import json
@@ -62,6 +71,8 @@ class Request:
     open_world: bool = False
     worlds: Optional[str] = None
     engine: Optional[str] = None
+    trace_id: Optional[str] = None
+    debug: bool = False
     extra: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
@@ -99,8 +110,15 @@ class Request:
         engine = obj.get("engine")
         if engine is not None and not isinstance(engine, str):
             raise ProtocolError("'engine' must be a string")
+        trace_id = obj.get("trace_id")
+        if trace_id is not None and (
+                not isinstance(trace_id, str) or not trace_id):
+            raise ProtocolError("'trace_id' must be a non-empty string")
+        debug = obj.get("debug", False)
+        if not isinstance(debug, bool):
+            raise ProtocolError("'debug' must be a boolean")
         known = {"op", "id", "source", "name", "analysis", "open_world",
-                 "worlds", "engine"}
+                 "worlds", "engine", "trace_id", "debug"}
         return cls(
             op=op,
             id=obj.get("id"),
@@ -110,6 +128,8 @@ class Request:
             open_world=open_world,
             worlds=worlds,
             engine=engine,
+            trace_id=trace_id,
+            debug=debug,
             extra={k: v for k, v in obj.items() if k not in known},
         )
 
@@ -127,14 +147,22 @@ def parse_line(line: str) -> Union[Request, List[Request]]:
     return Request.from_obj(obj)
 
 
-def ok_response(request_id: object, result: dict) -> dict:
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
-            "result": result}
+def ok_response(request_id: object, result: dict,
+                trace_id: Optional[str] = None) -> dict:
+    response = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+                "result": result}
+    if trace_id is not None:
+        response["trace"] = trace_id
+    return response
 
 
-def error_response(request_id: object, kind: str, message: str) -> dict:
-    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
-            "error": {"kind": kind, "message": message}}
+def error_response(request_id: object, kind: str, message: str,
+                   trace_id: Optional[str] = None) -> dict:
+    response = {"v": PROTOCOL_VERSION, "id": request_id, "ok": False,
+                "error": {"kind": kind, "message": message}}
+    if trace_id is not None:
+        response["trace"] = trace_id
+    return response
 
 
 def encode_line(response: Union[dict, List[dict]]) -> str:

@@ -140,10 +140,16 @@ class SessionManager:
             session = self._sessions.get(key)
             if session is not None:
                 _counter("session.hit").inc()
+                obs.trace_note("cache", "hit")
                 self._sessions.move_to_end(key)
                 return session
             _counter("session.miss").inc()
-            session = self._restore(key, source) or self._build(key, source)
+            session = self._restore(key, source)
+            if session is not None:
+                obs.trace_note("cache", "restore")
+            else:
+                session = self._build(key, source)
+                obs.trace_note("cache", "build")
             self._account_invalidation(session, name)
             self._sessions[key] = session
             while len(self._sessions) > self.max_sessions:

@@ -166,9 +166,10 @@ def test_built_in_plans_cover_serve_and_corpus():
     names = {s.name for s in specs}
     assert {"cache-flaky", "cache-corrupt", "compile-crash",
             "slow-handler", "client-drop", "mixed",
-            "worker-kill", "poison-shard", "shard-hang"} <= names
+            "worker-kill", "poison-shard", "shard-hang",
+            "stdio-flaky", "ledger-torn"} <= names
     targets = {s.target for s in specs}
-    assert targets == {"serve", "corpus"}
+    assert targets == {"serve", "corpus", "stdio", "ledger"}
     for spec in specs:
         plan = spec.plan(seed=1)
         assert plan.rules, spec.name
@@ -193,6 +194,29 @@ def test_run_chaos_compile_crash_yields_typed_errors(tmp_path):
     assert injected > 0
     assert report["typed_errors"].get("internal", 0) == injected
     assert report["ok_responses"] + injected == report["requests"]
+
+
+def test_run_chaos_ledger_torn_never_wedges_the_gate(tmp_path):
+    report = run_chaos("ledger-torn", seed=0, work_dir=tmp_path)
+    assert report["ok"], report
+    assert report["violations"] == []
+    assert 0 < report["torn"] < report["appended"]
+    assert report["read"] == report["appended"] - report["torn"]
+    assert report["validated"] == report["read"]
+    assert report["compared"] is True
+
+
+def test_run_chaos_stdio_crosses_the_process_boundary(tmp_path):
+    report = run_chaos("stdio-flaky", seed=0, work_dir=tmp_path)
+    assert report["ok"], report
+    assert report["violations"] == []
+    # The plan armed in a *subprocess* via REPRO_CHAOS_PLAN; its own
+    # counters prove the faults fired on the far side of the pipe.
+    assert report["injected"]["child"] > 0
+    assert report["chaos_injected_total"] == report["injected"]["child"]
+    # Every answer that crossed the pipe was pinned-correct or typed.
+    assert report["ok_responses"] + \
+        sum(report["typed_errors"].values()) == report["requests"]
 
 
 def test_run_chaos_is_deterministic_per_seed(tmp_path):

@@ -170,13 +170,57 @@ def test_validate_record_rejects_non_object():
         validate_record([1, 2])
 
 
-def test_read_history_reports_path_and_line(recorded, tmp_path):
+def test_read_history_skips_torn_lines_with_warning(recorded, tmp_path):
+    # A line that is not JSON is a *torn append* — the artifact of a
+    # writer dying mid-write — and must never wedge compare/gate: it is
+    # skipped, warned about, and counted.
+    metrics.registry().reset()
+    path = str(tmp_path / "hist.jsonl")
+    append_record(path, make_record(recorded))
+    with open(path, "a") as f:
+        f.write("{truncated\n")
+    append_record(path, make_record(recorded))
+    records = read_history(path)
+    assert len(records) == 2
+    assert metrics.registry().counter("obs.history.torn_skipped").value == 1
+
+
+def test_read_history_strict_mode_reports_path_and_line(recorded, tmp_path):
     path = str(tmp_path / "hist.jsonl")
     append_record(path, make_record(recorded))
     with open(path, "a") as f:
         f.write("{truncated\n")
     with pytest.raises(ValueError, match=r"hist\.jsonl:2: not JSON"):
+        read_history(path, skip_torn=False)
+
+
+def test_read_history_still_rejects_schema_corruption(recorded, tmp_path):
+    # A line that *decodes* but fails validation is corruption, not
+    # tearing: silently dropping it would hide real damage.
+    path = str(tmp_path / "hist.jsonl")
+    append_record(path, make_record(recorded))
+    with open(path, "a") as f:
+        f.write(json.dumps({"schema": 999}) + "\n")
+    with pytest.raises(ValueError, match=r"hist\.jsonl:2: "):
         read_history(path)
+
+
+def test_append_record_torn_by_chaos_is_skipped_on_read(recorded, tmp_path):
+    from repro.qa import chaos
+
+    metrics.registry().reset()
+    path = str(tmp_path / "hist.jsonl")
+    plan = chaos.FaultPlan(rules=(
+        chaos.FaultRule("history.append", after=1, times=1),))
+    with chaos.armed(plan):
+        append_record(path, make_record(recorded))
+        append_record(path, make_record(recorded))  # torn mid-line
+        append_record(path, make_record(recorded))
+    registry = metrics.registry()
+    assert registry.counter("obs.history.torn_writes").value == 1
+    assert len(read_history(path)) == 2
+    assert registry.counter("obs.history.torn_skipped").value == 1
+    assert validate_file(path) == 2
 
 
 def test_read_history_rejects_empty_file(tmp_path):

@@ -1,0 +1,116 @@
+"""Promtool-style self-lint of every Prometheus exposition we emit."""
+
+import os
+
+import pytest
+
+from repro.obs import metrics, promtext
+from repro.obs.promlint import PromLintError, check, lint, main
+
+VALID = """\
+# HELP repro_requests Requests served.
+# TYPE repro_requests counter
+repro_requests{op="alias"} 12
+repro_requests{op="ping"} 3
+# TYPE repro_warm gauge
+repro_warm 2
+# TYPE repro_latency histogram
+repro_latency_bucket{le="0.1"} 4
+repro_latency_bucket{le="1"} 9
+repro_latency_bucket{le="+Inf"} 10
+repro_latency_sum 5.5
+repro_latency_count 10
+"""
+
+
+def test_valid_exposition_is_clean():
+    assert lint(VALID) == []
+    check(VALID)  # must not raise
+
+
+def test_label_escaping_rules():
+    assert lint('# TYPE m counter\nm{l="a\\\\b\\"c\\nd"} 1\n') == []
+    (problem,) = lint('# TYPE m counter\nm{l="bad\\t"} 1\n')
+    assert "bad escape" in problem
+
+
+def test_duplicate_series_is_flagged():
+    text = '# TYPE m counter\nm{op="a"} 1\nm{op="a"} 2\n'
+    (problem,) = lint(text)
+    assert "duplicate series" in problem
+
+
+def test_interleaved_families_are_flagged():
+    text = ("# TYPE a counter\na 1\n"
+            "# TYPE b counter\nb 1\n"
+            "a 2\n")
+    problems = lint(text)
+    assert any("contiguous" in p for p in problems)
+
+
+def test_help_must_precede_type_and_samples():
+    text = "# TYPE m counter\n# HELP m too late\nm 1\n"
+    problems = lint(text)
+    assert any("HELP" in p and "precede" in p for p in problems)
+
+
+def test_histogram_invariants():
+    missing_inf = ("# TYPE h histogram\n"
+                   'h_bucket{le="1"} 2\nh_sum 1\nh_count 2\n')
+    assert any("+Inf" in p for p in lint(missing_inf))
+    non_cumulative = ("# TYPE h histogram\n"
+                      'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+                      "h_sum 1\nh_count 3\n")
+    assert any("not cumulative" in p for p in lint(non_cumulative))
+    count_mismatch = ("# TYPE h histogram\n"
+                      'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 4\n')
+    assert any("_count 4" in p for p in lint(count_mismatch))
+
+
+def test_negative_counter_and_garbage_lines():
+    assert any("negative" in p for p in lint("# TYPE m counter\nm -1\n"))
+    assert any("unparseable" in p for p in lint("!! not a sample\n"))
+    assert any("bad sample value" in p for p in lint("m xyz\n"))
+
+
+def test_check_raises_with_every_problem():
+    with pytest.raises(PromLintError, match="2 problem"):
+        check('# TYPE m counter\nm -1\nm{x="a\\t"} 1\n', source="unit")
+
+
+def test_live_registry_rendering_lints_clean():
+    registry = metrics.MetricsRegistry()
+    registry.counter("serve.request.total", op="alias").inc(4)
+    registry.gauge("serve.request.ms.p99", op="alias").set(12.5)
+    registry.histogram("alias.latency", buckets=(0.1, 1.0)).observe(0.5)
+    text = promtext.render(registry)
+    assert lint(text) == [], text
+    helped = promtext.render(
+        registry, help_texts={"serve.request.total": "Requests served."})
+    assert lint(helped) == [], helped
+    assert "# HELP repro_serve_request_total Requests served." in helped
+
+
+def test_committed_bench_exposition_lints_clean():
+    # BENCH_obs.prom is a scraper-facing artifact: its format is part of
+    # the repo's contract, so the committed copy must stay lint-clean.
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "BENCH_obs.prom")
+    if not os.path.exists(path):
+        pytest.skip("no committed BENCH_obs.prom")
+    with open(path) as handle:
+        text = handle.read()
+    assert lint(text) == []
+
+
+def test_cli_reports_ok_and_invalid(tmp_path, capsys):
+    good = tmp_path / "good.prom"
+    good.write_text(VALID)
+    bad = tmp_path / "bad.prom"
+    bad.write_text("# TYPE m counter\nm -1\n")
+    assert main([str(good)]) == 0
+    assert "ok (3 families)" in capsys.readouterr().out
+    assert main([str(good), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "INVALID (1 problems)" in out
+    assert main([]) == 2

@@ -1,0 +1,94 @@
+"""Streaming P² quantile estimation backing the /v1/metrics gauges."""
+
+import random
+import threading
+
+import pytest
+
+from repro.obs.quantile import DEFAULT_QUANTILES, P2Quantile, QuantileSet
+
+
+def _exact(values, q):
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def test_rejects_degenerate_quantiles():
+    for q in (0.0, 1.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            P2Quantile(q)
+
+
+def test_empty_estimator_has_no_value():
+    assert P2Quantile(0.5).value() is None
+
+
+def test_exact_below_five_observations():
+    est = P2Quantile(0.5)
+    for value in (5.0, 1.0, 3.0):
+        est.observe(value)
+    assert est.value() == 3.0  # exact median of {1, 3, 5}
+    est.observe(7.0)
+    assert est.value() == pytest.approx(4.0)  # interpolated
+
+
+def test_tracks_uniform_stream_closely():
+    rng = random.Random(7)
+    values = [rng.uniform(0.0, 100.0) for _ in range(5000)]
+    for q in DEFAULT_QUANTILES:
+        est = P2Quantile(q)
+        for value in values:
+            est.observe(value)
+        # Uniform spread 100: a couple of percent of the range is ample
+        # for dashboard latency gauges.
+        assert est.value() == pytest.approx(_exact(values, q), abs=3.0)
+
+
+def test_tracks_long_tailed_stream():
+    rng = random.Random(11)
+    values = [rng.lognormvariate(0.0, 1.0) for _ in range(20000)]
+    est = P2Quantile(0.99)
+    for value in values:
+        est.observe(value)
+    exact = _exact(values, 0.99)
+    assert est.value() == pytest.approx(exact, rel=0.15)
+
+
+def test_estimates_are_ordered_across_quantiles():
+    rng = random.Random(3)
+    qs = QuantileSet()
+    for _ in range(2000):
+        qs.observe(rng.expovariate(0.1))
+    snap = qs.snapshot()
+    assert snap[0.5] <= snap[0.95] <= snap[0.99]
+    assert qs.count == 2000
+
+
+def test_quantile_set_empty_snapshot():
+    qs = QuantileSet()
+    assert qs.snapshot() == {0.5: None, 0.95: None, 0.99: None}
+    assert qs.count == 0
+
+
+def test_quantile_set_is_thread_safe():
+    qs = QuantileSet()
+    n_threads, per_thread = 8, 500
+
+    def hammer(seed):
+        rng = random.Random(seed)
+        for _ in range(per_thread):
+            qs.observe(rng.uniform(0.0, 10.0))
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert qs.count == n_threads * per_thread
+    snap = qs.snapshot()
+    assert all(0.0 <= v <= 10.0 for v in snap.values())

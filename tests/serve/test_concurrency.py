@@ -132,6 +132,55 @@ def test_concurrent_mixed_ops_stay_pinned(daemon):
     assert registry.counter("serve.invalidate.modules").value >= 1
 
 
+def test_concurrent_debug_traces_never_interleave(daemon):
+    """Span collection is per trace scope (thread-local): N threads each
+    sending ``debug`` requests with distinct trace ids must each get
+    back a span tree tagged *only* with their own id, and tracing must
+    not change how many requests the daemon counts as served."""
+    daemon_obj, port = daemon
+    failures = []
+    served = []
+
+    def worker(tid):
+        client = HttpClient(port)
+        for round_no in range(ROUNDS):
+            trace_id = "trace-{}-{}".format(tid, round_no)
+            source = (SMOKE_SOURCE if (tid + round_no) % 2 == 0
+                      else EDITED_SOURCE)
+            response = client.query({
+                "op": "tables", "id": trace_id, "source": source,
+                "name": "conc", "worlds": "both",
+                "trace_id": trace_id, "debug": True,
+            })
+            if not response.get("ok"):
+                failures.append((trace_id, response))
+                continue
+            served.append(trace_id)
+            if response.get("trace") != trace_id:
+                failures.append((trace_id, "echoed", response.get("trace")))
+            spans = response.get("spans") or []
+            if not spans:
+                failures.append((trace_id, "empty span tree"))
+            foreign = {s.get("trace") for s in spans} - {trace_id}
+            if foreign:
+                failures.append((trace_id, "interleaved spans from", foreign))
+
+    threads = [threading.Thread(target=worker, args=(tid,), daemon=True)
+               for tid in range(N_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(JOIN_TIMEOUT)
+    assert not any(t.is_alive() for t in threads), "deadlocked workers"
+    assert not failures, failures[:5]
+    # Tracing is observability, not behaviour: every request sent is
+    # exactly one served request in the counters.
+    registry = metrics.registry()
+    assert registry.counter("serve.request.total", op="tables").value \
+        == N_THREADS * ROUNDS
+    assert len(served) == N_THREADS * ROUNDS
+
+
 def test_drain_under_load_finishes_inflight_and_rejects_new(daemon):
     daemon_obj, port = daemon
     client = HttpClient(port)
