@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-quick bench-gate tables examples fuzz \
 	fuzz-smoke profile-smoke corpus-gen corpus-smoke serve-smoke \
-	chaos-smoke obs-smoke clean
+	chaos-smoke obs-smoke trace-smoke clean
 
 # Seeded smoke corpus shared by corpus-smoke and the bench gate.
 CORPUS_SMOKE_DIR ?= benchmarks/results/corpus-smoke
@@ -20,6 +20,7 @@ test:
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) trace-smoke
 	$(MAKE) bench-gate
 
 bench:
@@ -100,7 +101,7 @@ serve-smoke:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro -q chaos --seed 0 \
 		--plan mixed --plan client-drop --plan worker-kill \
-		--plan stdio-flaky --plan ledger-torn
+		--plan stdio-flaky --plan ledger-torn --plan tracestore-torn
 
 # Live-observability smoke: boot a daemon with tracing + SLO tracking +
 # access log on, run a traced --debug query end to end, lint the
@@ -109,6 +110,14 @@ chaos-smoke:
 # --once` against the live daemon (DESIGN.md §6j).
 obs-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro -q client --obs-smoke
+
+# Continuous-tracing smoke: one trace propagated client → subprocess
+# stdio daemon → forked corpus workers, every record flushed into a
+# bounded on-disk trace store and reconstructed by `repro trace
+# ls/show/top` as a single parent-linked cross-process span tree
+# (DESIGN.md §6k).
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro -q client --trace-smoke
 
 # Observability smoke: `repro profile` over two bundled benchmarks with
 # the tree-sum check on, JSONL traces written and validated against the

@@ -42,6 +42,7 @@ from repro.ir.printer import format_program
 from repro.lang.errors import ResourceLimitError
 from repro.obs import core as obs
 from repro.obs import log
+from repro.obs.sampler import DEFAULT_SAMPLE_RATE as SERVE_SAMPLE_RATE
 from repro.runtime.limit import Category
 from repro.util.tables import render_table
 
@@ -484,9 +485,12 @@ def _cmd_bench_serve(args, rest: List[str]) -> int:
 def cmd_serve(args) -> int:
     """``repro serve`` — the long-running analysis daemon."""
     import json
+    import os
     import signal
     from pathlib import Path
 
+    from repro.obs.sampler import TRACE_STORE_ENV, HeadSampler
+    from repro.obs.tracestore import TraceStore
     from repro.serve.daemon import Daemon
     from repro.serve.factcache import DEFAULT_MAX_BYTES, FactStore
     from repro.serve.session import SessionManager
@@ -515,10 +519,18 @@ def cmd_serve(args) -> int:
         return 0
     manager = SessionManager(store=store, max_sessions=args.max_sessions,
                              differential=args.differential)
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        log.error("serve: --trace-sample-rate must be in [0, 1]")
+        return 2
+    trace_store_dir = args.trace_store or os.environ.get(TRACE_STORE_ENV)
     daemon = Daemon(manager, deadline_seconds=args.deadline_seconds,
                     slo_ms=args.slo_ms, slow_ms=args.slow_ms,
                     access_log_path=args.access_log,
-                    access_log_sample=args.access_log_sample)
+                    access_log_sample=args.access_log_sample,
+                    journal_size=args.journal_size,
+                    sampler=HeadSampler(args.trace_sample_rate),
+                    trace_store=(TraceStore(trace_store_dir)
+                                 if trace_store_dir else None))
     if args.http is not None:
         port = daemon.start_http(args.http)
         log.info("serve: http listening on 127.0.0.1:{}".format(port))
@@ -568,8 +580,22 @@ def cmd_client(args) -> int:
             report = serve_client.run_obs_smoke(source, cache_dir=tmp)
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
+    if args.trace_smoke:
+        with tempfile.TemporaryDirectory(
+                prefix="repro-trace-smoke-") as tmp:
+            source = (_read_source(args.file) if args.file
+                      else serve_client.SMOKE_SOURCE)
+            try:
+                report = serve_client.run_trace_smoke(source,
+                                                      cache_dir=tmp)
+            except AssertionError as err:
+                log.error("trace-smoke: {}".format(err))
+                return 1
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
     if not args.file:
-        log.error("client requires FILE (or --smoke / --obs-smoke)")
+        log.error("client requires FILE (or --smoke / --obs-smoke / "
+                  "--trace-smoke)")
         return 2
     request = {
         "op": args.op,
@@ -638,6 +664,58 @@ def cmd_top(args) -> int:
 
     return run_top(args.port, host=args.host, interval=args.interval,
                    once=args.once, iterations=args.iterations)
+
+
+def cmd_trace(args) -> int:
+    """``repro trace`` — inspect the on-disk continuous-trace store."""
+    import os
+
+    from repro.obs.sampler import TRACE_STORE_ENV
+    from repro.obs.tracestore import DEFAULT_TRACE_DIR, TraceStore
+    from repro.obs.traceview import (
+        render_rollup,
+        render_trace,
+        summarize_traces,
+    )
+
+    store_dir = (args.store or os.environ.get(TRACE_STORE_ENV)
+                 or DEFAULT_TRACE_DIR)
+    store = TraceStore(store_dir)
+    if args.trace_cmd == "ls":
+        summaries = summarize_traces(store.traces())
+        if args.limit is not None:
+            summaries = summaries[:args.limit]
+        if not summaries:
+            print("(trace store {} is empty)".format(store_dir))
+            return 0
+        rows = [[s["trace"], s["records"], s["procs"],
+                 ",".join(s["origins"]), ",".join(s["ops"]),
+                 "{:.2f}".format(s["ms"]), "ok" if s["ok"] else "ERR"]
+                for s in summaries]
+        print(render_table(
+            ["trace", "recs", "procs", "origins", "ops", "ms", "status"],
+            rows, align_left=(0, 3, 4, 6)))
+        return 0
+    if args.trace_cmd == "show":
+        records = store.trace(args.id)
+        if not records:
+            log.error("trace: no records for {!r} in {}".format(
+                args.id, store_dir))
+            return 1
+        print(render_trace(args.id, records), end="")
+        return 0
+    if args.trace_cmd == "top":
+        records = store.records()
+        if not records:
+            print("(trace store {} is empty)".format(store_dir))
+            return 0
+        print(render_rollup(records, by=args.by), end="")
+        return 0
+    # export: raw records as JSONL, one line each (optionally one trace)
+    records = store.trace(args.id) if args.id else store.records()
+    for record in records:
+        print(json.dumps(record, sort_keys=True))
+    return 0
 
 
 def _read_source(path: str) -> str:
@@ -802,6 +880,40 @@ def cmd_corpus_verify(args) -> int:
 
 
 def cmd_corpus_run(args) -> int:
+    """Driver wrapper: when a sampled trace context was exported into
+    the environment (``REPRO_TRACEPARENT``), the whole run traces under
+    it — the driver opens its own scope parented on the remote span,
+    re-exports the context so forked shard workers parent under the
+    driver, and flushes a ``corpus`` record to the trace store."""
+    import os
+
+    from repro.obs import sampler as tracing
+
+    ctx = tracing.context_from_env()
+    if ctx is None or not ctx.sampled:
+        return _corpus_run_body(args)
+    started = time.perf_counter()
+    scope = obs.trace_scope(ctx.trace_id, collect=True,
+                            remote_parent=(ctx.proc, ctx.span_id))
+    with scope:
+        with obs.span("corpus.run.driver"):
+            tracing.export_context(tracing.current_context())
+            try:
+                rc = _corpus_run_body(args)
+            finally:
+                tracing.export_context(ctx)
+    store_dir = os.environ.get(tracing.TRACE_STORE_ENV)
+    if store_dir:
+        from repro.obs.tracestore import TraceStore, make_record
+
+        TraceStore(store_dir).append(make_record(
+            scope, origin="corpus", op="corpus.run",
+            ms=(time.perf_counter() - started) * 1000.0, ok=rc == 0,
+            unit=args.dir))
+    return rc
+
+
+def _corpus_run_body(args) -> int:
     from repro.obs import metrics
     from repro.qa.corpus import run_corpus
 
@@ -1307,6 +1419,19 @@ def build_parser() -> argparse.ArgumentParser:
                    "(off unless given)")
     p.add_argument("--access-log-sample", type=int, default=1, metavar="N",
                    help="log every Nth slow request (default 1 = all)")
+    p.add_argument("--journal-size", type=int, default=256, metavar="N",
+                   help="recent-request journal ring capacity "
+                   "(GET /v1/requests; default 256)")
+    p.add_argument("--trace-sample-rate", type=float,
+                   default=SERVE_SAMPLE_RATE, metavar="R",
+                   help="always-on head-sampling rate in [0, 1]: each "
+                   "trace id deterministically keeps or drops its whole "
+                   "trace (default {})".format(SERVE_SAMPLE_RATE))
+    p.add_argument("--trace-store", default=None, metavar="DIR",
+                   help="flush sampled trace records into this bounded "
+                   "on-disk store (see 'repro trace'; default: "
+                   "$REPRO_TRACE_STORE, else sampling decides span "
+                   "collection only)")
     p.add_argument("--corpus", default=None, metavar="DIR",
                    help="corpus manifest directory for 'warmup'")
     p.add_argument("--max-programs", type=int, default=None, metavar="N",
@@ -1341,6 +1466,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the live-observability battery (traced + "
                    "debug queries, /v1/metrics self-lint, journal, "
                    "access log, repro top --once) and exit")
+    p.add_argument("--trace-smoke", action="store_true",
+                   help="run the continuous-tracing battery (one trace "
+                   "propagated across a subprocess daemon and forked "
+                   "corpus workers, flushed to a trace store and "
+                   "reconstructed as a single tree by repro trace) "
+                   "and exit")
     p.add_argument("--debug", action="store_true",
                    help="request the per-query span tree and print it "
                    "as a phase breakdown after the response")
@@ -1394,6 +1525,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=None, metavar="N",
                    help="stop after N frames (default: run until Ctrl-C)")
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect the continuous-tracing store (ls/show/top/export)",
+        description="Read the bounded on-disk trace store that serving "
+        "daemons and traced batch runs flush sampled span trees into "
+        "(repro serve --trace-store).  ls lists one summary line per "
+        "trace; show ID stitches one trace's records — client, daemon, "
+        "forked corpus workers — into a single parent-linked span tree "
+        "with process boundaries marked; top aggregates total/self "
+        "milliseconds per phase (or per op) across every stored record; "
+        "export dumps raw records as JSONL.",
+    )
+    trace_sub = p.add_subparsers(dest="trace_cmd", required=True,
+                                 metavar="{ls,show,top,export}")
+
+    def _store_flag(sp) -> None:
+        sp.add_argument("--store", default=None, metavar="DIR",
+                        help="trace store directory (default: "
+                        "$REPRO_TRACE_STORE, else .repro-traces)")
+
+    tl = trace_sub.add_parser("ls", help="one summary line per trace")
+    _store_flag(tl)
+    tl.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="show at most N traces (newest first)")
+    tl.set_defaults(func=cmd_trace)
+
+    tw = trace_sub.add_parser(
+        "show", help="render one trace's cross-process span tree")
+    tw.add_argument("id", help="trace id (see 'repro trace ls')")
+    _store_flag(tw)
+    tw.set_defaults(func=cmd_trace)
+
+    tt = trace_sub.add_parser(
+        "top", help="total/self time rollup across stored records")
+    tt.add_argument("--by", choices=("phase", "op"), default="phase",
+                    help="group by span name ('phase', with self time) "
+                    "or by record op (default phase)")
+    _store_flag(tt)
+    tt.set_defaults(func=cmd_trace)
+
+    te = trace_sub.add_parser(
+        "export", help="dump trace records as JSONL")
+    te.add_argument("id", nargs="?", default=None,
+                    help="only this trace (default: every record)")
+    _store_flag(te)
+    te.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "profile",

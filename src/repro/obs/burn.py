@@ -1,0 +1,141 @@
+"""Windowed SLO burn rates over the request stream.
+
+The lifetime ``serve.slo.ok``/``serve.slo.breach`` counters answer "how
+has this daemon done since boot", which is useless for paging: a daemon
+that breached heavily an hour ago and is healthy now looks identical to
+one melting down right now.  :class:`BurnTracker` keeps a bounded ring
+of timestamped request outcomes and reports, per sliding window, the
+**burn rate** — the fraction of requests that breached the latency
+objective inside that window (1.0 = the whole error budget burning, 0.0
+= healthy) — plus exact within-window latency quantiles and the slowest
+requests' trace ids as exemplars, so a hot window links directly to the
+stored traces that explain it (``repro trace show``).
+
+Windows default to 5 minutes and 1 hour (the classic fast/slow
+burn-alert pair); each sets a ``serve.slo.burn_rate_{label}`` gauge in
+the process registry so ``/v1/metrics`` and ``repro top`` read the same
+numbers.  Everything is O(ring) and lock-protected — one tracker per
+daemon, observed once per request.
+"""
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics
+
+__all__ = ["DEFAULT_WINDOWS", "BurnTracker"]
+
+#: ``(label, seconds)`` sliding windows: the fast/slow burn pair.
+DEFAULT_WINDOWS: Tuple[Tuple[str, float], ...] = (("5m", 300.0),
+                                                  ("1h", 3600.0))
+
+#: Ring capacity: events beyond this are dropped oldest-first even if
+#: still inside the longest window (bounded memory beats exactness).
+DEFAULT_MAX_EVENTS = 8192
+
+#: Exemplars reported per window: the slowest requests' trace ids.
+EXEMPLARS = 3
+
+#: Quantiles reported per window (exact — the ring is small).
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class BurnTracker:
+    """Sliding-window SLO accounting with trace exemplars."""
+
+    def __init__(self, slo_ms: float,
+                 windows: Sequence[Tuple[str, float]] = DEFAULT_WINDOWS,
+                 max_events: int = DEFAULT_MAX_EVENTS,
+                 clock: Callable[[], float] = time.monotonic):
+        self.slo_ms = slo_ms
+        self.windows = tuple(windows)
+        if not self.windows:
+            raise ValueError("BurnTracker needs at least one window")
+        self._horizon = max(seconds for _, seconds in self.windows)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: ``(t, ms, breach, trace_id)`` in arrival order.
+        self._events: deque = deque(maxlen=max_events)
+
+    def observe(self, ms: float, ok: bool = True,
+                trace_id: Optional[str] = None) -> None:
+        """Record one finished request and refresh the burn gauges.
+
+        ``ok=False`` (a typed error answer) counts as a breach
+        regardless of latency — a fast wrong answer still burns budget.
+        """
+        now = self._clock()
+        breach = (not ok) or ms > self.slo_ms
+        with self._lock:
+            self._events.append((now, float(ms), breach, trace_id))
+            self._prune(now)
+            rates = {label: self._rate(now, seconds)
+                     for label, seconds in self.windows}
+        registry = metrics.registry()
+        for label, rate in rates.items():
+            registry.gauge("serve.slo.burn_rate_" + label).set(
+                round(rate, 4) if rate is not None else 0.0)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._horizon
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def _rate(self, now: float, seconds: float) -> Optional[float]:
+        """Breach fraction inside the window, or None when empty."""
+        total = breaches = 0
+        floor = now - seconds
+        for t, _ms, breach, _trace in self._events:
+            if t >= floor:
+                total += 1
+                breaches += breach
+        if not total:
+            return None
+        return breaches / total
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-window rollup: counts, burn rate, quantiles, exemplars."""
+        now = self._clock()
+        out: Dict[str, dict] = {}
+        with self._lock:
+            self._prune(now)
+            events = list(self._events)
+        for label, seconds in self.windows:
+            floor = now - seconds
+            window = [e for e in events if e[0] >= floor]
+            latencies = sorted(ms for _t, ms, _b, _trace in window)
+            breaches = sum(1 for e in window if e[2])
+            slowest = sorted(window, key=lambda e: -e[1])[:EXEMPLARS]
+            out[label] = {
+                "seconds": seconds,
+                "requests": len(window),
+                "breaches": breaches,
+                "burn_rate": (round(breaches / len(window), 4)
+                              if window else None),
+                "quantiles_ms": {
+                    "p{}".format(int(q * 100)):
+                        _quantile(latencies, q)
+                    for q in _QUANTILES
+                },
+                "slowest": [
+                    {"trace": trace, "ms": round(ms, 3)}
+                    for _t, ms, _b, trace in slowest
+                ],
+            }
+        return out
+
+
+def _quantile(sorted_values: List[float], q: float) -> Optional[float]:
+    """Linear-interpolated exact quantile of a sorted list."""
+    if not sorted_values:
+        return None
+    if len(sorted_values) == 1:
+        return round(sorted_values[0], 3)
+    rank = q * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return round(sorted_values[lo] * (1.0 - frac)
+                 + sorted_values[hi] * frac, 3)

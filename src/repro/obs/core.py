@@ -29,7 +29,9 @@ from typing import Dict, List, Optional
 
 __all__ = ["Span", "NullSpan", "NULL_SPAN", "Recorder", "recorder",
            "span", "enable", "disable", "enabled", "reset",
-           "trace_scope", "current_trace", "trace_note", "TraceScope"]
+           "trace_scope", "current_trace", "current_scope",
+           "current_span_id", "reset_inherited_trace_state",
+           "trace_note", "TraceScope"]
 
 
 class NullSpan:
@@ -71,17 +73,25 @@ class TraceScope:
     responses.  :attr:`notes` is a scratch dict lower layers fill in via
     :func:`trace_note` (e.g. the session cache outcome) and the daemon
     reads back when journalling the request.
+
+    ``remote_parent`` carries cross-process parentage (DESIGN.md §6k):
+    a ``(proc, span_id)`` pair naming the span — in *another* process —
+    that this scope's root spans hang under.  The scope itself only
+    stores it; :mod:`repro.obs.tracestore` stamps it onto the flushed
+    trace record so the viewer can reattach the subtree.
     """
 
     __slots__ = ("trace_id", "collect", "spans", "notes", "dropped",
-                 "_previous")
+                 "remote_parent", "_previous")
 
-    def __init__(self, trace_id: str, collect: bool = False):
+    def __init__(self, trace_id: str, collect: bool = False,
+                 remote_parent: Optional[tuple] = None):
         self.trace_id = trace_id
         self.collect = collect
         self.spans: List["Span"] = []
         self.notes: Dict[str, object] = {}
         self.dropped = 0
+        self.remote_parent = remote_parent
         self._previous: Optional["TraceScope"] = None
 
     def __enter__(self) -> "TraceScope":
@@ -108,14 +118,43 @@ class TraceScope:
                 sorted(self.spans, key=lambda s: s.span_id or 0)]
 
 
-def trace_scope(trace_id: str, collect: bool = False) -> TraceScope:
+def trace_scope(trace_id: str, collect: bool = False,
+                remote_parent: Optional[tuple] = None) -> TraceScope:
     """A context manager scoping *trace_id* to the current thread."""
-    return TraceScope(trace_id, collect=collect)
+    return TraceScope(trace_id, collect=collect,
+                      remote_parent=remote_parent)
 
 
 def current_scope() -> Optional[TraceScope]:
     """The thread's active :class:`TraceScope`, or None."""
     return getattr(_TRACE, "scope", None)
+
+
+def current_span_id() -> Optional[int]:
+    """The innermost *open* span's id on this thread, or None.
+
+    This is what cross-process propagation stamps as the parent: work
+    handed to another process attaches under whatever span was live at
+    the moment of the hand-off.
+    """
+    stack = getattr(RECORDER._local, "stack", None)
+    if stack:
+        return stack[-1].span_id
+    return None
+
+
+def reset_inherited_trace_state() -> None:
+    """Fork hygiene: drop trace state inherited from the parent process.
+
+    A forked worker inherits the parent's open span stack and active
+    trace scope over ``fork``.  Both are bogus in the child — the open
+    spans live (and will close) in the *parent*, so any span the worker
+    opens would parent under an id that does not exist in its own
+    process, detaching its subtree from the cross-process trace.
+    Workers call this before opening their own scope.
+    """
+    RECORDER._local.stack = []
+    _TRACE.scope = None
 
 
 def current_trace() -> Optional[str]:

@@ -1,0 +1,220 @@
+"""Deterministic head sampling and cross-process trace propagation.
+
+Always-on tracing (DESIGN.md §6k) needs two decisions made *once* per
+trace and honoured everywhere the trace goes:
+
+* **Sample or not.**  :class:`HeadSampler` derives a per-trace coin
+  from ``sha256(salt:trace_id)``, so the decision is a pure function of
+  the trace id — every process that sees the same id reaches the same
+  verdict without coordination, and a fixed corpus of ids yields the
+  exact same sampled subset on every run (seeded determinism, the same
+  property the chaos plans rely on).
+* **Who is my parent.**  :class:`TraceContext` is the propagation
+  token: trace id, the originating process's token, the parent span id
+  inside that process, and the sampled flag.  It round-trips through a
+  single ``traceparent``-style header string (and the
+  :data:`TRACEPARENT_ENV` environment variable for forked workers), so
+  a request crossing client → daemon → pool worker carries enough to
+  reconstruct one parent-linked tree across all three processes.
+
+Span ids are process-local (the recorder's ``itertools.count``), so a
+cross-process span is globally identified by ``(proc, span_id)`` —
+:func:`proc_id` mints the process token lazily and re-mints after a
+``fork`` (pool workers inherit module state, and two workers sharing
+the parent's token would collide in the trace store).
+"""
+
+import hashlib
+import os
+import uuid
+from typing import Dict, Optional
+
+from repro.obs import core as obs
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE", "TRACEPARENT_ENV", "TRACE_STORE_ENV",
+    "HeadSampler", "TraceContext", "proc_id", "current_context",
+    "export_context", "context_from_env", "clear_env_context",
+]
+
+#: Default always-on sampling rate: 1 in 100 requests record their span
+#: tree without ``debug: true``.  Low enough that the bench gate's warm
+#: floor is unaffected, high enough that a corpus-scale run lands
+#: hundreds of traces in the store.
+DEFAULT_SAMPLE_RATE = 0.01
+
+#: Environment variable carrying a serialized context into forked or
+#: spawned workers (the fork analogue of the wire ``traceparent``).
+TRACEPARENT_ENV = "REPRO_TRACEPARENT"
+
+#: Environment variable pointing workers at the trace store directory
+#: they should flush their records into.
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+
+
+_PROC_ID: Optional[str] = None
+_PROC_PID: Optional[int] = None
+
+
+def proc_id() -> str:
+    """This process's trace token (8 hex chars), minted lazily.
+
+    Fork-aware: a pool worker inherits the parent's module state over
+    ``fork``, so the cached token is discarded whenever ``os.getpid()``
+    changes — each worker gets its own token and its span ids stay
+    globally unambiguous as ``(proc, span_id)`` pairs.
+    """
+    global _PROC_ID, _PROC_PID
+    pid = os.getpid()
+    if _PROC_ID is None or _PROC_PID != pid:
+        _PROC_ID = uuid.uuid4().hex[:8]
+        _PROC_PID = pid
+    return _PROC_ID
+
+
+class HeadSampler:
+    """Deterministic per-trace head sampling.
+
+    ``decide(trace_id)`` hashes ``"{salt}:{trace_id}"`` and compares the
+    leading 8 bytes against ``rate`` — a keyed uniform draw, stable
+    across processes and runs.  ``rate=0`` never samples, ``rate=1``
+    always does; ``salt`` lets operators rotate which ids fall in the
+    sampled set without changing the rate.
+    """
+
+    __slots__ = ("rate", "salt")
+
+    _SCALE = float(1 << 64)
+
+    def __init__(self, rate: float, salt: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                "sample rate must be in [0, 1], got {}".format(rate))
+        self.rate = rate
+        self.salt = salt
+
+    def decide(self, trace_id: str) -> bool:
+        """The stable sampling verdict for *trace_id*."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            "{}:{}".format(self.salt, trace_id).encode()).digest()
+        draw = int.from_bytes(digest[:8], "big") / self._SCALE
+        return draw < self.rate
+
+
+class TraceContext:
+    """One propagated trace identity: where a child should attach.
+
+    The header form is ``{trace_id}-{proc}-{span:x}-{flag}`` where
+    ``proc`` is the parent process token, ``span`` is the parent span id
+    in that process (``0`` = no open span: attach at the record root),
+    and ``flag`` is ``01`` (sampled) or ``00``.  The trace id itself may
+    contain dashes (client-chosen ids often do), so parsing splits the
+    three fixed fields off the right.
+    """
+
+    __slots__ = ("trace_id", "proc", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, proc: str,
+                 span_id: Optional[int], sampled: bool):
+        if not trace_id:
+            raise ValueError("trace_id must be non-empty")
+        if not proc or "-" in proc:
+            raise ValueError("proc token must be non-empty and dash-free")
+        self.trace_id = trace_id
+        self.proc = proc
+        self.span_id = span_id
+        self.sampled = bool(sampled)
+
+    def header(self) -> str:
+        return "{}-{}-{:x}-{}".format(
+            self.trace_id, self.proc,
+            self.span_id if self.span_id is not None else 0,
+            "01" if self.sampled else "00")
+
+    @classmethod
+    def parse(cls, text: str) -> "TraceContext":
+        """Parse a header string; raises ``ValueError`` when malformed."""
+        if not isinstance(text, str):
+            raise ValueError("traceparent must be a string")
+        parts = text.rsplit("-", 3)
+        if len(parts) != 4:
+            raise ValueError(
+                "traceparent needs 4 dash-separated fields: {!r}".format(text))
+        trace_id, proc, span_hex, flag = parts
+        if not trace_id or not proc:
+            raise ValueError(
+                "traceparent has an empty trace or proc field: {!r}"
+                .format(text))
+        try:
+            span_id: Optional[int] = int(span_hex, 16)
+        except ValueError:
+            raise ValueError(
+                "traceparent span id is not hex: {!r}".format(span_hex))
+        if span_id == 0:
+            span_id = None
+        if flag not in ("00", "01"):
+            raise ValueError(
+                "traceparent flag must be 00 or 01: {!r}".format(flag))
+        return cls(trace_id, proc, span_id, flag == "01")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.header() == other.header())
+
+    def __repr__(self) -> str:
+        return "<TraceContext {}>".format(self.header())
+
+
+def current_context() -> Optional[TraceContext]:
+    """The propagation context for work started *right now*.
+
+    None outside any trace scope.  Inside one, the parent span is the
+    innermost open span on this thread (or none: children attach at the
+    record root), and the sampled flag is the scope's ``collect`` —
+    a collecting parent wants its children recorded too.
+    """
+    scope = obs.current_scope()
+    if scope is None:
+        return None
+    return TraceContext(scope.trace_id, proc_id(),
+                        obs.current_span_id(), scope.collect)
+
+
+def export_context(ctx: TraceContext,
+                   env: Optional[Dict[str, str]] = None,
+                   store_dir: Optional[str] = None) -> Dict[str, str]:
+    """Write *ctx* (and optionally the store path) into *env*.
+
+    Mutates and returns *env* (``os.environ`` by default) so forked
+    pool workers — which inherit the environment — pick the context up
+    via :func:`context_from_env`.
+    """
+    target = os.environ if env is None else env
+    target[TRACEPARENT_ENV] = ctx.header()
+    if store_dir is not None:
+        target[TRACE_STORE_ENV] = str(store_dir)
+    return target
+
+
+def context_from_env(
+        env: Optional[Dict[str, str]] = None) -> Optional[TraceContext]:
+    """The inherited context, or None (malformed values read as None —
+    a corrupt header must never take a worker down)."""
+    raw = (os.environ if env is None else env).get(TRACEPARENT_ENV)
+    if not raw:
+        return None
+    try:
+        return TraceContext.parse(raw)
+    except ValueError:
+        return None
+
+
+def clear_env_context(env: Optional[Dict[str, str]] = None) -> None:
+    """Scrub the propagation variables (driver cleanup after a run)."""
+    target = os.environ if env is None else env
+    target.pop(TRACEPARENT_ENV, None)
+    target.pop(TRACE_STORE_ENV, None)

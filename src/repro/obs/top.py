@@ -16,6 +16,7 @@ Everything here reads the *exposition text*, not in-process registries:
 process or container, which is the point of pull-based metrics.
 """
 
+import http.client
 import json
 import sys
 import time
@@ -115,7 +116,11 @@ def _get(base: str, path: str) -> str:
         with urllib.request.urlopen(base + path,
                                     timeout=FETCH_TIMEOUT) as resp:
             return resp.read().decode("utf-8")
-    except (urllib.error.URLError, OSError) as err:
+    except (urllib.error.URLError, http.client.HTTPException,
+            OSError) as err:
+        # HTTPException covers a listener that is not speaking HTTP at
+        # all (BadStatusLine etc.) — still "could not poll the daemon",
+        # and it must surface as a one-line error, not a traceback.
         raise TopError("GET {} failed: {}".format(path, err))
 
 
@@ -128,6 +133,11 @@ def fetch_snapshot(port: int, host: str = "127.0.0.1") -> Snapshot:
         ping = json.loads(_get(base, "/v1/ping"))
     except json.JSONDecodeError as err:
         raise TopError("daemon answered non-JSON: {}".format(err))
+    if not isinstance(journal, dict) or not isinstance(ping, dict):
+        raise TopError(
+            "daemon answered JSON of the wrong shape (journal: {}, "
+            "ping: {})".format(type(journal).__name__,
+                               type(ping).__name__))
     return Snapshot(parse_prom(metrics_text), journal, ping,
                     time.monotonic())
 
@@ -175,6 +185,18 @@ def render_frame(snapshot: Snapshot,
                      ratio(hits, misses), hits, hits + misses,
                      ratio(store_hits, store_misses), store_hits,
                      store_hits + store_misses))
+
+    def burn(label: str) -> str:
+        value = samples.get(
+            ("repro_serve_slo_burn_rate_" + label, ()))
+        return "{:.1f}%".format(100.0 * value) if value is not None \
+            else "n/a"
+
+    sampled = _sum_family(samples, "repro_obs_trace_sampled")
+    flushed = _sum_family(samples, "repro_obs_trace_flushed")
+    lines.append("slo burn: 5m {}   1h {}   traces: {:.0f} sampled, "
+                 "{:.0f} stored".format(burn("5m"), burn("1h"),
+                                        sampled, flushed))
     lines.append("")
 
     # Per-op latency + SLO table from the P² gauges.

@@ -118,6 +118,10 @@ POINTS: Dict[str, ChaosPoint] = {
         ChaosPoint("history.append", "mark",
                    "a bench-ledger append is torn mid-line (writer died "
                    "mid-write); readers must skip it"),
+        ChaosPoint("tracestore.append", "mark",
+                   "a trace-store segment append is torn mid-line "
+                   "(writer died mid-write); readers must skip it and "
+                   "serving must not degrade"),
     )
 }
 
@@ -514,6 +518,14 @@ _PLAN_SPECS: Tuple[ChaosPlanSpec, ...] = (
         "bench compare still runs over the surviving records",
         target="ledger",
         rules=(FaultRule("history.append", probability=0.5),),
+    ),
+    ChaosPlanSpec(
+        name="tracestore-torn",
+        description="trace-store appends are torn mid-line half the "
+        "time; readers skip each torn record with a counter and a "
+        "daemon sampling at 100% keeps serving pinned-correct answers",
+        target="tracestore",
+        rules=(FaultRule("tracestore.append", probability=0.5),),
     ),
     ChaosPlanSpec(
         name="shard-hang",
@@ -968,6 +980,121 @@ def _run_ledger_battery(spec: ChaosPlanSpec, seed: int,
     }
 
 
+def _run_tracestore_battery(spec: ChaosPlanSpec, seed: int,
+                            work_dir: str) -> dict:
+    """Tear trace-store appends mid-line; tracing must stay telemetry.
+
+    Two invariants, tested in two phases.  First, the store itself:
+    append a deterministic record stream while ``tracestore.append``
+    truncates about half of them, then assert readers return exactly
+    the surviving records, counting each torn line
+    (``obs.trace.torn_skipped``) instead of crashing.  Second, the
+    serving stack: a daemon sampling at 100% (every request flushes a
+    record through the same torn seam) must keep answering
+    pinned-correct — a dying trace write is never allowed to cost a
+    request.
+    """
+    from pathlib import Path
+
+    from repro.obs.reqlog import now as wall_now
+    from repro.obs.sampler import HeadSampler
+    from repro.obs.tracestore import TraceStore
+    from repro.obs.traceview import merge_trace
+    from repro.serve import protocol
+    from repro.serve.daemon import Daemon
+    from repro.serve.session import SessionManager
+
+    violations: List[dict] = []
+    registry = metrics.registry()
+
+    # -- phase 1: the store under torn appends -------------------------
+    store_a = TraceStore(Path(work_dir) / "traces-direct")
+    n_records = 16
+    with armed(plan_spec(spec.name).plan(seed)) as state:
+        for i in range(n_records):
+            store_a.append({
+                "kind": "trace_record", "schema": 1,
+                "trace": "chaos-trace-{}".format(i),
+                "proc": "battery0", "origin": "battery",
+                "op": "chaos.append", "unit": None,
+                "ms": 1.0 + 0.25 * i, "ok": True, "ts": wall_now(),
+                "parent": None,
+                "spans": [{"name": "chaos.append", "id": 1,
+                           "parent": None, "duration_ms": 1.0}],
+                "notes": {}, "dropped": 0,
+            })
+        torn = state.injected().get("tracestore.append", 0)
+    if not 0 < torn < n_records:
+        violations.append({
+            "reason": "battery needs both torn and surviving appends",
+            "torn": torn, "appended": n_records,
+        })
+    survivors = store_a.records()
+    if len(survivors) != n_records - torn:
+        violations.append({
+            "reason": "surviving trace-record count is wrong",
+            "read": len(survivors), "expected": n_records - torn,
+        })
+    skipped = int(registry.counter("obs.trace.torn_skipped").value)
+    if skipped < torn:
+        violations.append({
+            "reason": "torn trace lines were not counted as skipped",
+            "torn": torn, "skipped": skipped,
+        })
+
+    # -- phase 2: serving at 100% sampling through the same seam -------
+    sources = _battery_sources()
+    expected = _expected_counts(sources)
+    requests = _battery_requests(sources)
+    store_b = TraceStore(Path(work_dir) / "traces-daemon")
+    daemon = Daemon(SessionManager(store=None), sampler=HeadSampler(1.0),
+                    trace_store=store_b)
+    typed_errors: Dict[str, int] = {}
+    ok_responses = 0
+    with armed(plan_spec(spec.name).plan(seed + 1)) as state:
+        for request in requests:
+            response = daemon.handle_request(
+                protocol.Request.from_obj(dict(request)))
+            _verify_response(request, response, expected,
+                             violations, typed_errors)
+            if response.get("ok"):
+                ok_responses += 1
+        daemon_torn = state.injected().get("tracestore.append", 0)
+    if typed_errors:
+        violations.append({
+            "reason": "torn trace appends degraded serving",
+            "typed_errors": typed_errors,
+        })
+    if daemon_torn <= 0:
+        violations.append({
+            "reason": "no daemon trace append was torn; the battery "
+            "proved nothing"})
+    daemon_records = store_b.records()
+    if not daemon_records:
+        violations.append({
+            "reason": "no daemon trace record survived the tearing"})
+    for trace_id, records in store_b.traces().items():
+        if any(root.detached for root in merge_trace(records)):
+            violations.append({
+                "reason": "surviving trace does not merge cleanly",
+                "trace": trace_id,
+            })
+    return {
+        "target": "tracestore",
+        "appended": n_records,
+        "torn": torn,
+        "read": len(survivors),
+        "requests": len(requests),
+        "ok_responses": ok_responses,
+        "daemon_torn": daemon_torn,
+        "daemon_records": len(daemon_records),
+        "torn_skipped": int(
+            registry.counter("obs.trace.torn_skipped").value),
+        "injected": {"tracestore.append": torn + daemon_torn},
+        "violations": violations,
+    }
+
+
 def _run_corpus_battery(spec: ChaosPlanSpec, seed: int,
                         work_dir: str) -> dict:
     """Generate a small corpus; run the sharded driver under the plan."""
@@ -1043,6 +1170,8 @@ def run_chaos(plan_name: str, seed: int = 0,
         body = _run_stdio_battery(spec, seed, work_dir)
     elif spec.target == "ledger":
         body = _run_ledger_battery(spec, seed, work_dir)
+    elif spec.target == "tracestore":
+        body = _run_tracestore_battery(spec, seed, work_dir)
     else:
         body = _run_serve_battery(spec, seed, work_dir)
     report = {

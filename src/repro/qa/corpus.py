@@ -575,7 +575,44 @@ def _process_shard(task: Tuple) -> ShardOutcome:
     directly and no snapshot is shipped).  The task tuple optionally
     carries the watchdog's retry ``attempt`` so chaos rules can target
     "first attempt only" (transient) vs "every attempt" (poison).
+
+    A forked worker also checks ``REPRO_TRACEPARENT``: when the driver
+    exported a *sampled* trace context, the shard runs inside its own
+    collecting trace scope parented under the driver's span, and the
+    worker flushes a ``corpus-worker`` record to the trace store named
+    by ``REPRO_TRACE_STORE`` — this is what lets ``repro trace show``
+    reconstruct client → daemon → forked-worker as one tree
+    (DESIGN.md §6k).  Pool workers re-mint their process token after
+    the fork, so records from different workers never collide.
     """
+    from repro.obs import sampler as tracing
+
+    in_process = task[1].in_process
+    if not in_process:
+        obs.reset_inherited_trace_state()
+    ctx = None if in_process else tracing.context_from_env()
+    if ctx is None or not ctx.sampled:
+        return _process_shard_inner(task)
+    scope = obs.trace_scope(ctx.trace_id, collect=True,
+                            remote_parent=(ctx.proc, ctx.span_id))
+    with scope:
+        with obs.span("corpus.shard.worker", shard=task[0]["index"],
+                      attempt=task[2] if len(task) > 2 else 0):
+            outcome = _process_shard_inner(task)
+    store_dir = os.environ.get(tracing.TRACE_STORE_ENV)
+    if store_dir:
+        from repro.obs.tracestore import TraceStore, make_record
+
+        # append() never raises; a torn or failing store must not cost
+        # the shard its outcome.
+        TraceStore(store_dir).append(make_record(
+            scope, origin="corpus-worker", op="corpus.shard",
+            ms=outcome.seconds * 1000.0,
+            ok=not outcome.failures, unit=outcome.file))
+    return outcome
+
+
+def _process_shard_inner(task: Tuple) -> ShardOutcome:
     if len(task) == 2:
         info_obj, options = task
         attempt = 0

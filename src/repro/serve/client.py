@@ -27,11 +27,31 @@ import urllib.request
 from typing import Callable, List, Optional
 
 from repro.obs import metrics
+from repro.obs import sampler as tracing
 from repro.qa import chaos
 from repro.serve import protocol
 
 #: How long (seconds) smoke waits on daemon subprocess I/O.
 SMOKE_TIMEOUT = 120
+
+
+def _inject_traceparent(payload):
+    """Stamp the live trace context onto outgoing request objects.
+
+    Any query sent from inside an active trace scope automatically
+    carries a ``traceparent`` (unless the caller already set one), so
+    the daemon's spans parent under whatever client span was open at
+    send time — propagation is a property of *being traced*, not a
+    per-call-site chore.  Returns *payload* (possibly mutated).
+    """
+    ctx = tracing.current_context()
+    if ctx is None:
+        return payload
+    requests = payload if isinstance(payload, list) else [payload]
+    for request in requests:
+        if isinstance(request, dict) and "traceparent" not in request:
+            request["traceparent"] = ctx.header()
+    return payload
 
 #: Default program for the smoke battery: small, but with a real type
 #: hierarchy, fields, an array and a VAR formal, so all three analyses
@@ -181,6 +201,7 @@ class StdioClient:
         if self._proc.poll() is not None:
             raise ServeClientError("daemon exited early (rc={})".format(
                 self._proc.returncode))
+        payload = _inject_traceparent(payload)
         self._proc.stdin.write(json.dumps(payload) + "\n")
         self._proc.stdin.flush()
         line = self._proc.stdout.readline()
@@ -223,7 +244,7 @@ class HttpClient:
         self.base = "http://{}:{}".format(host, port)
 
     def _post(self, payload) -> object:
-        data = json.dumps(payload).encode()
+        data = json.dumps(_inject_traceparent(payload)).encode()
         req = urllib.request.Request(
             self.base + "/v1/query", data=data,
             headers={"Content-Type": "application/json"})
@@ -515,10 +536,27 @@ def run_obs_smoke(source: str, cache_dir: str) -> dict:
         for needle in ("repro_serve_request_ms_p50",
                        "repro_serve_request_ms_p95",
                        "repro_serve_request_ms_p99",
-                       "repro_serve_slo_ok"):
+                       "repro_serve_slo_ok",
+                       "repro_serve_slo_burn_rate_5m",
+                       "repro_serve_slo_burn_rate_1h"):
             if needle not in metrics_body:
                 raise AssertionError(
                     "/v1/metrics is missing {}".format(needle))
+
+        # The stats op carries the windowed burn snapshot (rates,
+        # quantiles, slowest-trace exemplars).
+        stats = client.query({"op": "stats", "id": "burn"})
+        if not stats.get("ok"):
+            raise AssertionError("stats query failed: {}".format(stats))
+        slo_burn = stats["result"].get("slo_burn") or {}
+        for window in ("5m", "1h"):
+            if window not in slo_burn:
+                raise AssertionError(
+                    "stats slo_burn is missing the {} window: {}".format(
+                        window, sorted(slo_burn)))
+        if not slo_burn["5m"]["requests"]:
+            raise AssertionError(
+                "slo_burn 5m window saw no requests: {}".format(slo_burn))
 
         journal = client.requests_snapshot()
         journal_traces = [r["trace"] for r in journal["requests"]]
@@ -562,4 +600,150 @@ def run_obs_smoke(source: str, cache_dir: str) -> dict:
         "journal_total": journal["total"],
         "access_log_lines": len(access_lines),
         "top_rendered": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# The trace-smoke battery: continuous tracing end to end
+
+
+def run_trace_smoke(source: str, cache_dir: str) -> dict:
+    """The ``make trace-smoke`` battery (DESIGN.md §6k).
+
+    One trace, three kinds of process: this client opens a collecting
+    trace scope and, under it, (1) fires a batch at a **subprocess**
+    stdio daemon started with ``--trace-sample-rate 1 --trace-store``,
+    and (2) drives a small sharded corpus run over a 2-worker forked
+    pool with the context exported via ``REPRO_TRACEPARENT``.  Then it
+    reads the trace store back and asserts the whole point of the
+    subsystem: the client, daemon and corpus-worker records merge into
+    a **single parent-linked tree**, and the ``repro trace ls / show /
+    top`` CLI reconstructs it from disk in yet another process.
+    """
+    import os
+    from pathlib import Path
+
+    from repro.obs import core as obs
+    from repro.obs.tracestore import TraceStore, make_record
+    from repro.obs.traceview import merge_trace, render_trace
+    from repro.qa.corpus import CorpusSpec, generate_corpus, run_corpus
+
+    store_dir = Path(cache_dir) / "traces"
+    store = TraceStore(store_dir)
+    corpus_dir = Path(cache_dir) / "corpus"
+    generate_corpus(CorpusSpec(seed=0, count=8, shard_size=4,
+                               max_stmts=10), corpus_dir)
+    trace_id = "trace-smoke"
+    requests = _smoke_requests(source)
+
+    daemon_argv = [
+        sys.executable, "-m", "repro.cli", "serve", "--stdio",
+        "--trace-sample-rate", "1", "--trace-store", str(store_dir),
+    ]
+    saved_env = {key: os.environ.get(key)
+                 for key in (tracing.TRACEPARENT_ENV,
+                             tracing.TRACE_STORE_ENV)}
+    started = time.perf_counter()
+    scope = obs.trace_scope(trace_id, collect=True)
+    try:
+        with scope, obs.span("client.trace_smoke"):
+            with obs.span("client.query", op="batch"):
+                with StdioClient(
+                        argv=daemon_argv,
+                        cache_dir=str(Path(cache_dir) / "facts")) as stdio:
+                    responses = stdio.batch(requests)
+                    rc = stdio.shutdown()
+            _assert_ok(responses, "trace-smoke")
+            if rc != 0:
+                raise AssertionError(
+                    "traced daemon did not shut down cleanly (rc={})"
+                    .format(rc))
+            off_trace = [r for r in responses if r.get("trace") != trace_id]
+            if off_trace:
+                raise AssertionError(
+                    "daemon did not adopt the propagated trace id: {}"
+                    .format(off_trace[:2]))
+            with obs.span("client.corpus", jobs=2):
+                # Export the *current* context (parent span =
+                # client.corpus) so the forked pool workers attach
+                # their records under it.
+                tracing.export_context(tracing.current_context(),
+                                       store_dir=str(store_dir))
+                report = run_corpus(corpus_dir, jobs=2, engine="bulk")
+            if report.failures or report.quarantined:
+                raise AssertionError(
+                    "traced corpus run failed: {} failures, {} "
+                    "quarantined".format(len(report.failures),
+                                         len(report.quarantined)))
+    finally:
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    total_ms = (time.perf_counter() - started) * 1000.0
+    if not store.append(make_record(scope, origin="client",
+                                    op="trace-smoke", ms=total_ms,
+                                    ok=True)):
+        raise AssertionError("client trace record failed to flush")
+
+    # -- the cross-process tree, reconstructed from the store ----------
+    records = store.trace(trace_id)
+    origins = {r["origin"] for r in records}
+    procs = {r["proc"] for r in records}
+    for needed in ("client", "daemon", "corpus-worker"):
+        if needed not in origins:
+            raise AssertionError(
+                "store has no {} record for the trace (origins: {})"
+                .format(needed, sorted(origins)))
+    if len(procs) < 3:
+        raise AssertionError(
+            "expected >= 3 distinct processes in the trace, got {}"
+            .format(sorted(procs)))
+    roots = merge_trace(records)
+    if len(roots) != 1 or roots[0].detached:
+        raise AssertionError(
+            "trace did not merge into a single parent-linked tree: "
+            "{} roots ({} detached)".format(
+                len(roots), sum(r.detached for r in roots)))
+    rendered = render_trace(trace_id, records)
+    for span_name in ("client.trace_smoke", "serve.request.tables",
+                      "corpus.shard.worker"):
+        if span_name not in rendered:
+            raise AssertionError(
+                "rendered tree is missing {!r}:\n{}".format(
+                    span_name, rendered))
+
+    # -- the repro trace CLI, in its own process -----------------------
+    cli_outputs = {}
+    for argv, needle in (
+            (["trace", "ls", "--store", str(store_dir)], trace_id),
+            (["trace", "show", trace_id, "--store", str(store_dir)],
+             "corpus.shard.worker"),
+            (["trace", "top", "--by", "phase", "--store", str(store_dir)],
+             "serve.request.tables"),
+    ):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "-q"] + argv,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            timeout=SMOKE_TIMEOUT)
+        label = " ".join(argv[:2])
+        if proc.returncode != 0:
+            raise AssertionError("repro {} failed: {}".format(
+                label, proc.stderr.strip()))
+        if needle not in proc.stdout:
+            raise AssertionError(
+                "repro {} output is missing {!r}:\n{}".format(
+                    label, needle, proc.stdout))
+        cli_outputs[label] = len(proc.stdout.splitlines())
+
+    return {
+        "ok": True,
+        "trace_id": trace_id,
+        "records": len(records),
+        "origins": sorted(origins),
+        "processes": len(procs),
+        "single_root": True,
+        "corpus_shards": len(report.shards),
+        "cli_lines": cli_outputs,
     }

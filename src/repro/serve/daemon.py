@@ -46,6 +46,7 @@ from repro import CompileError, __version__
 from repro.lang.errors import ResourceLimitError
 from repro.obs import core as obs
 from repro.obs import metrics, promtext
+from repro.obs.burn import BurnTracker
 from repro.obs.quantile import QuantileSet
 from repro.obs.reqlog import (
     DEFAULT_JOURNAL_SIZE,
@@ -53,6 +54,9 @@ from repro.obs.reqlog import (
     RequestJournal,
     RequestRecord,
 )
+from repro.obs.sampler import DEFAULT_SAMPLE_RATE, HeadSampler
+from repro.obs.tracestore import TraceStore, make_record
+from repro.obs.traceview import summarize_traces
 from repro.obs.reqlog import now as wall_now
 from repro.qa import chaos, guards
 from repro.serve import protocol
@@ -81,6 +85,12 @@ METRIC_HELP = {
     "serve.request.ms.p99": "Streaming P2 99th-percentile latency (ms).",
     "serve.slo.ok": "Requests within the --slo-ms objective, by op.",
     "serve.slo.breach": "Requests over the --slo-ms objective, by op.",
+    "serve.slo.burn_rate_5m": "Fraction of requests breaching the SLO "
+                              "in the trailing 5 minutes.",
+    "serve.slo.burn_rate_1h": "Fraction of requests breaching the SLO "
+                              "in the trailing hour.",
+    "obs.trace.sampled": "Requests whose span tree was head-sampled.",
+    "obs.trace.flushed": "Trace records appended to the trace store.",
 }
 
 
@@ -98,12 +108,23 @@ class Daemon:
                  slow_ms: Optional[float] = None,
                  access_log_path: Optional[str] = None,
                  access_log_sample: int = 1,
-                 journal_size: int = DEFAULT_JOURNAL_SIZE):
+                 journal_size: int = DEFAULT_JOURNAL_SIZE,
+                 sampler: Optional[HeadSampler] = None,
+                 trace_store: Optional[TraceStore] = None):
         self.manager = manager
         #: Per-request wall-clock budget; ``None`` serves unbounded.
         self.deadline_seconds = deadline_seconds
         #: Latency objective (ms) the SLO counters judge against.
         self.slo_ms = slo_ms
+        #: Always-on head sampling: the default rate keeps tracing live
+        #: (and the bench gate honest about its cost) out of the box.
+        self.sampler = sampler if sampler is not None \
+            else HeadSampler(DEFAULT_SAMPLE_RATE)
+        #: Sampled traces flush here; ``None`` samples without storing
+        #: (the coin still decides span collection, nothing persists).
+        self.trace_store = trace_store
+        #: Sliding-window SLO burn rates + exemplars (DESIGN.md §6k).
+        self.burn = BurnTracker(slo_ms)
         self.shutdown_event = threading.Event()
         #: Draining daemons answer ping/stats/shutdown but reject new
         #: analysis work with a typed ``unavailable`` error.
@@ -130,7 +151,23 @@ class Daemon:
         """One request in, one response dict out; never raises."""
         registry = metrics.registry()
         registry.counter("serve.request.total", op=request.op).inc()
-        trace_id = request.trace_id or mint_trace_id()
+        # Trace identity: a propagated context wins (its id and sampled
+        # flag are the whole point of propagation); otherwise a
+        # client-chosen or minted id rolls the head-sampler coin.
+        try:
+            ctx = request.trace_context()
+        except ValueError:
+            # from_obj validates on ingest; a hand-built Request with a
+            # bad header degrades to a fresh trace, never a crash.
+            ctx = None
+        if ctx is not None:
+            trace_id = ctx.trace_id
+            sampled = ctx.sampled
+        else:
+            trace_id = request.trace_id or mint_trace_id()
+            sampled = self.sampler.decide(trace_id)
+        if sampled:
+            registry.counter("obs.trace.sampled").inc()
         with self._inflight_cond:
             if self.draining and request.op in protocol.SOURCE_OPS:
                 registry.counter("serve.request.rejected").inc()
@@ -143,7 +180,10 @@ class Daemon:
             self._inflight += 1
         start = time.perf_counter()
         request_deadline: Optional[guards.Deadline] = None
-        scope = obs.trace_scope(trace_id, collect=request.debug)
+        scope = obs.trace_scope(
+            trace_id, collect=sampled or request.debug,
+            remote_parent=((ctx.proc, ctx.span_id)
+                           if ctx is not None else None))
         try:
             with scope:
                 try:
@@ -188,8 +228,14 @@ class Daemon:
         registry.histogram("serve.request.ms", buckets=LATENCY_BUCKETS_MS,
                            op=request.op).observe(elapsed_ms)
         self._observe_latency(request.op, elapsed_ms)
+        self.burn.observe(elapsed_ms, ok=bool(response.get("ok")),
+                          trace_id=trace_id)
         if request.debug:
             response["spans"] = scope.tree()
+        if sampled and self.trace_store is not None:
+            self.trace_store.append(make_record(
+                scope, origin="daemon", op=request.op, ms=elapsed_ms,
+                ok=bool(response.get("ok")), unit=request.name))
         self._journal(request, trace_id, elapsed_ms, response,
                       cache=scope.notes.get("cache"))
         return response
@@ -244,6 +290,38 @@ class Daemon:
         """The live registry as Prometheus exposition (``/v1/metrics``)."""
         return promtext.render(help_texts=METRIC_HELP)
 
+    def traces_payload(self, query: Dict[str, list]) -> tuple:
+        """``GET /v1/traces`` body: trace summaries, or one full trace.
+
+        ``?id=X`` returns that trace's raw records (the cross-process
+        tree is the *viewer's* job — the wire carries data, not
+        rendering).  Returns ``(status, payload)``.
+        """
+        if self.trace_store is None:
+            return 404, {"ok": False, "error": {
+                "kind": "http",
+                "message": "daemon has no trace store (--trace-store)"}}
+        wanted = query.get("id")
+        if wanted:
+            records = self.trace_store.trace(wanted[0])
+            if not records:
+                return 404, {"ok": False, "error": {
+                    "kind": "http",
+                    "message": "unknown trace {!r}".format(wanted[0])}}
+            return 200, {"trace": wanted[0], "records": records}
+        limit = None
+        raw = query.get("limit")
+        if raw:
+            try:
+                limit = max(0, int(raw[0]))
+            except ValueError:
+                limit = None
+        summaries = summarize_traces(self.trace_store.traces())
+        if limit is not None:
+            summaries = summaries[:limit]
+        return 200, {"traces": summaries,
+                     "store": self.trace_store.stats()}
+
     def _dispatch(self, request: protocol.Request) -> dict:
         op = request.op
         if op == "ping":
@@ -257,6 +335,9 @@ class Daemon:
             stats["draining"] = self.draining
             stats["slo_ms"] = self.slo_ms
             stats["journal_total"] = self.journal.total
+            stats["slo_burn"] = self.burn.snapshot()
+            if self.trace_store is not None:
+                stats["trace_store"] = self.trace_store.stats()
             # Visible across process boundaries: the cross-process chaos
             # battery reads the child daemon's injection count here.
             stats["counters"]["chaos.injected"] = int(
@@ -386,6 +467,9 @@ class Daemon:
                         except ValueError:
                             limit = None
                     self._reply(200, daemon.journal.snapshot(limit))
+                elif parsed.path == "/v1/traces":
+                    self._reply(*daemon.traces_payload(
+                        parse_qs(parsed.query)))
                 else:
                     self._reply(404, {"ok": False, "error": {
                         "kind": "http", "message": "unknown path"}})

@@ -24,6 +24,14 @@ Request fields:
   the daemon mints one when absent.  Every response echoes the id in a
   ``"trace"`` key — ok *and* error responses, so a fault injected
   mid-request is still attributable to its trace.
+* ``traceparent`` — optional cross-process trace context in the
+  :class:`repro.obs.sampler.TraceContext` header form
+  (``{trace}-{proc}-{span:x}-{flag}``).  When present it supersedes
+  ``trace_id``: the daemon adopts its trace id, honours its sampled
+  flag instead of rolling the head-sampler coin, and parents the
+  request's span tree under the named remote span, so a client batch
+  and the daemon work it caused reconstruct as one tree
+  (DESIGN.md §6k).
 * ``debug`` — bool; when true the ok response additionally carries
   ``"spans"``: the request's own span tree (JSON span objects in start
   order), collected even while the global recorder is off.  This is
@@ -72,8 +80,17 @@ class Request:
     worlds: Optional[str] = None
     engine: Optional[str] = None
     trace_id: Optional[str] = None
+    traceparent: Optional[str] = None
     debug: bool = False
     extra: Dict[str, object] = field(default_factory=dict)
+
+    def trace_context(self):
+        """The parsed ``traceparent``, or None (validated on ingest)."""
+        from repro.obs.sampler import TraceContext
+
+        if self.traceparent is None:
+            return None
+        return TraceContext.parse(self.traceparent)
 
     @classmethod
     def from_obj(cls, obj: object) -> "Request":
@@ -114,11 +131,19 @@ class Request:
         if trace_id is not None and (
                 not isinstance(trace_id, str) or not trace_id):
             raise ProtocolError("'trace_id' must be a non-empty string")
+        traceparent = obj.get("traceparent")
+        if traceparent is not None:
+            from repro.obs.sampler import TraceContext
+
+            try:
+                TraceContext.parse(traceparent)
+            except ValueError as err:
+                raise ProtocolError("bad 'traceparent': {}".format(err))
         debug = obj.get("debug", False)
         if not isinstance(debug, bool):
             raise ProtocolError("'debug' must be a boolean")
         known = {"op", "id", "source", "name", "analysis", "open_world",
-                 "worlds", "engine", "trace_id", "debug"}
+                 "worlds", "engine", "trace_id", "traceparent", "debug"}
         return cls(
             op=op,
             id=obj.get("id"),
@@ -129,6 +154,7 @@ class Request:
             worlds=worlds,
             engine=engine,
             trace_id=trace_id,
+            traceparent=traceparent,
             debug=debug,
             extra={k: v for k, v in obj.items() if k not in known},
         )

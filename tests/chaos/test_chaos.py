@@ -167,9 +167,10 @@ def test_built_in_plans_cover_serve_and_corpus():
     assert {"cache-flaky", "cache-corrupt", "compile-crash",
             "slow-handler", "client-drop", "mixed",
             "worker-kill", "poison-shard", "shard-hang",
-            "stdio-flaky", "ledger-torn"} <= names
+            "stdio-flaky", "ledger-torn", "tracestore-torn"} <= names
     targets = {s.target for s in specs}
-    assert targets == {"serve", "corpus", "stdio", "ledger"}
+    assert targets == {"serve", "corpus", "stdio", "ledger",
+                       "tracestore"}
     for spec in specs:
         plan = spec.plan(seed=1)
         assert plan.rules, spec.name
@@ -204,6 +205,19 @@ def test_run_chaos_ledger_torn_never_wedges_the_gate(tmp_path):
     assert report["read"] == report["appended"] - report["torn"]
     assert report["validated"] == report["read"]
     assert report["compared"] is True
+
+
+def test_run_chaos_tracestore_torn_never_degrades_serving(tmp_path):
+    report = run_chaos("tracestore-torn", seed=0, work_dir=tmp_path)
+    assert report["ok"], report
+    assert report["violations"] == []
+    # Phase one: direct appends, about half torn, readers skip exactly.
+    assert 0 < report["torn"] < report["appended"]
+    assert report["read"] == report["appended"] - report["torn"]
+    # Phase two: torn flushes under a live daemon never cost an answer.
+    assert report["daemon_torn"] > 0
+    assert report["ok_responses"] == report["requests"]
+    assert report["daemon_records"] > 0
 
 
 def test_run_chaos_stdio_crosses_the_process_boundary(tmp_path):

@@ -141,3 +141,87 @@ def test_span_ids_are_unique_under_concurrency(recorder):
         t.join()
     ids = [s.span_id for s in recorder.spans()]
     assert len(ids) == len(set(ids)) == 400
+
+
+# ----------------------------------------------------------------------
+# Trace scopes across threads: scopes are strictly thread-local, nest
+# on one thread, and collect only their own thread's spans.
+
+
+def test_trace_scopes_nest_and_restore_on_one_thread():
+    with core.trace_scope("outer-trace", collect=True) as outer:
+        assert core.current_trace() == "outer-trace"
+        with core.span("a"):
+            pass
+        with core.trace_scope("inner-trace", collect=True) as inner:
+            assert core.current_trace() == "inner-trace"
+            with core.span("b"):
+                pass
+        # Exiting the inner scope restores the outer one.
+        assert core.current_scope() is outer
+        with core.span("c"):
+            pass
+    assert core.current_scope() is None
+    assert [s.name for s in outer.spans] == ["a", "c"]
+    assert [s.name for s in inner.spans] == ["b"]
+
+
+def test_trace_scopes_are_thread_local():
+    ready = threading.Barrier(2)
+    seen = {}
+
+    def work(tag):
+        with core.trace_scope("trace-{}".format(tag),
+                              collect=True) as scope:
+            ready.wait(timeout=10)  # both scopes provably live at once
+            with core.span("work", tag=tag):
+                pass
+            seen[tag] = (core.current_trace(), scope)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert seen[0][0] == "trace-0"
+    assert seen[1][0] == "trace-1"
+    for tag in (0, 1):
+        scope = seen[tag][1]
+        assert [s.attrs["tag"] for s in scope.spans] == [tag]
+        assert all(s.trace_id == "trace-{}".format(tag)
+                   for s in scope.spans)
+
+
+def test_nested_scopes_on_threads_do_not_leak_into_the_spawner():
+    with core.trace_scope("parent-trace", collect=True) as parent:
+        result = {}
+
+        def work():
+            # A fresh thread starts with no scope, even while the
+            # spawning thread's scope is active.
+            result["scope"] = core.current_scope()
+            with core.trace_scope("child-trace", collect=True) as child:
+                with core.span("child-span"):
+                    pass
+                result["child"] = child
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        with core.span("parent-span"):
+            pass
+    assert result["scope"] is None
+    assert [s.name for s in result["child"].spans] == ["child-span"]
+    assert [s.name for s in parent.spans] == ["parent-span"]
+
+
+def test_reset_inherited_trace_state_clears_scope_and_stack():
+    with core.trace_scope("doomed", collect=True):
+        span = core.span("open-span")
+        span.__enter__()
+        assert core.current_span_id() is not None
+        core.reset_inherited_trace_state()
+        assert core.current_scope() is None
+        assert core.current_span_id() is None
+        # Restore a scope so the context manager can exit cleanly.
+        core._TRACE.scope = core.TraceScope("doomed")

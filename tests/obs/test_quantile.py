@@ -92,3 +92,72 @@ def test_quantile_set_is_thread_safe():
     assert qs.count == n_threads * per_thread
     snap = qs.snapshot()
     assert all(0.0 <= v <= 10.0 for v in snap.values())
+
+
+# ----------------------------------------------------------------------
+# Adversarial streams: orderings and shapes that stress the P² marker
+# dynamics (DESIGN.md §6k test battery).  Error is judged against the
+# exact quantile of the same stream.
+
+
+def _p2_error(values, q):
+    est = P2Quantile(q)
+    for value in values:
+        est.observe(value)
+    return abs(est.value() - _exact(values, q))
+
+
+def test_sorted_ascending_stream():
+    values = [float(i) for i in range(2000)]
+    for q in DEFAULT_QUANTILES:
+        # Range 0..1999: stay within a few percent of the range.
+        assert _p2_error(values, q) <= 60.0
+
+
+def test_sorted_descending_stream():
+    values = [float(i) for i in range(2000, 0, -1)]
+    for q in DEFAULT_QUANTILES:
+        assert _p2_error(values, q) <= 60.0
+
+
+def test_constant_stream_is_exact():
+    values = [42.0] * 1000
+    for q in DEFAULT_QUANTILES:
+        est = P2Quantile(q)
+        for value in values:
+            est.observe(value)
+        assert est.value() == pytest.approx(42.0)
+
+
+def test_two_cluster_stream():
+    # Bimodal latency (fast cache hits vs slow cold compiles) is the
+    # shape serving actually produces; the p50/p95 must land in or
+    # between the clusters, not outside them.
+    rng = random.Random(11)
+    values = [rng.uniform(1.0, 2.0) for _ in range(1500)] + \
+             [rng.uniform(100.0, 110.0) for _ in range(500)]
+    rng.shuffle(values)
+    for q in DEFAULT_QUANTILES:
+        est = P2Quantile(q)
+        for value in values:
+            est.observe(value)
+        assert 1.0 <= est.value() <= 110.0
+    # p50 sits in the fast cluster (75% of mass), p99 in the slow one.
+    p50 = P2Quantile(0.5)
+    p99 = P2Quantile(0.99)
+    for value in values:
+        p50.observe(value)
+        p99.observe(value)
+    assert p50.value() == pytest.approx(_exact(values, 0.5), abs=2.0)
+    assert p99.value() == pytest.approx(_exact(values, 0.99), abs=8.0)
+
+
+def test_interleaved_extremes_stream():
+    # Alternating tiny/huge observations thrash the outer markers.
+    values = []
+    for i in range(1000):
+        values.append(0.001 if i % 2 == 0 else 1000.0)
+    est = P2Quantile(0.5)
+    for value in values:
+        est.observe(value)
+    assert 0.001 <= est.value() <= 1000.0

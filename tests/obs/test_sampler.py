@@ -1,0 +1,127 @@
+"""Deterministic head sampling and the cross-process trace context."""
+
+import pytest
+
+from repro.obs import core as obs
+from repro.obs import sampler
+
+
+def test_context_header_round_trip():
+    ctx = sampler.TraceContext("trace-a", "deadbeef", 42, True)
+    parsed = sampler.TraceContext.parse(ctx.header())
+    assert parsed == ctx
+    assert parsed.trace_id == "trace-a"
+    assert parsed.proc == "deadbeef"
+    assert parsed.span_id == 42
+    assert parsed.sampled is True
+
+
+def test_context_trace_id_may_contain_dashes():
+    ctx = sampler.TraceContext("a-b-c-d", "p0", None, False)
+    parsed = sampler.TraceContext.parse(ctx.header())
+    assert parsed.trace_id == "a-b-c-d"
+    assert parsed.span_id is None
+    assert parsed.sampled is False
+
+
+def test_context_zero_span_means_no_parent_span():
+    parsed = sampler.TraceContext.parse("t-p-0-01")
+    assert parsed.span_id is None
+
+
+@pytest.mark.parametrize("header", [
+    "",                      # nothing
+    "t-p-1",                 # too few fields
+    "t-p-xyz-01",            # span not hex
+    "t-p-1-02",              # bad flag
+    "t-p-1-0",               # flag wrong width
+    "--1-01",                # empty trace and proc
+])
+def test_context_parse_rejects_malformed(header):
+    with pytest.raises(ValueError):
+        sampler.TraceContext.parse(header)
+
+
+def test_context_rejects_non_string():
+    with pytest.raises(ValueError):
+        sampler.TraceContext.parse(12)
+
+
+def test_sampler_rejects_out_of_range_rates():
+    for rate in (-0.1, 1.1):
+        with pytest.raises(ValueError):
+            sampler.HeadSampler(rate)
+
+
+def test_sampler_extremes_short_circuit():
+    assert sampler.HeadSampler(1.0).decide("anything") is True
+    assert sampler.HeadSampler(0.0).decide("anything") is False
+
+
+def test_sampler_is_deterministic_per_trace_id():
+    a = sampler.HeadSampler(0.5)
+    b = sampler.HeadSampler(0.5)
+    ids = ["trace-{}".format(i) for i in range(200)]
+    assert [a.decide(t) for t in ids] == [b.decide(t) for t in ids]
+
+
+def test_sampler_rate_is_roughly_honoured():
+    ids = ["trace-{}".format(i) for i in range(2000)]
+    hits = sum(sampler.HeadSampler(0.25).decide(t) for t in ids)
+    assert 0.18 * len(ids) < hits < 0.32 * len(ids)
+
+
+def test_sampler_salt_rotates_the_sampled_set():
+    ids = ["trace-{}".format(i) for i in range(500)]
+    base = [sampler.HeadSampler(0.5, salt=0).decide(t) for t in ids]
+    salted = [sampler.HeadSampler(0.5, salt=1).decide(t) for t in ids]
+    assert base != salted
+
+
+def test_proc_id_is_stable_within_a_process():
+    assert sampler.proc_id() == sampler.proc_id()
+    assert len(sampler.proc_id()) == 8
+    assert "-" not in sampler.proc_id()
+
+
+def test_proc_id_reminted_after_fork(monkeypatch):
+    # Simulate fork by faking a pid change: the cached token must be
+    # discarded so pool workers never share the parent's identity.
+    first = sampler.proc_id()
+    monkeypatch.setattr(sampler.os, "getpid",
+                        lambda: sampler._PROC_PID + 1)
+    second = sampler.proc_id()
+    assert second != first
+
+
+def test_current_context_outside_scope_is_none():
+    assert sampler.current_context() is None
+
+
+def test_current_context_carries_open_span_and_collect_flag():
+    with obs.trace_scope("ctx-trace", collect=True):
+        outer = sampler.current_context()
+        assert outer.trace_id == "ctx-trace"
+        assert outer.sampled is True
+        assert outer.span_id is None  # no open span yet
+        with obs.span("phase.one") as live:
+            inner = sampler.current_context()
+            assert inner.span_id == live.span_id
+    assert sampler.current_context() is None
+
+
+def test_export_and_read_back_env_round_trip():
+    env = {}
+    ctx = sampler.TraceContext("t", "p0", 7, True)
+    sampler.export_context(ctx, env=env, store_dir="/tmp/store")
+    assert env[sampler.TRACEPARENT_ENV] == ctx.header()
+    assert env[sampler.TRACE_STORE_ENV] == "/tmp/store"
+    assert sampler.context_from_env(env) == ctx
+    sampler.clear_env_context(env)
+    assert env == {}
+    assert sampler.context_from_env(env) is None
+
+
+def test_context_from_env_swallows_garbage():
+    env = {sampler.TRACEPARENT_ENV: "not a header"}
+    assert sampler.context_from_env(env) is None

@@ -123,3 +123,66 @@ def test_run_top_once_against_live_daemon(tmp_path):
 def test_run_top_exits_one_when_daemon_unreachable():
     out = io.StringIO()
     assert run_top(port=1, once=True, out=out) == 1
+
+
+def test_run_top_exits_one_when_listener_is_not_http(capsys):
+    # A listener that answers garbage instead of HTTP used to escape as
+    # a raw http.client.BadStatusLine traceback; it must be the same
+    # one-line failure as a dead daemon.
+    import socket
+    import threading
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+
+    def answer_garbage():
+        try:
+            conn, _addr = server.accept()
+        except OSError:
+            return
+        with conn:
+            conn.recv(4096)
+            conn.sendall(b"I AM NOT SPEAKING HTTP\r\n")
+
+    thread = threading.Thread(target=answer_garbage, daemon=True)
+    thread.start()
+    try:
+        assert run_top(port=port, once=True, out=io.StringIO()) == 1
+    finally:
+        server.close()
+        thread.join(timeout=5)
+    err = capsys.readouterr().err
+    assert err.startswith("repro top: GET /v1/metrics failed")
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_fetch_snapshot_rejects_wrong_shape_json(monkeypatch):
+    from repro.obs import top as top_mod
+
+    answers = {"/v1/metrics": "repro_serve_request_total 1\n",
+               "/v1/requests": "[]",  # a list where a dict is required
+               "/v1/ping": "{}"}
+    monkeypatch.setattr(top_mod, "_get",
+                        lambda base, path: answers[path])
+    with pytest.raises(TopError, match="wrong shape"):
+        fetch_snapshot(port=9999)
+
+
+def test_render_frame_shows_slo_burn_and_trace_counters():
+    snap = _snapshot()
+    snap.samples[("repro_serve_slo_burn_rate_5m", ())] = 0.25
+    snap.samples[("repro_serve_slo_burn_rate_1h", ())] = 0.105
+    snap.samples[("repro_obs_trace_sampled", ())] = 7.0
+    snap.samples[("repro_obs_trace_flushed", ())] = 3.0
+    frame = render_frame(snap)
+    assert "slo burn: 5m 25.0%   1h 10.5%" in frame
+    assert "traces: 7 sampled, 3 stored" in frame
+
+
+def test_render_frame_burn_falls_back_to_na_without_gauges():
+    frame = render_frame(_snapshot())
+    assert "slo burn: 5m n/a   1h n/a" in frame
+    assert "traces: 0 sampled, 0 stored" in frame

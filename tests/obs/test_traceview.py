@@ -1,0 +1,163 @@
+"""Stitching multi-process trace records into one tree, and rollups."""
+
+import pytest
+
+from repro.obs.traceview import (
+    merge_trace,
+    render_rollup,
+    render_trace,
+    rollup,
+    summarize_traces,
+)
+
+
+def _span(sid, parent, name, ms=1.0):
+    return {"name": name, "id": sid, "parent": parent,
+            "duration_ms": ms}
+
+
+def _record(proc, origin, spans, parent=None, op="op", ms=10.0,
+            ok=True, ts="2026-01-01T00:00:00Z", trace="t"):
+    return {
+        "kind": "trace_record", "schema": 1, "trace": trace,
+        "proc": proc, "origin": origin, "op": op, "unit": None,
+        "ms": ms, "ok": ok, "ts": ts, "parent": parent, "spans": spans,
+        "notes": {}, "dropped": 0,
+    }
+
+
+def _three_process_trace():
+    """client -> daemon -> forked worker, like the trace-smoke battery."""
+    client = _record("cli0", "client", [
+        _span(1, None, "client.root", 100.0),
+        _span(2, 1, "client.query", 60.0),
+        _span(3, 1, "client.corpus", 30.0),
+    ])
+    daemon = _record("dmn0", "daemon", [
+        _span(1, None, "serve.request", 50.0),
+        _span(2, 1, "compile", 20.0),
+    ], parent={"proc": "cli0", "span": 2})
+    worker = _record("wrk0", "corpus-worker", [
+        _span(7, None, "corpus.shard.worker", 25.0),
+    ], parent={"proc": "cli0", "span": 3})
+    return [client, daemon, worker]
+
+
+def test_merge_links_three_processes_under_one_root():
+    roots = merge_trace(_three_process_trace())
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.name == "client.root"
+    assert not root.detached
+    children = {c.name: c for c in root.children}
+    assert set(children) == {"client.query", "client.corpus"}
+    assert [c.name for c in children["client.query"].children] == \
+        ["serve.request"]
+    assert [c.name for c in children["client.corpus"].children] == \
+        ["corpus.shard.worker"]
+    # Process boundaries carry the producing record's identity.
+    assert children["client.query"].children[0].proc == "dmn0"
+    assert children["client.query"].children[0].origin == "daemon"
+
+
+def test_missing_remote_parent_surfaces_as_detached_root():
+    records = _three_process_trace()[1:]  # client record lost
+    roots = merge_trace(records)
+    assert len(roots) == 2
+    assert all(r.detached for r in roots)
+    assert {r.name for r in roots} == {"serve.request",
+                                       "corpus.shard.worker"}
+
+
+def test_duplicate_flush_first_write_wins():
+    records = _three_process_trace()
+    dupe = dict(records[1])
+    dupe["spans"] = [_span(1, None, "serve.request.DUPE", 1.0)]
+    roots = merge_trace(records + [dupe])
+    names = []
+
+    def walk(node):
+        names.append(node.name)
+        for child in node.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    assert "serve.request" in names
+    assert "serve.request.DUPE" not in names
+
+
+def test_render_marks_process_boundaries_and_detachment():
+    text = render_trace("t", _three_process_trace())
+    assert text.startswith(
+        "trace t  (3 records, 3 processes: client, corpus-worker, "
+        "daemon)")
+    assert "[proc=cli0 client]" in text
+    assert "[proc=dmn0 daemon]" in text
+    assert "(detached)" not in text
+    partial = render_trace("t", _three_process_trace()[1:])
+    assert "(detached)" in partial
+
+
+def test_render_empty_trace():
+    assert "(no spans recorded)" in render_trace("t", [])
+
+
+def test_rollup_by_phase_computes_self_time():
+    records = [_record("p0", "x", [
+        _span(1, None, "outer", 10.0),
+        _span(2, 1, "inner", 4.0),
+        _span(3, 1, "inner", 3.0),
+    ])]
+    rows = {row[0]: row for row in rollup(records, by="phase")}
+    assert rows["inner"][1] == 2          # count
+    assert rows["inner"][2] == pytest.approx(7.0)   # total
+    assert rows["inner"][3] == pytest.approx(7.0)   # self
+    assert rows["outer"][2] == pytest.approx(10.0)
+    assert rows["outer"][3] == pytest.approx(3.0)   # 10 - (4 + 3)
+    # Shares sum to 100% of grand self time.
+    shares = [float(row[4].rstrip("%")) for row in rows.values()]
+    assert sum(shares) == pytest.approx(100.0, abs=0.2)
+
+
+def test_rollup_by_op_groups_whole_records():
+    records = [
+        _record("p0", "x", [], op="alias", ms=10.0),
+        _record("p0", "x", [], op="alias", ms=20.0),
+        _record("p1", "y", [], op="tables", ms=5.0),
+    ]
+    rows = rollup(records, by="op")
+    assert rows[0][:3] == ["alias", 2, 30.0]
+    assert rows[1][:3] == ["tables", 1, 5.0]
+
+
+def test_rollup_rejects_unknown_grouping():
+    with pytest.raises(ValueError):
+        rollup([], by="nonsense")
+
+
+def test_render_rollup_table():
+    text = render_rollup(_three_process_trace(), by="phase")
+    assert "client.root" in text
+    assert "self share" in text
+    assert render_rollup([], by="phase") == "(no trace records)\n"
+
+
+def test_summarize_traces_newest_first():
+    grouped = {
+        "old": [_record("p0", "client", [], ts="2026-01-01", trace="old")],
+        "new": [
+            _record("p0", "client", [], ts="2026-01-02", trace="new",
+                    ms=5.0),
+            _record("p1", "daemon", [], ts="2026-01-03", trace="new",
+                    ms=9.0, ok=False, op="alias"),
+        ],
+    }
+    summaries = summarize_traces(grouped)
+    assert [s["trace"] for s in summaries] == ["new", "old"]
+    newest = summaries[0]
+    assert newest["records"] == 2
+    assert newest["procs"] == 2
+    assert newest["origins"] == ["client", "daemon"]
+    assert newest["ms"] == 9.0
+    assert newest["ok"] is False

@@ -226,3 +226,130 @@ def test_mint_trace_id_shape():
     assert a != b
     assert len(a) == 16
     int(a, 16)  # hex
+
+
+# ----------------------------------------------------------------------
+# Continuous tracing: traceparent propagation, store flushes, /v1/traces
+
+
+def _traced_daemon(tmp_path, rate=1.0):
+    from repro.obs.sampler import HeadSampler
+    from repro.obs.tracestore import TraceStore
+
+    metrics.registry().reset()
+    store = TraceStore(tmp_path / "traces")
+    manager = SessionManager(store=FactStore(tmp_path / "facts"))
+    return Daemon(manager, sampler=HeadSampler(rate),
+                  trace_store=store), store
+
+
+def test_protocol_validates_traceparent_on_ingest():
+    request = protocol.Request.from_obj({
+        "id": "r1", "op": "ping",
+        "traceparent": "trace-x-cafe0123-2a-01"})
+    ctx = request.trace_context()
+    assert ctx.trace_id == "trace-x"
+    assert ctx.proc == "cafe0123"
+    assert ctx.span_id == 0x2A
+    assert ctx.sampled is True
+    with pytest.raises(protocol.ProtocolError,
+                       match="bad 'traceparent'"):
+        protocol.Request.from_obj({"id": "r2", "op": "ping",
+                                   "traceparent": "garbage"})
+
+
+def test_daemon_adopts_propagated_context_and_flushes(tmp_path):
+    daemon, store = _traced_daemon(tmp_path)
+    response = daemon.handle_request(protocol.Request.from_obj({
+        "id": "r1", "op": "ping",
+        "traceparent": "prop-trace-cafe0123-2a-01"}))
+    assert response["ok"]
+    assert response["trace"] == "prop-trace"
+    assert "spans" not in response  # sampling never leaks debug output
+    records = store.trace("prop-trace")
+    assert len(records) == 1
+    record = records[0]
+    assert record["origin"] == "daemon"
+    assert record["op"] == "ping"
+    # The daemon's root span parents under the caller's open span.
+    assert record["parent"] == {"proc": "cafe0123", "span": 0x2A}
+    assert record["spans"][0]["name"] == "serve.request.ping"
+
+
+def test_unsampled_context_suppresses_the_flush(tmp_path):
+    # sampled=00 from the caller wins over the daemon's own sampler,
+    # so one trace is all-or-nothing across processes.
+    daemon, store = _traced_daemon(tmp_path, rate=1.0)
+    response = daemon.handle_request(protocol.Request.from_obj({
+        "id": "r1", "op": "ping",
+        "traceparent": "cold-trace-cafe0123-0-00"}))
+    assert response["ok"]
+    assert response["trace"] == "cold-trace"
+    assert store.records() == []
+
+
+def test_minted_traces_roll_the_samplers_coin(tmp_path):
+    daemon, store = _traced_daemon(tmp_path, rate=0.0)
+    assert daemon.handle_request(protocol.Request.from_obj(
+        {"id": "r1", "op": "ping"}))["ok"]
+    assert store.records() == []
+    assert metrics.registry().counter("obs.trace.sampled").value == 0
+
+
+def test_traces_endpoint_404_without_a_store(daemon):
+    _daemon, port, _tmp = daemon
+    with pytest.raises(urllib.error.HTTPError) as failure:
+        urllib.request.urlopen(
+            "http://127.0.0.1:{}/v1/traces".format(port))
+    assert failure.value.code == 404
+    body = json.loads(failure.value.read())
+    assert "trace store" in body["error"]["message"]
+
+
+def test_traces_endpoint_serves_summaries_and_records(tmp_path):
+    daemon, _store = _traced_daemon(tmp_path)
+    port = daemon.start_http()
+    try:
+        assert daemon.handle_request(protocol.Request.from_obj(
+            {"id": "r1", "op": "ping", "trace_id": "wanted"}))["ok"]
+        base = "http://127.0.0.1:{}".format(port)
+        with urllib.request.urlopen(base + "/v1/traces") as resp:
+            listing = json.loads(resp.read())
+        assert [s["trace"] for s in listing["traces"]] == ["wanted"]
+        assert listing["store"]["segments"] >= 1
+        with urllib.request.urlopen(
+                base + "/v1/traces?id=wanted") as resp:
+            full = json.loads(resp.read())
+        assert full["trace"] == "wanted"
+        assert full["records"][0]["origin"] == "daemon"
+        with pytest.raises(urllib.error.HTTPError) as failure:
+            urllib.request.urlopen(base + "/v1/traces?id=nope")
+        assert failure.value.code == 404
+    finally:
+        daemon.stop_http()
+
+
+def test_journal_size_is_constructor_tunable(tmp_path):
+    metrics.registry().reset()
+    daemon = Daemon(SessionManager(store=FactStore(tmp_path / "facts")),
+                    journal_size=4)
+    for i in range(6):
+        assert daemon.handle_request(protocol.Request.from_obj(
+            {"id": "r{}".format(i), "op": "ping"}))["ok"]
+    snapshot = daemon.journal.snapshot()
+    assert snapshot["total"] == 6
+    assert len(snapshot["requests"]) == 4
+
+
+def test_stats_op_reports_burn_windows_and_store(tmp_path):
+    daemon, _store = _traced_daemon(tmp_path)
+    assert daemon.handle_request(protocol.Request.from_obj(
+        {"id": "r0", "op": "ping"}))["ok"]
+    response = daemon.handle_request(protocol.Request.from_obj(
+        {"id": "r1", "op": "stats"}))
+    assert response["ok"]
+    burn = response["result"]["slo_burn"]
+    assert set(burn) >= {"5m", "1h"}
+    assert burn["5m"]["requests"] >= 1
+    assert burn["5m"]["burn_rate"] is not None
+    assert response["result"]["trace_store"]["segments"] >= 1
